@@ -1,0 +1,62 @@
+// Extension study (paper Sec. III-A: "In the rigorous situation, the
+// sigma level can be extended to +-6 sigma to keep the stability and
+// avoid timing failure"): evaluate the N-sigma model at +-4/5/6 sigma and
+// compare the high-sigma tail against (a) the Gaussian rule and (b) the
+// LSN distribution fitted to the same Monte-Carlo samples — the only
+// tractable references at probabilities far beyond direct MC reach.
+#include "baselines/cellmodels.hpp"
+#include "common.hpp"
+#include "core/nsigma_cell.hpp"
+#include "stats/quantiles.hpp"
+
+using namespace nsdc;
+using namespace nsdc::bench;
+
+int main() {
+  print_header("Extension — +-6 sigma quantile estimates",
+               "INVx1 / NAND2x2 / NOR2x4 at the reference condition; "
+               "Gaussian and LSN-tail references (direct MC cannot reach "
+               "p = 1e-9).");
+
+  const TechParams tech = TechParams::nominal28();
+  const CellLibrary cells = CellLibrary::standard();
+  const CharLib charlib = shared_charlib(tech, cells);
+  const NSigmaCellModel model = NSigmaCellModel::fit(charlib);
+
+  CharConfig cfg;
+  cfg.seed = 0x51C5ULL;
+  const CellCharacterizer ch(tech, cfg);
+  const int samples = scaled_samples(2500, 12000);
+
+  Table t({"cell", "n", "Gaussian mu+n*s (ps)", "LSN tail (ps)",
+           "N-sigma (ps)", "vs Gauss %", "vs LSN %"});
+  for (const char* name : {"INVx1", "NAND2x2", "NOR2x4"}) {
+    const CellType& cell = cells.by_name(name);
+    const double load = 4.0 * cell.input_cap(tech, 0);
+    const double slew = charlib.arc(name, 0, true).slews.front();
+    const auto shape = ch.calibrate_shape(cell, 0, true, slew);
+    const auto mc =
+        ch.run_condition(cell, 0, true, shape.actual_slew, load, samples, true);
+    LsnDelayModel lsn;
+    lsn.fit(mc.samples);
+    for (double n : {3.0, 4.0, 5.0, 6.0}) {
+      const double gauss = mc.moments.mu + n * mc.moments.sigma;
+      const double lsn_q = lsn.quantile(normal_cdf(n));
+      const double ours =
+          model.quantile_at(name, 0, true, shape.actual_slew, load, n);
+      t.add_row({name, format_fixed(n, 0), format_fixed(to_ps(gauss), 1),
+                 format_fixed(to_ps(lsn_q), 1), format_fixed(to_ps(ours), 1),
+                 format_fixed(pct_err(ours, gauss), 1),
+                 format_fixed(pct_err(ours, lsn_q), 1)});
+    }
+  }
+  t.print(std::cout);
+  t.save_csv("ext_sixsigma.csv");
+
+  std::cout << "\nShape check: for the right-skewed near-threshold "
+               "distributions every +n estimate must exceed the Gaussian "
+               "rule, with the gap widening at higher n; the N-sigma "
+               "extrapolation should stay in the same decade as the "
+               "LSN-tail reference.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Fig. 10 reproduction: +/-3-sigma wire delay estimation accuracy over
+// five RC interconnect examples with FO1/FO2/FO4/FO8 driver/load
+// constraints. The N-sigma wire model T_w(n s) = (1 + n X_w) T_Elmore is
+// compared against fresh Monte Carlo, with raw Elmore and D2M as the
+// no-variability baselines the paper contrasts.
+#include <cmath>
+
+#include "common.hpp"
+#include "core/nsigma_wire.hpp"
+#include "parasitics/wiregen.hpp"
+
+using namespace nsdc;
+using namespace nsdc::bench;
+
+int main() {
+  print_header("Fig. 10 — +/-3s wire delay accuracy (5 RC examples x FO1..FO8)",
+               "Errors in % of the MC quantile. Ours = Eq. 9 with fitted "
+               "X_w; Elmore/D2M carry no variability (compared at +3s).");
+
+  const TechParams tech = TechParams::nominal28();
+  const CellLibrary cells = CellLibrary::standard();
+  const CharLib charlib = shared_charlib(tech, cells);
+  const NSigmaWireModel model = NSigmaWireModel::fit(charlib, cells);
+
+  CharConfig cfg;
+  cfg.seed = 0xF1610ULL;
+  const CellCharacterizer ch(tech, cfg);
+  const int samples = scaled_samples(1000, 6000);
+
+  // Five seeded random interconnect examples "from the parasitic files".
+  const WireGenerator gen(tech);
+  std::vector<RcTree> trees;
+  Rng rng(0x5EED5ULL);
+  trees.push_back(gen.line(60.0, 6, "Z"));
+  trees.push_back(gen.line(200.0, 12, "Z"));
+  for (int i = 0; i < 3; ++i) {
+    Rng tree_rng = rng.fork("fig10tree" + std::to_string(i));
+    WireGenConfig wc;
+    wc.mean_length_um = 40.0;
+    const WireGenerator gen_big(tech, wc);
+    trees.push_back(gen_big.generate(tree_rng, {"Z"}));
+  }
+
+  Table t({"RC net", "FO", "Elmore (ps)", "MC +3s (ps)", "ours -3s err%",
+           "ours +3s err%", "Elmore@+3s err%", "D2M@+3s err%"});
+  double sum_m3 = 0.0, sum_p3 = 0.0, sum_elm = 0.0;
+  int count = 0;
+  for (std::size_t ti = 0; ti < trees.size(); ++ti) {
+    for (int fo : {1, 2, 4, 8}) {
+      const CellType& cell = cells.by_func(CellFunc::kInv, fo);
+      const auto obs = ch.run_wire_observation(cell, cell, trees[ti],
+                                               static_cast<int>(ti), samples);
+      const double xw = model.xw(cell.name(), cell.name());
+      // The loaded-tree Elmore is the observation's reference metric.
+      const double elmore = obs.elmore;
+      RcTree loaded = trees[ti];
+      loaded.add_cap(loaded.sink_node("Z"), cell.input_cap(tech, 0));
+      const double d2m = loaded.d2m(loaded.sink_node("Z"));
+      const double ours_m3 = (1.0 - 3.0 * xw) * elmore;
+      const double ours_p3 = (1.0 + 3.0 * xw) * elmore;
+      const double e_m3 = pct_err(ours_m3, obs.quantiles[0]);
+      const double e_p3 = pct_err(ours_p3, obs.quantiles[6]);
+      const double e_elm = pct_err(elmore, obs.quantiles[6]);
+      const double e_d2m = pct_err(d2m, obs.quantiles[6]);
+      t.add_row({"net" + std::to_string(ti + 1), "FO" + std::to_string(fo),
+                 format_fixed(to_ps(elmore), 2),
+                 format_fixed(to_ps(obs.quantiles[6]), 2),
+                 format_fixed(e_m3, 2), format_fixed(e_p3, 2),
+                 format_fixed(e_elm, 2), format_fixed(e_d2m, 2)});
+      sum_m3 += std::fabs(e_m3);
+      sum_p3 += std::fabs(e_p3);
+      sum_elm += std::fabs(e_elm);
+      ++count;
+    }
+  }
+  t.print(std::cout);
+  t.save_csv("fig10_wire_accuracy.csv");
+
+  std::cout << "\naverages: ours |-3s| = " << format_fixed(sum_m3 / count, 2)
+            << "%, ours |+3s| = " << format_fixed(sum_p3 / count, 2)
+            << "%, Elmore@+3s = " << format_fixed(sum_elm / count, 2) << "%\n";
+  std::cout << "Paper shape check (paper: -3s 1.61%, +3s 2.39%): the "
+               "calibrated model stays in the few-percent band while raw "
+               "Elmore misses the +3s tail by ~3x X_w (tens of %).\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Fig. 2 reproduction: the inverter delay distribution under supply
+// voltages 0.5-0.8 V. The paper's qualitative claim: as VDD drops toward
+// the near-threshold regime the PDF widens, skews right and grows a heavy
+// tail, so the Gaussian mu + n*sigma quantile rule breaks.
+#include <vector>
+
+#include "common.hpp"
+#include "stats/histogram.hpp"
+#include "stats/quantiles.hpp"
+
+using namespace nsdc;
+using namespace nsdc::bench;
+
+int main() {
+  print_header("Fig. 2 — INV delay PDFs vs supply voltage (25C)",
+               "INVx1, FO4 load, 10 ps input ramp; per-voltage Monte Carlo.");
+
+  const CellLibrary cells = CellLibrary::standard();
+  const int samples = scaled_samples(4000, 10000);
+
+  Table t({"VDD (V)", "mu (ps)", "sigma (ps)", "sigma/mu", "skewness",
+           "ex.kurtosis", "-3s (ps)", "median", "+3s (ps)",
+           "(q+3 - mu)/(mu - q-3)"});
+
+  std::vector<std::pair<double, std::vector<double>>> dists;
+  for (double vdd : {0.5, 0.6, 0.7, 0.8}) {
+    const TechParams tech = TechParams::nominal28().at_voltage(vdd);
+    CharConfig cfg;
+    cfg.seed = 0xF16'2ULL;
+    const CellCharacterizer ch(tech, cfg);
+    const CellType& inv = cells.by_name("INVx1");
+    const double fo4_load = 4.0 * inv.input_cap(tech, 0);
+    const ConditionStats stats =
+        ch.run_condition(inv, 0, true, 10e-12, fo4_load, samples, true);
+    const auto& m = stats.moments;
+    const auto& q = stats.quantiles;
+    const double asym = (q[6] - m.mu) / (m.mu - q[0]);
+    t.add_row({format_fixed(vdd, 1), format_fixed(to_ps(m.mu), 2),
+               format_fixed(to_ps(m.sigma), 2), format_fixed(m.variability(), 3),
+               format_fixed(m.gamma, 3), format_fixed(m.kappa, 3),
+               format_fixed(to_ps(q[0]), 2), format_fixed(to_ps(q[3]), 2),
+               format_fixed(to_ps(q[6]), 2), format_fixed(asym, 2)});
+    dists.emplace_back(vdd, stats.samples);
+  }
+  t.print(std::cout);
+  t.save_csv("fig2_voltage_pdf.csv");
+
+  std::cout << "\nDelay histograms (note the growing right tail at low VDD):\n";
+  for (const auto& [vdd, samples_v] : dists) {
+    std::cout << "\nVDD = " << format_fixed(vdd, 1) << " V\n";
+    const Histogram h(samples_v, 24);
+    std::cout << h.render(48, 1e-12, "ps");
+  }
+
+  std::cout << "\nPaper shape check: skewness and kurtosis increase "
+               "monotonically as VDD decreases; at 0.6 V the +3s tail is "
+               "substantially farther from the mean than the -3s tail.\n";
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Fig. 3 reproduction: how skewness and (excess) kurtosis move the seven
+// sigma-level quantiles away from the Gaussian mu + n*sigma positions.
+//
+// Panel (a): skew-normal family with increasing skewness at unit variance.
+// Panel (b): Student-t family with increasing excess kurtosis at zero skew.
+// The paper's observations to verify:
+//   * skewness moves the inner quantiles (-2s..+2s) more than +-3s;
+//   * kurtosis mostly moves the +-2s/+-3s points (fat tails).
+#include <cmath>
+
+#include "common.hpp"
+#include "stats/distributions.hpp"
+#include "stats/quantiles.hpp"
+#include "util/rng.hpp"
+
+using namespace nsdc;
+using namespace nsdc::bench;
+
+namespace {
+
+// Standardized quantile offsets: q(level) - n, for a zero-mean unit-var
+// sample. For a Gaussian every entry is ~0.
+std::array<double, 7> offsets(const std::vector<double>& xs) {
+  const Moments m = compute_moments(xs);
+  auto q = sigma_quantiles(xs);
+  std::array<double, 7> out{};
+  for (int lv = 0; lv < 7; ++lv) {
+    const auto l = static_cast<std::size_t>(lv);
+    out[l] = (q[l] - m.mu) / m.sigma - (lv - 3);
+  }
+  return out;
+}
+
+std::vector<double> student_t(Rng& rng, int dof, int n) {
+  std::vector<double> xs;
+  xs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    double chi2 = 0.0;
+    for (int k = 0; k < dof; ++k) {
+      const double z = rng.normal();
+      chi2 += z * z;
+    }
+    xs.push_back(rng.normal() / std::sqrt(chi2 / dof));
+  }
+  return xs;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Fig. 3 — effect of skewness / kurtosis on sigma-level quantiles",
+               "Entries are standardized offsets (q - mu)/sigma - n; Gaussian = 0.");
+  const int n = scaled_samples(400000, 2000000);
+  Rng rng(0xF163ULL);
+
+  Table ta({"skewness (SN alpha)", "gamma", "d(-3s)", "d(-2s)", "d(-1s)",
+            "d(0s)", "d(+1s)", "d(+2s)", "d(+3s)"});
+  for (double alpha : {0.0, 1.5, 3.0, 8.0}) {
+    SkewNormal sn{0.0, 1.0, alpha};
+    std::vector<double> xs;
+    xs.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) xs.push_back(sn.sample(rng));
+    const Moments m = compute_moments(xs);
+    const auto off = offsets(xs);
+    std::vector<std::string> row{format_fixed(alpha, 1),
+                                 format_fixed(m.gamma, 3)};
+    for (double d : off) row.push_back(format_fixed(d, 3));
+    ta.add_row(row);
+  }
+  std::cout << "(a) skewness family (skew-normal):\n";
+  ta.print(std::cout);
+  ta.save_csv("fig3a_skewness.csv");
+
+  Table tb({"t dof", "ex.kurtosis", "d(-3s)", "d(-2s)", "d(-1s)", "d(0s)",
+            "d(+1s)", "d(+2s)", "d(+3s)"});
+  for (int dof : {0, 12, 7, 5}) {  // 0 => Gaussian reference
+    std::vector<double> xs;
+    if (dof == 0) {
+      xs.reserve(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) xs.push_back(rng.normal());
+    } else {
+      xs = student_t(rng, dof, n);
+    }
+    const Moments m = compute_moments(xs);
+    const auto off = offsets(xs);
+    std::vector<std::string> row{dof == 0 ? "inf" : std::to_string(dof),
+                                 format_fixed(m.kappa, 3)};
+    for (double d : off) row.push_back(format_fixed(d, 3));
+    tb.add_row(row);
+  }
+  std::cout << "\n(b) kurtosis family (Student-t):\n";
+  tb.print(std::cout);
+  tb.save_csv("fig3b_kurtosis.csv");
+
+  std::cout << "\nPaper shape check: (a) skewness shifts every level toward "
+               "the long tail, with the inner levels (-2s..+2s) moving "
+               "relative to the Gaussian rule — the sg terms of Table I; "
+               "(b) kurtosis leaves the median and +-1s almost untouched "
+               "and pushes +-2s/+-3s outward — exactly why Table I gives "
+               "sk terms only to the +-2s/+-3s rows.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Fig. 4 reproduction: the first four moments of the INVx1 delay
+// distribution versus input slew (at fixed load) and versus output load
+// (at fixed slew). Paper observations: mu and sigma grow near-linearly;
+// gamma and kappa vary non-monotonically (hence the cubic calibration of
+// Eq. 3).
+#include "common.hpp"
+
+using namespace nsdc;
+using namespace nsdc::bench;
+
+int main() {
+  print_header("Fig. 4 — INVx1 delay moments vs operating condition",
+               "Purple curve analog: slew sweep @ 0.4 fF; blue curve analog: "
+               "load sweep @ ~10 ps input slew. VDD = 0.6 V.");
+
+  const TechParams tech = TechParams::nominal28();
+  const CellLibrary cells = CellLibrary::standard();
+  const CellType& inv = cells.by_name("INVx1");
+  CharConfig cfg;
+  cfg.seed = 0xF164ULL;
+  const CellCharacterizer ch(tech, cfg);
+  const int samples = scaled_samples(1500, 10000);
+
+  Table ts({"input slew (ps)", "mu (ps)", "sigma (ps)", "skewness",
+            "ex.kurtosis"});
+  for (double target : {10e-12, 40e-12, 90e-12, 150e-12, 220e-12, 300e-12}) {
+    const auto shape = ch.calibrate_shape(inv, 0, true, target);
+    const auto stats = ch.run_condition(inv, 0, true, shape.actual_slew,
+                                        0.4e-15, samples, false, &shape);
+    ts.add_row_numeric(format_fixed(to_ps(shape.actual_slew), 1),
+                       {to_ps(stats.moments.mu), to_ps(stats.moments.sigma),
+                        stats.moments.gamma, stats.moments.kappa},
+                       3);
+  }
+  std::cout << "slew sweep (C = 0.4 fF):\n";
+  ts.print(std::cout);
+  ts.save_csv("fig4_slew_sweep.csv");
+
+  Table tc({"load (fF)", "mu (ps)", "sigma (ps)", "skewness", "ex.kurtosis"});
+  const auto shape_ref = ch.calibrate_shape(inv, 0, true, 10e-12);
+  for (double load : {0.1e-15, 0.4e-15, 1.0e-15, 2.0e-15, 4.0e-15, 6.0e-15}) {
+    const auto stats = ch.run_condition(inv, 0, true, shape_ref.actual_slew,
+                                        load, samples, false, &shape_ref);
+    tc.add_row_numeric(format_fixed(to_ff(load), 1),
+                       {to_ps(stats.moments.mu), to_ps(stats.moments.sigma),
+                        stats.moments.gamma, stats.moments.kappa},
+                       3);
+  }
+  std::cout << "\nload sweep (S ~= 10 ps):\n";
+  tc.print(std::cout);
+  tc.save_csv("fig4_load_sweep.csv");
+
+  std::cout << "\nPaper shape check: mu and sigma rise steadily with both "
+               "axes; gamma/kappa drift non-monotonically over a sub-unit "
+               "range, motivating the cubic interpolation of Eq. 3.\n";
+  return 0;
+}

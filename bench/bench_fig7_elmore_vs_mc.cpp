@@ -1,0 +1,63 @@
+// Fig. 7 reproduction: the wire delay distribution of an RC net between a
+// driver and a load cell, compared against the Elmore (and D2M) point
+// metrics. The paper's observation: the distribution is asymmetric and the
+// 99.86% quantile sits far above Elmore, so a single first-moment metric
+// cannot cover the tail.
+#include "common.hpp"
+#include "parasitics/wiregen.hpp"
+#include "pdk/varmodel.hpp"
+#include "liberty/stagesim.hpp"
+#include "stats/histogram.hpp"
+#include "stats/quantiles.hpp"
+
+using namespace nsdc;
+using namespace nsdc::bench;
+
+int main() {
+  print_header("Fig. 7 — Elmore vs Monte-Carlo wire delay distribution",
+               "150 um net, INVx2 driver, INVx2 load, VDD = 0.6 V.");
+
+  const TechParams tech = TechParams::nominal28();
+  const CellLibrary cells = CellLibrary::standard();
+  const WireGenerator gen(tech);
+  RcTree tree = gen.line(150.0, 10, "Z");
+  const CellType& driver = cells.by_name("INVx2");
+  const CellType& load = cells.by_name("INVx2");
+
+  // Reference metrics on the loaded tree.
+  RcTree loaded = tree;
+  const int sink = loaded.sink_node("Z");
+  loaded.add_cap(sink, load.input_cap(tech, 0));
+  const double elmore = loaded.elmore(sink);
+  const double d2m = loaded.d2m(sink);
+
+  CharConfig cfg;
+  cfg.seed = 0xF167ULL;
+  const CellCharacterizer ch(tech, cfg);
+  const int samples = scaled_samples(4000, 10000);
+  const auto obs = ch.run_wire_observation(driver, load, tree, 0, samples);
+
+  Table t({"metric", "value (ps)", "vs MC mean (%)", "vs MC +3s (%)"});
+  t.add_row({"Elmore (Eq. 4)", format_fixed(to_ps(elmore), 2),
+             format_fixed(pct_err(elmore, obs.wire_moments.mu), 2),
+             format_fixed(pct_err(elmore, obs.quantiles[6]), 2)});
+  t.add_row({"D2M", format_fixed(to_ps(d2m), 2),
+             format_fixed(pct_err(d2m, obs.wire_moments.mu), 2),
+             format_fixed(pct_err(d2m, obs.quantiles[6]), 2)});
+  t.add_row({"MC mean", format_fixed(to_ps(obs.wire_moments.mu), 2), "0.00",
+             format_fixed(pct_err(obs.wire_moments.mu, obs.quantiles[6]), 2)});
+  t.add_row({"MC -3s (0.14%)", format_fixed(to_ps(obs.quantiles[0]), 2), "-", "-"});
+  t.add_row({"MC median", format_fixed(to_ps(obs.quantiles[3]), 2), "-", "-"});
+  t.add_row({"MC +3s (99.86%)", format_fixed(to_ps(obs.quantiles[6]), 2), "-", "-"});
+  t.print(std::cout);
+  t.save_csv("fig7_elmore_vs_mc.csv");
+
+  std::cout << "\nwire delay sigma/mu = " << format_fixed(obs.variability(), 4)
+            << ", skewness = " << format_fixed(obs.wire_moments.gamma, 3)
+            << "\n";
+  std::cout << "\nPaper shape check: Elmore tracks the MC MEAN but sits "
+            << format_fixed(100.0 * (obs.quantiles[6] - elmore) / elmore, 1)
+            << "% below the +3s quantile — the gap the N-sigma wire model "
+               "(Eq. 9) closes.\n";
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Microbenchmarks (google-benchmark) for the performance-critical kernels:
+// device evaluation, transient stepping, Elmore extraction and model
+// evaluation — the terms behind the Table III runtime columns.
+#include <benchmark/benchmark.h>
+
+#include "core/nsigma_cell.hpp"
+#include "parasitics/wiregen.hpp"
+#include "pdk/cellgen.hpp"
+#include "spice/transient.hpp"
+#include "stats/regression.hpp"
+#include "util/rng.hpp"
+
+namespace nsdc {
+namespace {
+
+void BM_MosEval(benchmark::State& state) {
+  MosParams p;
+  double vg = 0.1;
+  for (auto _ : state) {
+    vg = vg > 0.59 ? 0.1 : vg + 0.01;
+    benchmark::DoNotOptimize(mos_eval(p, 0.6, vg, 0.0));
+  }
+}
+BENCHMARK(BM_MosEval);
+
+void BM_InverterTransient(benchmark::State& state) {
+  const TechParams tech = TechParams::nominal28();
+  const CellLibrary lib = CellLibrary::standard();
+  for (auto _ : state) {
+    Circuit ckt;
+    const NodeId vdd = ckt.make_node("vdd");
+    ckt.add_vsource(vdd, kGround, Pwl::constant(tech.vdd));
+    ckt.set_initial_voltage(vdd, tech.vdd);
+    const NodeId in = ckt.make_node("in");
+    ckt.add_vsource(in, kGround, Pwl::ramp(20e-12, 0.0, tech.vdd, 10e-12));
+    CellNetlister nl(tech);
+    const NodeId ins[] = {in};
+    const NodeId out = nl.instantiate(ckt, lib.by_name("INVx1"), ins, vdd,
+                                      GlobalCorner::nominal(), nullptr);
+    ckt.set_initial_voltage(out, tech.vdd);
+    ckt.add_capacitor(out, kGround, 1.5e-15);
+    TransientOptions opts;
+    opts.tstop = 500e-12;
+    benchmark::DoNotOptimize(run_transient(ckt, opts));
+  }
+}
+BENCHMARK(BM_InverterTransient)->Unit(benchmark::kMillisecond);
+
+void BM_ElmoreExtraction(benchmark::State& state) {
+  const TechParams tech = TechParams::nominal28();
+  const WireGenerator gen(tech);
+  Rng rng(1);
+  std::vector<std::string> pins;
+  for (int i = 0; i < 6; ++i) pins.push_back("p" + std::to_string(i));
+  const RcTree tree = gen.generate(rng, pins);
+  for (auto _ : state) {
+    for (const auto& sink : tree.sinks()) {
+      benchmark::DoNotOptimize(tree.elmore(sink.node));
+    }
+  }
+}
+BENCHMARK(BM_ElmoreExtraction);
+
+void BM_OlsFit(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(-1, 1);
+    rows.push_back({1.0, x, x * x, x * x * x});
+    y.push_back(1 + x + rng.normal(0, 0.1));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(least_squares(rows, y, 1e-10));
+  }
+}
+BENCHMARK(BM_OlsFit);
+
+void BM_QuantileModelEval(benchmark::State& state) {
+  // Evaluate the Table-I quantile expressions over calibrated moments —
+  // the per-stage cost of the N-sigma timer.
+  Moments m;
+  m.mu = 80e-12;
+  m.sigma = 20e-12;
+  m.gamma = 0.9;
+  m.kappa = 1.4;
+  std::vector<Moments> ms(64, m);
+  std::vector<std::array<double, 7>> qs;
+  for (auto& mm : ms) {
+    std::array<double, 7> q{};
+    for (int lv = 0; lv < 7; ++lv) {
+      q[static_cast<std::size_t>(lv)] = mm.mu + (lv - 3) * mm.sigma;
+    }
+    qs.push_back(q);
+  }
+  const auto coefs = TableICoefficients::fit(ms, qs);
+  for (auto _ : state) {
+    m.gamma += 1e-6;
+    benchmark::DoNotOptimize(coefs.quantiles(m));
+  }
+}
+BENCHMARK(BM_QuantileModelEval);
+
+}  // namespace
+}  // namespace nsdc
+
+BENCHMARK_MAIN();

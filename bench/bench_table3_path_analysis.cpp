@@ -1,0 +1,146 @@
+// Table III reproduction: critical-path +/-3-sigma delay on the ISCAS85
+// benchmarks and the PULPino functional units, comparing:
+//   MC          — golden stage-cascaded transistor-level Monte Carlo
+//   PT          — PrimeTime-style derated Gaussian corner sum
+//   ML          — LUT Gaussian cells + ridge-regression wire model [9]
+//   Correction  — D2M-corrected Elmore + global wire variability [8]
+//   Ours        — N-sigma cell + wire models (Eq. 10)
+// with per-design error percentages (vs MC +3s for the single-number
+// baselines, vs both tails for ours) and runtimes.
+//
+// Default mode runs a representative subset; NSDC_FULL=1 runs all twelve
+// designs at paper-scale sample counts (hours on one core).
+#include <chrono>
+
+#include "baselines/corner_sta.hpp"
+#include "baselines/correction.hpp"
+#include "baselines/mc_reference.hpp"
+#include "baselines/ml_wire.hpp"
+#include "common.hpp"
+#include "netlist/designgen.hpp"
+#include "sta/annotate.hpp"
+#include "sta/timer.hpp"
+
+using namespace nsdc;
+using namespace nsdc::bench;
+
+namespace {
+
+GateNetlist build_design(const std::string& name, const CellLibrary& cells,
+                         const TechParams& tech) {
+  GateNetlist nl = [&] {
+    if (name == "ADD") return generate_ripple_adder(full_mode() ? 64 : 32, cells);
+    if (name == "SUB") return generate_subtractor(full_mode() ? 64 : 32, cells);
+    if (name == "MUL") {
+      return generate_array_multiplier(full_mode() ? 24 : 12, cells);
+    }
+    if (name == "DIV") {
+      return generate_array_divider(full_mode() ? 24 : 12, cells);
+    }
+    return generate_iscas_like(name, cells);
+  }();
+  finalize_design(nl, cells, tech);
+  return nl;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Table III — path analysis on ISCAS85 + PULPino units",
+               "Delays in ps; errors in % vs the MC quantiles; runtimes in "
+               "seconds. See DESIGN.md for the netlist substitution.");
+
+  const TechParams tech = TechParams::nominal28();
+  const CellLibrary cells = CellLibrary::standard();
+  const CharLib charlib = shared_charlib(tech, cells);
+  const NSigmaTimer timer(charlib, cells, tech);
+
+  MlWireConfig ml_cfg;
+  if (full_mode()) ml_cfg.training_nets = 96;
+  const auto ml_t0 = std::chrono::steady_clock::now();
+  const MlWireModel ml = MlWireModel::train_or_load(
+      cache_dir() + "/nsdc_mlwire_cache.txt", tech, cells, ml_cfg);
+  const double ml_train_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - ml_t0)
+          .count();
+  const PathMlCalculator ml_calc(timer.cell_model(), ml);
+  const CornerSta pt(timer.cell_model());
+  const CorrectionMethod corr(timer.cell_model(), charlib);
+
+  std::vector<std::string> designs;
+  if (full_mode()) {
+    for (const auto& s : table3_benchmarks()) designs.push_back(s.name);
+  } else {
+    designs = {"C432", "C1355", "C1908", "ADD", "MUL"};
+  }
+
+  Table t({"Path", "#Nets", "#Cells", "MC -3s", "MC +3s", "PT", "ML", "Corr",
+           "Ours -3s", "Ours +3s", "PT err%", "ML err%", "Corr err%",
+           "Ours -3s%", "Ours +3s%", "t.MC (s)", "t.Ours (s)"});
+
+  double sum_pt = 0.0, sum_ml = 0.0, sum_corr = 0.0, sum_m3 = 0.0,
+         sum_p3 = 0.0, sum_tmc = 0.0, sum_tours = 0.0;
+  int n_rows = 0;
+
+  for (const auto& name : designs) {
+    const GateNetlist nl = build_design(name, cells, tech);
+    const ParasiticDb spef = generate_parasitics(nl, tech);
+    const auto analysis = timer.analyze(nl, spef);
+
+    const auto pt_q = pt.path_quantiles(analysis.critical_path);
+    const auto ml_q = ml_calc.path_quantiles(analysis.critical_path);
+    const auto corr_q = corr.path_quantiles(analysis.critical_path);
+
+    PathMcConfig mcc;
+    mcc.samples = scaled_samples(500, 5000);
+    mcc.seed = 0x7AB1E3ULL;
+    const PathMonteCarlo mc(tech);
+    const auto ref = mc.run(analysis.critical_path, mcc);
+
+    const double e_pt = pct_err(pt_q[6], ref.quantiles[6]);
+    const double e_ml = pct_err(ml_q[6], ref.quantiles[6]);
+    const double e_corr = pct_err(corr_q[6], ref.quantiles[6]);
+    const double e_m3 = pct_err(analysis.quantiles[0], ref.quantiles[0]);
+    const double e_p3 = pct_err(analysis.quantiles[6], ref.quantiles[6]);
+
+    t.add_row({name, std::to_string(nl.num_nets()),
+               std::to_string(nl.num_cells()),
+               format_fixed(to_ps(ref.quantiles[0]), 0),
+               format_fixed(to_ps(ref.quantiles[6]), 0),
+               format_fixed(to_ps(pt_q[6]), 0),
+               format_fixed(to_ps(ml_q[6]), 0),
+               format_fixed(to_ps(corr_q[6]), 0),
+               format_fixed(to_ps(analysis.quantiles[0]), 0),
+               format_fixed(to_ps(analysis.quantiles[6]), 0),
+               format_fixed(e_pt, 1), format_fixed(e_ml, 1),
+               format_fixed(e_corr, 1), format_fixed(e_m3, 1),
+               format_fixed(e_p3, 1), format_fixed(ref.runtime_seconds, 1),
+               format_fixed(analysis.runtime_seconds, 3)});
+    sum_pt += std::abs(e_pt);
+    sum_ml += std::abs(e_ml);
+    sum_corr += std::abs(e_corr);
+    sum_m3 += std::abs(e_m3);
+    sum_p3 += std::abs(e_p3);
+    sum_tmc += ref.runtime_seconds;
+    sum_tours += analysis.runtime_seconds;
+    ++n_rows;
+  }
+  const double n = n_rows;
+  t.add_row({"Avg.|err|", "-", "-", "-", "-", "-", "-", "-", "-", "-",
+             format_fixed(sum_pt / n, 1), format_fixed(sum_ml / n, 1),
+             format_fixed(sum_corr / n, 1), format_fixed(sum_m3 / n, 1),
+             format_fixed(sum_p3 / n, 1), format_fixed(sum_tmc, 1),
+             format_fixed(sum_tours, 3)});
+  t.print(std::cout);
+  t.save_csv("table3_path_analysis.csv");
+
+  std::cout << "\nML wire model training time: " << format_fixed(ml_train_s, 1)
+            << " s (cached for later runs)\n";
+  std::cout << "Speedup of the N-sigma flow over MC: "
+            << format_fixed(sum_tmc / std::max(sum_tours, 1e-9), 0) << "x\n";
+  std::cout << "\nPaper shape check (paper avg |err| vs MC +3s: PT 31.4%, "
+               "ML 18.3%, Correction 11.7%, Ours 3.6% / -3s 5.6%; speed "
+               "103x): ours must beat every baseline at both tails and run "
+               "orders of magnitude faster than MC.\n";
+  return 0;
+}

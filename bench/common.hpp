@@ -1,0 +1,78 @@
+#pragma once
+// Shared infrastructure for the reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper and
+// prints it in a diff-friendly text format. Heavy artifacts (library
+// characterization, the ML wire model) are cached in the working
+// directory so the suite amortizes their cost.
+//
+// Environment knobs:
+//   NSDC_FULL=1        paper-scale sample counts / full design lists
+//   NSDC_SAMPLES_SCALE=<f>  multiply every MC sample count by f
+//   NSDC_CACHE_DIR=<d> where to keep charlib/ML caches (default ".")
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "liberty/charlib.hpp"
+#include "pdk/cells.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace nsdc::bench {
+
+inline bool full_mode() {
+  const char* v = std::getenv("NSDC_FULL");
+  return v != nullptr && v[0] == '1';
+}
+
+inline double samples_scale() {
+  if (const char* v = std::getenv("NSDC_SAMPLES_SCALE")) {
+    const double f = std::atof(v);
+    if (f > 0.0) return f;
+  }
+  return 1.0;
+}
+
+/// Scales a default sample count by mode and env.
+inline int scaled_samples(int base, int full_base = 0) {
+  const int n = full_mode() && full_base > 0 ? full_base : base;
+  return std::max(16, static_cast<int>(n * samples_scale()));
+}
+
+inline std::string cache_dir() {
+  if (const char* v = std::getenv("NSDC_CACHE_DIR")) return v;
+  return ".";
+}
+
+inline std::string charlib_cache_path() {
+  return cache_dir() + "/nsdc_charlib_cache.txt";
+}
+
+/// The shared production characterization (cached across benches).
+inline CharLib shared_charlib(const TechParams& tech, const CellLibrary& lib) {
+  set_log_level(LogLevel::kInfo);
+  CharConfig cfg;  // defaults: 5x5 grid, 600/400 samples
+  if (full_mode()) {
+    cfg.grid_samples = 1200;
+    cfg.wire_samples = 800;
+  }
+  CharLib out = CharLib::build_or_load(charlib_cache_path(), tech, lib, cfg);
+  set_log_level(LogLevel::kWarn);
+  return out;
+}
+
+/// Signed relative error in percent, the convention of the paper's tables.
+inline double pct_err(double model, double reference) {
+  return reference != 0.0 ? 100.0 * (model - reference) / reference : 0.0;
+}
+
+inline void print_header(const std::string& title, const std::string& note) {
+  std::cout << "\n=== " << title << " ===\n";
+  if (!note.empty()) std::cout << note << "\n";
+  std::cout << std::endl;
+}
+
+}  // namespace nsdc::bench

@@ -1,0 +1,36 @@
+#pragma once
+// Shared helper for the examples: obtain a characterized library quickly.
+// Reuses the bench cache when present; otherwise builds a reduced-grid
+// characterization so examples stay interactive.
+
+#include <fstream>
+
+#include "liberty/charlib.hpp"
+#include "pdk/cells.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace nsdc::examples {
+
+inline CharLib default_charlib(const TechParams& tech,
+                               const CellLibrary& cells) {
+  // Prefer the full bench-suite cache if it exists and is valid.
+  {
+    std::ifstream probe("nsdc_charlib_cache.txt");
+    if (probe.good()) {
+      if (auto lib = CharLib::load("nsdc_charlib_cache.txt");
+          lib && !lib->arcs().empty()) {
+        return *std::move(lib);
+      }
+    }
+  }
+  CharConfig cfg;
+  cfg.grid_samples = 250;
+  cfg.wire_samples = 200;
+  cfg.slew_grid = {10e-12, 120e-12, 300e-12, 500e-12};
+  cfg.load_grid_rel = {1.0, 6.0, 15.0, 30.0};
+  return CharLib::build_or_load("example_charlib.txt", tech, cells, cfg);
+}
+
+}  // namespace nsdc::examples

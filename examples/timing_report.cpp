@@ -1,0 +1,99 @@
+// Statistical timing report — an STA-tool-style view of one design.
+//
+// Usage:
+//   ./examples/timing_report                 (built-in C1908-like netlist)
+//   ./examples/timing_report my_design.bench (any classic or extended
+//                                             ISCAS .bench file)
+//
+// Prints the design summary, the critical path stage by stage (cell arc,
+// slew, load, mean cell/wire delay) and the N-sigma quantiles of the path
+// delay, plus the PrimeTime-style corner number for contrast.
+#include <iostream>
+
+#include "baselines/corner_sta.hpp"
+#include "common_example.hpp"
+#include "core/pathdelay.hpp"
+#include "netlist/benchio.hpp"
+#include "netlist/designgen.hpp"
+#include "netlist/verilogio.hpp"
+#include "sta/annotate.hpp"
+#include "sta/sdf.hpp"
+#include "sta/timer.hpp"
+
+using namespace nsdc;
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kInfo);
+  const TechParams tech = TechParams::nominal28();
+  const CellLibrary cells = CellLibrary::standard();
+  const CharLib charlib = examples::default_charlib(tech, cells);
+  const NSigmaTimer timer(charlib, cells, tech);
+
+  GateNetlist netlist = [&] {
+    if (argc > 1) return load_bench(argv[1], cells);
+    GateNetlist nl = generate_iscas_like("C1908", cells);
+    finalize_design(nl, cells, tech);
+    return nl;
+  }();
+  const ParasiticDb spef = generate_parasitics(netlist, tech);
+
+  const auto analysis = timer.analyze(netlist, spef);
+  const PathDelayCalculator calc(timer.cell_model(), timer.wire_model());
+  const auto breakdown = calc.breakdown(analysis.critical_path);
+
+  std::cout << "\n==== statistical timing report: " << netlist.name()
+            << " ====\n"
+            << "cells " << netlist.num_cells() << " | nets "
+            << netlist.num_nets() << " | depth " << netlist.depth()
+            << " | PIs " << netlist.primary_inputs().size() << " | POs "
+            << netlist.primary_outputs().size() << "\n\n";
+
+  Table t({"#", "cell", "pin", "edge", "slew (ps)", "load (fF)",
+           "cell 0s (ps)", "cell +3s (ps)", "wire 0s (ps)", "X_w"});
+  for (std::size_t s = 0; s < breakdown.size(); ++s) {
+    const auto& st = analysis.critical_path.stages[s];
+    t.add_row({std::to_string(s), st.cell->name(), std::to_string(st.pin),
+               st.in_rising ? "R" : "F",
+               format_fixed(to_ps(st.input_slew), 1),
+               format_fixed(to_ff(st.output_load), 2),
+               format_fixed(to_ps(breakdown[s].cell[3]), 1),
+               format_fixed(to_ps(breakdown[s].cell[6]), 1),
+               format_fixed(to_ps(breakdown[s].wire[3]), 2),
+               format_fixed(breakdown[s].xw, 3)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\npath delay quantiles:\n";
+  const char* names[] = {"-3s", "-2s", "-1s", "median", "+1s", "+2s", "+3s"};
+  for (int lv = 0; lv < 7; ++lv) {
+    std::cout << "  " << names[lv] << ": "
+              << format_time(analysis.quantiles[static_cast<std::size_t>(lv)])
+              << "\n";
+  }
+  const CornerSta pt(timer.cell_model());
+  std::cout << "\nPrimeTime-style derated corner (+3s): "
+            << format_time(pt.path_quantiles(analysis.critical_path)[6])
+            << "  <- the pessimism the N-sigma model removes\n";
+  std::cout << "model evaluation time: "
+            << format_fixed(analysis.runtime_seconds * 1e3, 2) << " ms\n";
+
+  // ---- worst endpoints summary ----
+  const auto worst = timer.analyze_paths(netlist, spef, 5);
+  std::cout << "\ntop endpoints:\n";
+  Table tp({"endpoint", "stages", "median", "+3s"});
+  for (const auto& r : worst) {
+    tp.add_row({r.path.note, std::to_string(r.path.num_stages()),
+                format_time(r.quantiles[3]), format_time(r.quantiles[6])});
+  }
+  tp.print(std::cout);
+
+  // ---- interchange exports ----
+  const std::string base = netlist.name();
+  if (save_verilog(netlist, base + ".v") &&
+      save_sdf(netlist, spef, timer.cell_model(), timer.wire_model(), tech,
+               base + ".sdf")) {
+    std::cout << "\nexported " << base << ".v (structural Verilog) and "
+              << base << ".sdf (min:typ:max = -3s:median:+3s)\n";
+  }
+  return 0;
+}

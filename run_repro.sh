@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full reproduction sweep: tests then every bench, recording outputs at the
+# repository root. Assumes the project is built in ./build and the shared
+# characterization cache exists (any charlib-consuming bench creates it on
+# first run; see README).
+set -u
+cd "$(dirname "$0")"
+
+# Benches resolve caches relative to the working directory.
+for f in nsdc_charlib_cache.txt nsdc_mlwire_cache.txt; do
+  if [ -f "build/$f" ] && [ ! -f "$f" ]; then cp "build/$f" "$f"; fi
+done
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo
+    echo "########## $b ##########"
+    "$b"
+  done
+} 2>&1 | tee bench_output.txt

@@ -1,0 +1,32 @@
+#include "baselines/cellmodels.hpp"
+
+#include "stats/quantiles.hpp"
+
+namespace nsdc {
+
+std::array<double, 7> DelayQuantileModel::sigma_level_quantiles() const {
+  std::array<double, 7> out{};
+  for (std::size_t i = 0; i < kSigmaLevels.size(); ++i) {
+    out[i] = quantile(sigma_level_probability(kSigmaLevels[i]));
+  }
+  return out;
+}
+
+void GaussianDelayModel::fit(std::span<const double> samples) {
+  dist_ = NormalDist::fit(samples);
+}
+double GaussianDelayModel::quantile(double p) const {
+  return dist_.quantile(p);
+}
+
+void LsnDelayModel::fit(std::span<const double> samples) {
+  dist_ = LogSkewNormal::fit(samples);
+}
+double LsnDelayModel::quantile(double p) const { return dist_.quantile(p); }
+
+void BurrDelayModel::fit(std::span<const double> samples) {
+  dist_ = BurrXII::fit(samples);
+}
+double BurrDelayModel::quantile(double p) const { return dist_.quantile(p); }
+
+}  // namespace nsdc

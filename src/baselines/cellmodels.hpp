@@ -1,0 +1,61 @@
+#pragma once
+// Cell-delay distribution baselines of paper Table II:
+//  * LSN  — log-skew-normal model of Balef et al. [12]
+//  * Burr — Burr type-XII model of Moshrefi et al. [13]
+//  * Gaussian — the classic mu + n*sigma assumption (extra reference)
+// All are fitted to the same Monte-Carlo sample set as the N-sigma model
+// and queried for sigma-level quantiles.
+
+#include <array>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "stats/distributions.hpp"
+
+namespace nsdc {
+
+/// Common interface for sample-fitted delay-quantile models.
+class DelayQuantileModel {
+ public:
+  virtual ~DelayQuantileModel() = default;
+  virtual std::string name() const = 0;
+  virtual void fit(std::span<const double> samples) = 0;
+  /// Quantile at probability p in (0,1).
+  virtual double quantile(double p) const = 0;
+
+  /// Sigma-level quantiles -3s..+3s.
+  std::array<double, 7> sigma_level_quantiles() const;
+};
+
+class GaussianDelayModel final : public DelayQuantileModel {
+ public:
+  std::string name() const override { return "Gaussian"; }
+  void fit(std::span<const double> samples) override;
+  double quantile(double p) const override;
+
+ private:
+  NormalDist dist_;
+};
+
+class LsnDelayModel final : public DelayQuantileModel {
+ public:
+  std::string name() const override { return "LSN"; }
+  void fit(std::span<const double> samples) override;
+  double quantile(double p) const override;
+
+ private:
+  LogSkewNormal dist_;
+};
+
+class BurrDelayModel final : public DelayQuantileModel {
+ public:
+  std::string name() const override { return "Burr"; }
+  void fit(std::span<const double> samples) override;
+  double quantile(double p) const override;
+
+ private:
+  BurrXII dist_;
+};
+
+}  // namespace nsdc

@@ -1,0 +1,42 @@
+#include "baselines/corner_sta.hpp"
+
+#include <stdexcept>
+
+namespace nsdc {
+
+double CornerSta::path_delay(const PathDescription& path,
+                             int level_index) const {
+  if (level_index < 0 || level_index > 6) {
+    throw std::out_of_range("CornerSta: bad level index");
+  }
+  const int n = level_index - 3;
+  double total = 0.0;
+  for (const auto& stage : path.stages) {
+    const Moments m =
+        model_.moments(stage.cell->name(), stage.pin, stage.in_rising,
+                       stage.input_slew, stage.output_load);
+    const double cell_derate = n > 0   ? config_.cell_derate_late
+                               : n < 0 ? config_.cell_derate_early
+                                       : 1.0;
+    total += (m.mu + n * m.sigma) * cell_derate;  // derated Gaussian corner
+    if (stage.has_wire()) {
+      const double elmore = stage.wire.elmore(stage.sink_node);
+      const double derate = n > 0   ? config_.wire_derate_late
+                            : n < 0 ? config_.wire_derate_early
+                                    : 1.0;
+      total += elmore * derate;
+    }
+  }
+  return total;
+}
+
+std::array<double, 7> CornerSta::path_quantiles(
+    const PathDescription& path) const {
+  std::array<double, 7> out{};
+  for (int i = 0; i < 7; ++i) {
+    out[static_cast<std::size_t>(i)] = path_delay(path, i);
+  }
+  return out;
+}
+
+}  // namespace nsdc

@@ -1,0 +1,47 @@
+#include "baselines/correction.hpp"
+
+#include <algorithm>
+
+namespace nsdc {
+
+CorrectionMethod::CorrectionMethod(const NSigmaCellModel& cell_model,
+                                   const CharLib& charlib)
+    : cell_model_(cell_model) {
+  double sum = 0.0;
+  int n = 0;
+  for (const auto& obs : charlib.wire_observations()) {
+    sum += obs.variability();
+    ++n;
+  }
+  if (n > 0) x_global_ = sum / n;
+}
+
+double CorrectionMethod::correction_factor(const RcTree& wire, int sink_node) {
+  const double elmore = wire.elmore(sink_node);
+  if (elmore <= 0.0) return 1.0;
+  return std::clamp(wire.d2m(sink_node) / elmore, 0.3, 1.5);
+}
+
+std::array<double, 7> CorrectionMethod::path_quantiles(
+    const PathDescription& path) const {
+  std::array<double, 7> total{};
+  for (const auto& stage : path.stages) {
+    const Moments m =
+        cell_model_.moments(stage.cell->name(), stage.pin, stage.in_rising,
+                            stage.input_slew, stage.output_load);
+    double elmore = 0.0, rho = 1.0;
+    if (stage.has_wire()) {
+      elmore = stage.wire.elmore(stage.sink_node);
+      rho = correction_factor(stage.wire, stage.sink_node);
+    }
+    for (int lv = 0; lv < 7; ++lv) {
+      const int n = lv - 3;
+      double t = m.mu + n * m.sigma;  // Gaussian LUT cell delay
+      t += rho * elmore * (1.0 + n * x_global_);
+      total[static_cast<std::size_t>(lv)] += t;
+    }
+  }
+  return total;
+}
+
+}  // namespace nsdc

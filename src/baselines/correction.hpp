@@ -1,0 +1,38 @@
+#pragma once
+// Correction-factor baseline (paper Table III column "Correction", after
+// Sharma et al. [8]): Elmore wire delays are rescaled by a per-RC-tree
+// correction factor calibrated against a reference timing metric (here
+// D2M, playing the role of the PrimeTime report of [8]), and a single
+// GLOBAL wire-variability constant covers process spread — i.e. no
+// driver/load-cell awareness, which is exactly what the N-sigma wire
+// model adds on top of this scheme.
+
+#include <array>
+
+#include "core/nsigma_cell.hpp"
+#include "core/path.hpp"
+#include "liberty/charlib.hpp"
+
+namespace nsdc {
+
+class CorrectionMethod {
+ public:
+  /// The global wire variability is the mean MC-observed sigma_w/mu_w
+  /// over the characterized wire observations.
+  CorrectionMethod(const NSigmaCellModel& cell_model, const CharLib& charlib);
+
+  double global_wire_variability() const { return x_global_; }
+
+  /// Per-tree correction factor rho = D2M / Elmore (clamped to [0.3, 1.5]).
+  static double correction_factor(const RcTree& wire, int sink_node);
+
+  /// Path delay: Gaussian LUT cell delays + corrected Elmore wires with
+  /// the global variability factor.
+  std::array<double, 7> path_quantiles(const PathDescription& path) const;
+
+ private:
+  const NSigmaCellModel& cell_model_;
+  double x_global_ = 0.1;
+};
+
+}  // namespace nsdc

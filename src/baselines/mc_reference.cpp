@@ -1,0 +1,151 @@
+#include "baselines/mc_reference.hpp"
+
+#include <chrono>
+
+#include "liberty/stagesim.hpp"
+#include "pdk/varmodel.hpp"
+#include "stats/quantiles.hpp"
+#include "util/log.hpp"
+#include "util/threading.hpp"
+
+namespace nsdc {
+
+PathMcResult PathMonteCarlo::run(const PathDescription& path,
+                                 const PathMcConfig& config) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  PathMcResult out;
+  const std::size_t n_stages = path.stages.size();
+  out.stage_cell_quantiles.resize(n_stages);
+  out.stage_wire_quantiles.resize(n_stages);
+  out.stage_wire_elmore.resize(n_stages, 0.0);
+  for (std::size_t s = 0; s < n_stages; ++s) {
+    if (path.stages[s].has_wire()) {
+      out.stage_wire_elmore[s] =
+          path.stages[s].wire.elmore(path.stages[s].sink_node);
+    }
+  }
+
+  StageSimulator sim(tech_);
+  VariationModel vm(tech_);
+  const CellType terminal_load(CellFunc::kInv, 4);
+
+  Rng base(config.seed);
+  struct SampleOut {
+    bool ok = false;
+    double total = 0.0;
+    std::vector<double> cell, wire;
+  };
+  std::vector<SampleOut> results(static_cast<std::size_t>(config.samples));
+
+  auto run_sample = [&](std::size_t idx) {
+    Rng sample_rng = base.fork("s" + std::to_string(idx));
+    const GlobalCorner corner = vm.sample_global(sample_rng);
+    Rng local = sample_rng.split();
+    SampleOut& out_s = results[idx];
+    out_s.cell.reserve(n_stages);
+    out_s.wire.reserve(n_stages);
+
+    double total = 0.0;
+    Trace prev_wave;
+    bool have_wave = false;
+    bool failed = false;
+
+    for (std::size_t s = 0; s < n_stages; ++s) {
+      const PathStage& stage = path.stages[s];
+      StageConfig sc;
+      sc.driver = stage.cell;
+      sc.driver_pin = stage.pin;
+      sc.in_rising = stage.in_rising;
+      sc.input_slew = stage.input_slew;
+      if (have_wave) sc.input_wave = &prev_wave;
+
+      // Receiver = the next stage's cell (an FO4 inverter terminates the
+      // path). Its pin cap is already annotated on the tree, so remove it
+      // before instantiating the real gate to avoid double counting.
+      const CellType* receiver = &terminal_load;
+      int receiver_pin = 0;
+      if (s + 1 < n_stages) {
+        receiver = path.stages[s + 1].cell;
+        receiver_pin = path.stages[s + 1].pin;
+      }
+
+      RcTree wire;  // keep alive through sim.run
+      if (stage.has_wire()) {
+        wire = stage.wire;
+        if (s + 1 < n_stages) {
+          wire.add_cap(stage.sink_node,
+                       -receiver->input_cap(tech_, receiver_pin));
+        }
+        wire = wire.perturbed(local, tech_.sigma_wire_local,
+                              corner.wire_r_factor, corner.wire_c_factor);
+        sc.wire = &wire;
+        StageReceiver rcv;
+        rcv.cell = receiver;
+        rcv.pin = receiver_pin;
+        // Attach the receiver at the path's sink node.
+        for (const auto& sk : wire.sinks()) {
+          if (sk.node == stage.sink_node) {
+            rcv.sink_pin_name = sk.pin;
+            break;
+          }
+        }
+        sc.receivers.push_back(rcv);
+      } else {
+        sc.lumped_load = stage.output_load;
+      }
+
+      const auto res = sim.run(sc, corner, &local);
+      if (!res) {
+        failed = true;
+        break;
+      }
+      total += res->total_delay;
+      out_s.cell.push_back(res->cell_delay);
+      out_s.wire.push_back(res->wire_delay);
+      prev_wave = std::move(res->sink_trace);
+      have_wave = true;
+    }
+    if (!failed) {
+      out_s.ok = true;
+      out_s.total = total;
+    }
+  };
+  parallel_for(static_cast<std::size_t>(config.samples), run_sample,
+               config.threads);
+
+  MomentAccumulator total_acc;
+  std::vector<std::vector<double>> cell_samples(n_stages),
+      wire_samples(n_stages);
+  for (const auto& r : results) {
+    if (!r.ok) {
+      ++out.failures;
+      continue;
+    }
+    out.samples.push_back(r.total);
+    total_acc.add(r.total);
+    for (std::size_t s = 0; s < n_stages; ++s) {
+      cell_samples[s].push_back(r.cell[s]);
+      wire_samples[s].push_back(r.wire[s]);
+    }
+  }
+
+  if (out.samples.size() >= 8) {
+    out.moments = total_acc.moments();
+    out.quantiles = sigma_quantiles_smoothed(out.samples);
+    for (std::size_t s = 0; s < n_stages; ++s) {
+      if (!cell_samples[s].empty()) {
+        out.stage_cell_quantiles[s] = sigma_quantiles_smoothed(cell_samples[s]);
+        out.stage_wire_quantiles[s] = sigma_quantiles_smoothed(wire_samples[s]);
+      }
+    }
+  } else {
+    log_warn() << "PathMonteCarlo: only " << out.samples.size()
+               << " successful samples";
+  }
+  out.runtime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return out;
+}
+
+}  // namespace nsdc

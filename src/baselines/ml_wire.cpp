@@ -1,0 +1,206 @@
+#include "baselines/ml_wire.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "liberty/stagesim.hpp"
+#include "parasitics/wiregen.hpp"
+#include "stats/quantiles.hpp"
+#include "stats/regression.hpp"
+#include "util/log.hpp"
+
+namespace nsdc {
+namespace {
+
+int strength_of(const std::string& cell) {
+  const auto pos = cell.rfind('x');
+  if (pos == std::string::npos) return 1;
+  return std::stoi(cell.substr(pos + 1));
+}
+
+}  // namespace
+
+std::vector<double> MlWireModel::features(const RcTree& wire, int sink_node,
+                                          const std::string& driver_cell,
+                                          const std::string& load_cell) {
+  const double m1 = wire.elmore(sink_node);
+  const double m2 = wire.second_moment(sink_node);
+  // Time-like features in ps, caps in fF, resistance in kOhm — keeps the
+  // normal equations well-conditioned without a scaler object.
+  return {
+      1.0,
+      m1 * 1e12,
+      std::sqrt(std::max(m2, 0.0)) * 1e12,
+      wire.d2m(sink_node) * 1e12,
+      wire.total_cap() * 1e15,
+      wire.total_res() * 1e-3,
+      static_cast<double>(wire.sinks().size()),
+      static_cast<double>(strength_of(driver_cell)),
+      1.0 / std::sqrt(static_cast<double>(strength_of(driver_cell))),
+      static_cast<double>(strength_of(load_cell)),
+  };
+}
+
+MlWireModel MlWireModel::train(const TechParams& tech,
+                               const CellLibrary& cells,
+                               const MlWireConfig& config) {
+  StageSimulator sim(tech);
+  VariationModel vm(tech);
+  WireGenerator gen(tech);
+  Rng rng(config.seed);
+
+  const std::vector<std::string> driver_pool = {"INVx1", "INVx2", "INVx4",
+                                                "INVx8", "NAND2x2", "NOR2x4"};
+  const std::vector<std::string> load_pool = {"INVx1", "INVx2", "INVx4",
+                                              "NAND2x2"};
+
+  std::vector<std::vector<double>> rows;
+  std::array<std::vector<double>, 7> targets;
+  for (int net_i = 0; net_i < config.training_nets; ++net_i) {
+    const std::string dn = driver_pool[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(driver_pool.size()) - 1))];
+    const std::string ln = load_pool[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(load_pool.size()) - 1))];
+    const CellType& driver = cells.by_name(dn);
+    const CellType& load = cells.by_name(ln);
+    RcTree tree = gen.generate(rng, {"Z"});
+    const int sink = tree.sinks().front().node;
+
+    std::vector<double> delays;
+    Rng mc = rng.split();
+    for (int s = 0; s < config.mc_samples; ++s) {
+      const GlobalCorner corner = vm.sample_global(mc);
+      Rng local = mc.split();
+      const RcTree perturbed =
+          tree.perturbed(local, tech.sigma_wire_local, corner.wire_r_factor,
+                         corner.wire_c_factor);
+      StageConfig sc;
+      sc.driver = &driver;
+      sc.driver_pin = 0;
+      sc.in_rising = true;
+      sc.input_slew = 10e-12;
+      sc.wire = &perturbed;
+      StageReceiver rcv;
+      rcv.cell = &load;
+      sc.receivers.push_back(rcv);
+      const auto res = sim.run(sc, corner, &local);
+      if (res) delays.push_back(res->wire_delay);
+    }
+    if (delays.size() < 16) {
+      log_warn() << "MlWireModel::train: net " << net_i << " mostly failed";
+      continue;
+    }
+    // Label with pin cap included in the feature tree (matches inference,
+    // where STA-annotated trees carry pin caps).
+    RcTree annotated = tree;
+    annotated.add_cap(sink, load.input_cap(tech, 0));
+    rows.push_back(features(annotated, sink, dn, ln));
+    const auto q = sigma_quantiles_smoothed(delays);
+    for (std::size_t lv = 0; lv < 7; ++lv) {
+      targets[lv].push_back(q[lv] * 1e12);  // ps targets
+    }
+  }
+
+  MlWireModel model;
+  for (std::size_t lv = 0; lv < 7; ++lv) {
+    model.beta_[lv] = least_squares(rows, targets[lv], config.ridge_lambda).beta;
+  }
+  return model;
+}
+
+double MlWireModel::predict(const RcTree& wire, int sink_node,
+                            const std::string& driver_cell,
+                            const std::string& load_cell,
+                            int level_index) const {
+  const auto f = features(wire, sink_node, driver_cell, load_cell);
+  const auto& beta = beta_.at(static_cast<std::size_t>(level_index));
+  double ps = 0.0;
+  for (std::size_t i = 0; i < f.size(); ++i) ps += f[i] * beta[i];
+  return std::max(ps, 0.0) * 1e-12;
+}
+
+std::string MlWireModel::serialize() const {
+  std::ostringstream os;
+  os.precision(15);
+  os << "nsdc_mlwire 1\n";
+  for (const auto& beta : beta_) {
+    for (std::size_t i = 0; i < beta.size(); ++i) {
+      os << (i ? " " : "") << beta[i];
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::optional<MlWireModel> MlWireModel::deserialize(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line.rfind("nsdc_mlwire", 0) != 0) {
+    return std::nullopt;
+  }
+  MlWireModel model;
+  for (auto& beta : model.beta_) {
+    if (!std::getline(is, line)) return std::nullopt;
+    std::istringstream ls(line);
+    double v;
+    while (ls >> v) beta.push_back(v);
+    if (beta.empty()) return std::nullopt;
+  }
+  return model;
+}
+
+bool MlWireModel::save(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << serialize();
+  return static_cast<bool>(f);
+}
+
+std::optional<MlWireModel> MlWireModel::load(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return std::nullopt;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return deserialize(ss.str());
+}
+
+MlWireModel MlWireModel::train_or_load(const std::string& path,
+                                       const TechParams& tech,
+                                       const CellLibrary& cells,
+                                       const MlWireConfig& config) {
+  if (!path.empty()) {
+    if (auto cached = load(path)) {
+      log_info() << "MlWireModel: loaded from " << path;
+      return *cached;
+    }
+  }
+  MlWireModel model = train(tech, cells, config);
+  if (!path.empty() && !model.save(path)) {
+    log_warn() << "MlWireModel: could not save " << path;
+  }
+  return model;
+}
+
+std::array<double, 7> PathMlCalculator::path_quantiles(
+    const PathDescription& path) const {
+  std::array<double, 7> total{};
+  for (const auto& stage : path.stages) {
+    const Moments m =
+        cell_model_.moments(stage.cell->name(), stage.pin, stage.in_rising,
+                            stage.input_slew, stage.output_load);
+    for (int lv = 0; lv < 7; ++lv) {
+      const int n = lv - 3;
+      total[static_cast<std::size_t>(lv)] += m.mu + n * m.sigma;  // LUT Gaussian
+      if (stage.has_wire()) {
+        const std::string load =
+            stage.load_cell.empty() ? "INVx4" : stage.load_cell;
+        total[static_cast<std::size_t>(lv)] += ml_.predict(
+            stage.wire, stage.sink_node, stage.cell->name(), load, lv);
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace nsdc

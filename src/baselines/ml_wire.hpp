@@ -1,0 +1,73 @@
+#pragma once
+// ML-based wire-delay baseline (paper Table III column "ML", after Cheng
+// et al. [9]): a ridge regressor over wire moment/structure features,
+// trained on Monte-Carlo wire-delay labels. The paper pairs it with
+// LUT-based Gaussian cell delays; PathMlCalculator below does the same.
+//
+// Faithful to the reference's behaviour, not its exact network: first two
+// impulse-response moments plus structural features in, +/-n-sigma wire
+// delay out; good average accuracy, biased in the distribution tail.
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/nsigma_cell.hpp"
+#include "core/path.hpp"
+#include "pdk/cells.hpp"
+#include "pdk/tech.hpp"
+
+namespace nsdc {
+
+struct MlWireConfig {
+  int training_nets = 48;      ///< random nets in the training set
+  int mc_samples = 300;        ///< MC labels per net
+  double ridge_lambda = 1e-4;
+  std::uint64_t seed = 4242;
+};
+
+class MlWireModel {
+ public:
+  /// Trains on synthetic random nets with MC labels (slow; cache it).
+  static MlWireModel train(const TechParams& tech, const CellLibrary& cells,
+                           const MlWireConfig& config = {});
+
+  /// Predicted wire delay at sigma level index 0..6.
+  double predict(const RcTree& wire, int sink_node,
+                 const std::string& driver_cell,
+                 const std::string& load_cell, int level_index) const;
+
+  // --- persistence (training is minutes of MC) ---
+  std::string serialize() const;
+  static std::optional<MlWireModel> deserialize(const std::string& text);
+  bool save(const std::string& path) const;
+  static std::optional<MlWireModel> load(const std::string& path);
+  static MlWireModel train_or_load(const std::string& path,
+                                   const TechParams& tech,
+                                   const CellLibrary& cells,
+                                   const MlWireConfig& config = {});
+
+  static std::vector<double> features(const RcTree& wire, int sink_node,
+                                      const std::string& driver_cell,
+                                      const std::string& load_cell);
+
+ private:
+  /// One coefficient vector per sigma level.
+  std::array<std::vector<double>, 7> beta_{};
+};
+
+/// Paper's ML path method: LUT Gaussian cell delays + ML wire delays.
+class PathMlCalculator {
+ public:
+  PathMlCalculator(const NSigmaCellModel& cell_model, const MlWireModel& ml)
+      : cell_model_(cell_model), ml_(ml) {}
+
+  std::array<double, 7> path_quantiles(const PathDescription& path) const;
+
+ private:
+  const NSigmaCellModel& cell_model_;
+  const MlWireModel& ml_;
+};
+
+}  // namespace nsdc

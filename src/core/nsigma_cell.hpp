@@ -1,0 +1,160 @@
+#pragma once
+// The N-sigma cell delay model — the paper's primary contribution (Sec. III).
+//
+// A cell-delay distribution is summarized by its first four moments
+// [mu, sigma, gamma, kappa]. The seven sigma-level quantiles (-3s..+3s) are
+// linear in moment cross terms per paper Table I; the coefficients A_ni /
+// B_nj are fitted once per library by regression against Monte-Carlo
+// quantiles. Moments at an arbitrary operating condition (input slew S,
+// output load C) come from per-arc calibration surfaces: bilinear for
+// mu/sigma (Eq. 2), cubic for gamma/kappa (Eq. 3), both with a dS*dC cross
+// term, anchored at the reference condition (S_ref, C_ref).
+//
+// Convention: kappa is EXCESS kurtosis (see stats/moments.hpp), so all
+// Table-I expressions reduce exactly to mu + n*sigma for Gaussian inputs.
+//
+// Cross-term form: the paper's Table I writes the cross term as
+// `gamma*kappa`, which is dimensionless while the regression target is a
+// time; we default to the dimensionally consistent `sigma*gamma*kappa`
+// (scaled_cross = true) and keep the literal form available for the
+// ablation bench.
+
+#include <array>
+#include <map>
+#include <span>
+#include <string>
+
+#include "liberty/charlib.hpp"
+#include "stats/grid.hpp"
+#include "stats/moments.hpp"
+
+namespace nsdc {
+
+/// Quantile-model coefficients of paper Table I.
+class TableICoefficients {
+ public:
+  /// Term columns: 0 = sigma*gamma, 1 = sigma*kappa, 2 = cross term.
+  /// Rows: sigma level index 0..6 <-> -3..+3.
+  static const std::array<std::array<bool, 3>, 7>& active_terms();
+
+  struct FitStats {
+    std::array<double, 7> r_squared{};
+    std::array<double, 7> rmse{};
+  };
+
+  /// Fits the A/B coefficients by OLS over (moments, MC quantiles) pairs.
+  static TableICoefficients fit(std::span<const Moments> moments,
+                                std::span<const std::array<double, 7>> quantiles,
+                                bool scaled_cross = true,
+                                FitStats* stats = nullptr);
+
+  /// T_c(n sigma) for the level at `level_index` (0..6 <-> -3..+3).
+  double quantile(const Moments& m, int level_index) const;
+  std::array<double, 7> quantiles(const Moments& m) const;
+
+  /// T_c at an arbitrary real sigma level (paper Sec. III-A: "the sigma
+  /// level can be extended to +-6 sigma"). Coefficients are interpolated
+  /// linearly between the seven fitted levels and extrapolated linearly
+  /// beyond +-3; n is clamped to [-6, 6].
+  double quantile_at(const Moments& m, double n_sigma) const;
+
+  double coefficient(int level_index, int term) const {
+    return coef_.at(static_cast<std::size_t>(level_index))
+        .at(static_cast<std::size_t>(term));
+  }
+  bool scaled_cross() const { return scaled_cross_; }
+
+ private:
+  std::array<std::array<double, 3>, 7> coef_{};
+  bool scaled_cross_ = true;
+};
+
+/// Per-arc operating-condition calibration (paper Eq. 1-3).
+struct CalibrationSurface {
+  Moments ref;           ///< reference moments M_ref = [mu0, sigma0, gamma0, kappa0]
+  double s_ref = 10e-12; ///< reference slew (paper: 10 ps)
+  double c_ref = 0.4e-15;///< reference load (paper: 0.4 fF x strength)
+  /// Normalization scales keeping the polynomial fit well-conditioned.
+  double s_scale = 100e-12;
+  double c_scale = 1e-15;
+  /// Grid bounds; queries are clamped (Liberty-style) before evaluation.
+  double s_min = 0.0, s_max = 0.0, c_min = 0.0, c_max = 0.0;
+
+  std::array<double, 3> mu_coef{};     ///< {dS, dC, dS*dC}
+  std::array<double, 3> sigma_coef{};
+  std::array<double, 7> gamma_coef{};  ///< {dS,dC,dS^2,dC^2,dS^3,dC^3,dS*dC}
+  std::array<double, 7> kappa_coef{};
+
+  /// Calibrated moments M_cell = [mu', sigma', gamma', kappa'].
+  Moments moments_at(double slew, double load) const;
+
+  static CalibrationSurface fit(const ArcCharData& arc);
+};
+
+/// One characterized timing arc: per-arc Table-I coefficients (the paper's
+/// Fig. 5 stores one coefficient file per standard cell), calibration
+/// surface, and NLDM-style mean delay / output-slew lookup tables (used by
+/// the STA propagation).
+struct CellArcModel {
+  std::string cell;
+  int pin = 0;
+  bool in_rising = true;
+  TableICoefficients coeffs;
+  CalibrationSurface calib;
+  Grid2D mean_delay;
+  Grid2D mean_out_slew;
+
+  static CellArcModel build(const ArcCharData& arc, bool scaled_cross = true);
+};
+
+/// Library-level N-sigma cell model: shared Table-I coefficients plus one
+/// CellArcModel per characterized arc.
+class NSigmaCellModel {
+ public:
+  /// Builds all arc models. Table-I coefficients are fitted PER ARC over
+  /// its characterized conditions (paper Fig. 5: one coefficient file per
+  /// standard cell); a library-global fit over every observation is also
+  /// kept for reporting and as the basis of ablation studies.
+  static NSigmaCellModel fit(const CharLib& lib, bool scaled_cross = true);
+
+  /// The library-global coefficient fit (reporting / ablation).
+  const TableICoefficients& table1() const { return table1_; }
+  const TableICoefficients::FitStats& table1_fit_stats() const {
+    return fit_stats_;
+  }
+
+  /// Arc lookup. Characterization covers pin 0 of each cell; other pins
+  /// map onto it (input-pin symmetry approximation, documented in
+  /// DESIGN.md).
+  const CellArcModel& arc(const std::string& cell, int pin,
+                          bool in_rising) const;
+
+  /// Calibrated moments at an operating condition (Eq. 2-3).
+  Moments moments(const std::string& cell, int pin, bool in_rising,
+                  double slew, double load) const;
+
+  /// The seven sigma-level delay quantiles at an operating condition —
+  /// the full N-sigma cell model (Table I over calibrated moments).
+  std::array<double, 7> quantiles(const std::string& cell, int pin,
+                                  bool in_rising, double slew,
+                                  double load) const;
+
+  /// Quantile at an arbitrary sigma level in [-6, 6] (paper extension).
+  double quantile_at(const std::string& cell, int pin, bool in_rising,
+                     double slew, double load, double n_sigma) const;
+
+  /// Mean delay / output slew for STA propagation.
+  double mean_delay(const std::string& cell, int pin, bool in_rising,
+                    double slew, double load) const;
+  double mean_out_slew(const std::string& cell, int pin, bool in_rising,
+                       double slew, double load) const;
+
+  std::size_t num_arcs() const { return arcs_.size(); }
+
+ private:
+  TableICoefficients table1_;
+  TableICoefficients::FitStats fit_stats_;
+  std::map<std::string, CellArcModel> arcs_;  // key: cell + direction
+};
+
+}  // namespace nsdc

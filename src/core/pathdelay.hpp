@@ -1,0 +1,43 @@
+#pragma once
+// Path-level N-sigma delay (paper Eq. 10): the n-sigma quantile of the
+// path arrival time is the sum of the cell and wire quantiles along the
+// path, with each wire calibrated by its driver/load cell coefficients.
+
+#include <array>
+#include <vector>
+
+#include "core/nsigma_cell.hpp"
+#include "core/nsigma_wire.hpp"
+#include "core/path.hpp"
+
+namespace nsdc {
+
+class PathDelayCalculator {
+ public:
+  PathDelayCalculator(const NSigmaCellModel& cell_model,
+                      const NSigmaWireModel& wire_model)
+      : cell_model_(cell_model), wire_model_(wire_model) {}
+
+  struct StageQuantiles {
+    std::array<double, 7> cell{};  ///< T_c(n sigma)
+    std::array<double, 7> wire{};  ///< T_w(n sigma)
+    double elmore = 0.0;
+    double xw = 0.0;
+  };
+
+  /// Per-stage cell/wire quantiles (used by the Fig. 11 bench).
+  std::vector<StageQuantiles> breakdown(const PathDescription& path) const;
+
+  /// Eq. 10: sigma-level quantiles of the whole path delay.
+  std::array<double, 7> path_quantiles(const PathDescription& path) const;
+
+  /// Path delay at an arbitrary sigma level in [-6, 6] (paper extension:
+  /// "the sigma level can be extended to +-6 sigma").
+  double path_quantile_at(const PathDescription& path, double n_sigma) const;
+
+ private:
+  const NSigmaCellModel& cell_model_;
+  const NSigmaWireModel& wire_model_;
+};
+
+}  // namespace nsdc

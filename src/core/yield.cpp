@@ -1,0 +1,34 @@
+#include "core/yield.hpp"
+
+#include <stdexcept>
+
+#include "stats/quantiles.hpp"
+
+namespace nsdc {
+
+double timing_yield(const PathDelayCalculator& calc,
+                    const PathDescription& path, double clock_period) {
+  // q(n) is monotone increasing in n; bisect for q(n) = clock_period.
+  const double q_lo = calc.path_quantile_at(path, -6.0);
+  const double q_hi = calc.path_quantile_at(path, 6.0);
+  if (clock_period <= q_lo) return normal_cdf(-6.0);
+  if (clock_period >= q_hi) return normal_cdf(6.0);
+  double lo = -6.0, hi = 6.0;
+  for (int it = 0; it < 80; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (calc.path_quantile_at(path, mid) < clock_period) lo = mid;
+    else hi = mid;
+  }
+  return normal_cdf(0.5 * (lo + hi));
+}
+
+double period_for_yield(const PathDelayCalculator& calc,
+                        const PathDescription& path, double yield_target) {
+  if (!(yield_target > 0.0 && yield_target < 1.0)) {
+    throw std::domain_error("period_for_yield: target must be in (0,1)");
+  }
+  const double n = normal_quantile(yield_target);
+  return calc.path_quantile_at(path, n);
+}
+
+}  // namespace nsdc

@@ -1,0 +1,24 @@
+#pragma once
+// Timing-yield estimation on top of the N-sigma path model: the paper's
+// motivation for the 99.86% quantile is sign-off yield, so the library
+// exposes the inverse query — given a clock period, what fraction of dies
+// meets it?
+
+#include "core/pathdelay.hpp"
+
+namespace nsdc {
+
+/// Fraction of dies whose critical-path delay fits in `clock_period`,
+/// computed by inverting the continuous quantile function q(n) over
+/// n in [-6, 6] and mapping through the Gaussian CDF (the sigma-level
+/// parameterization of the N-sigma model). Returns ~0 / ~1 when the
+/// period falls outside the modeled range.
+double timing_yield(const PathDelayCalculator& calc,
+                    const PathDescription& path, double clock_period);
+
+/// Smallest clock period reaching `yield_target` (inverse of the above);
+/// yield_target must lie in (0, 1).
+double period_for_yield(const PathDelayCalculator& calc,
+                        const PathDescription& path, double yield_target);
+
+}  // namespace nsdc

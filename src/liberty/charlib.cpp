@@ -1,0 +1,477 @@
+#include "liberty/charlib.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "parasitics/wiregen.hpp"
+#include "stats/quantiles.hpp"
+#include "util/log.hpp"
+#include "util/threading.hpp"
+#include "util/units.hpp"
+
+namespace nsdc {
+
+std::string ArcCharData::arc_key(const std::string& cell, int pin,
+                                 bool in_rising) {
+  return cell + "/" + std::to_string(pin) + (in_rising ? "/R" : "/F");
+}
+
+CellCharacterizer::CellCharacterizer(const TechParams& tech, CharConfig config)
+    : tech_(tech), config_(std::move(config)), sim_(tech) {
+  if (config_.slew_grid.size() < 2 || config_.load_grid_rel.size() < 2) {
+    throw std::invalid_argument("CharConfig: grids need >= 2 points");
+  }
+  if (config_.load_grid_rel.front() != 1.0) {
+    throw std::invalid_argument(
+        "CharConfig: load_grid_rel[0] must be 1.0 (the reference load)");
+  }
+}
+
+double CellCharacterizer::c_ref(const CellType& cell) const {
+  return config_.c_ref_unit * static_cast<double>(cell.strength());
+}
+
+CellCharacterizer::ShapePoint CellCharacterizer::calibrate_shape(
+    const CellType& cell, int pin, bool in_rising, double target_slew) const {
+  static const CellType shaping_cell(CellFunc::kInv, 8);
+  StageConfig sc;
+  sc.driver = &cell;
+  sc.driver_pin = pin;
+  sc.in_rising = in_rising;
+  sc.lumped_load = c_ref(cell);
+  sc.shaping_driver = &shaping_cell;
+
+  auto slew_at = [&](double cap) -> double {
+    sc.shaping_cap = cap;
+    const auto res = sim_.run(sc, GlobalCorner::nominal(), nullptr);
+    if (!res) {
+      throw std::runtime_error("calibrate_shape: nominal sim failed for " +
+                               cell.name());
+    }
+    return res->input_slew;
+  };
+
+  // Expand the upper bracket, then bisect.
+  double lo = 0.0;
+  double lo_slew = slew_at(lo);
+  if (lo_slew >= target_slew) return {lo, lo_slew};
+  double hi = 5e-15;
+  double hi_slew = slew_at(hi);
+  while (hi_slew < target_slew && hi < 1e-12) {
+    hi *= 2.0;
+    hi_slew = slew_at(hi);
+  }
+  ShapePoint best{hi, hi_slew};
+  for (int it = 0; it < 16; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    const double s = slew_at(mid);
+    if (std::fabs(s - target_slew) < std::fabs(best.actual_slew - target_slew)) {
+      best = {mid, s};
+    }
+    if (std::fabs(s - target_slew) < 0.03 * target_slew) break;
+    if (s < target_slew) lo = mid; else hi = mid;
+  }
+  return best;
+}
+
+ConditionStats CellCharacterizer::run_condition(const CellType& cell, int pin,
+                                                bool in_rising, double slew,
+                                                double load, int samples,
+                                                bool keep_samples,
+                                                const ShapePoint* shape) const {
+  static const CellType shaping_cell(CellFunc::kInv, 8);
+  VariationModel vm(tech_);
+  Rng base(config_.seed);
+  Rng cond = base.fork(ArcCharData::arc_key(cell.name(), pin, in_rising) +
+                       "/" + std::to_string(to_ps(slew)) + "/" +
+                       std::to_string(to_ff(load)));
+
+  StageConfig sc;
+  sc.driver = &cell;
+  sc.driver_pin = pin;
+  sc.in_rising = in_rising;
+  sc.input_slew = slew;
+  sc.lumped_load = load;
+  if (shape) {
+    sc.shaping_driver = &shaping_cell;
+    sc.shaping_cap = shape->cap;
+  }
+
+  // Per-sample forked streams: results are bit-identical regardless of
+  // the thread count.
+  std::vector<double> delay_by_idx(static_cast<std::size_t>(samples), -1.0);
+  std::vector<double> slew_by_idx(static_cast<std::size_t>(samples), 0.0);
+  parallel_for(
+      static_cast<std::size_t>(samples),
+      [&](std::size_t i) {
+        Rng sample_rng = cond.fork("s" + std::to_string(i));
+        const GlobalCorner corner = vm.sample_global(sample_rng);
+        Rng local = sample_rng.split();
+        const auto res = sim_.run(sc, corner, &local);
+        if (!res) return;
+        delay_by_idx[i] = res->cell_delay;
+        slew_by_idx[i] = res->driver_out_slew;
+      },
+      config_.threads);
+
+  ConditionStats out;
+  MomentAccumulator delay_acc;
+  double slew_sum = 0.0;
+  std::vector<double> delays;
+  delays.reserve(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (delay_by_idx[idx] < 0.0) {
+      ++out.failures;
+      continue;
+    }
+    delay_acc.add(delay_by_idx[idx]);
+    slew_sum += slew_by_idx[idx];
+    delays.push_back(delay_by_idx[idx]);
+  }
+  if (delays.size() < 8) {
+    throw std::runtime_error("run_condition: too many failed samples for " +
+                             cell.name());
+  }
+  out.moments = delay_acc.moments();
+  out.mean_delay = out.moments.mu;
+  out.mean_out_slew = slew_sum / static_cast<double>(delays.size());
+  out.quantiles = sigma_quantiles_smoothed(delays);
+  if (keep_samples) out.samples = std::move(delays);
+  return out;
+}
+
+ArcCharData CellCharacterizer::characterize_arc(const CellType& cell, int pin,
+                                                bool in_rising) const {
+  ArcCharData arc;
+  arc.cell = cell.name();
+  arc.pin = pin;
+  arc.in_rising = in_rising;
+  const double cref = c_ref(cell);
+  for (double rel : config_.load_grid_rel) arc.loads.push_back(rel * cref);
+
+  // Calibrate one shaped-input point per slew target; the axis records the
+  // slew actually achieved (a few % off target, identical for all loads).
+  std::vector<ShapePoint> shapes;
+  for (double target : config_.slew_grid) {
+    const ShapePoint sp = calibrate_shape(cell, pin, in_rising, target);
+    shapes.push_back(sp);
+    arc.slews.push_back(sp.actual_slew);
+  }
+  // Enforce a strictly ascending axis (bisection tolerance can wobble).
+  for (std::size_t i = 1; i < arc.slews.size(); ++i) {
+    if (arc.slews[i] <= arc.slews[i - 1]) {
+      arc.slews[i] = arc.slews[i - 1] * 1.05;
+    }
+  }
+
+  arc.grid.reserve(arc.slews.size() * arc.loads.size());
+  for (std::size_t si = 0; si < arc.slews.size(); ++si) {
+    for (double c : arc.loads) {
+      arc.grid.push_back(run_condition(cell, pin, in_rising, arc.slews[si], c,
+                                       config_.grid_samples, false,
+                                       &shapes[si]));
+    }
+  }
+  return arc;
+}
+
+WireObservation CellCharacterizer::run_wire_observation(const CellType& driver,
+                                                        const CellType& load,
+                                                        const RcTree& tree,
+                                                        int tree_id,
+                                                        int samples) const {
+  VariationModel vm(tech_);
+  Rng base(config_.seed);
+  Rng cond = base.fork("wire/" + driver.name() + "/" + load.name() + "/" +
+                       std::to_string(tree_id));
+
+  WireObservation obs;
+  obs.driver_cell = driver.name();
+  obs.load_cell = load.name();
+  obs.tree_id = tree_id;
+
+  // Pin caps load the tree for the Elmore reference.
+  RcTree nominal = tree;
+  const int sink = nominal.sinks().empty() ? nominal.num_nodes() - 1
+                                           : nominal.sinks().front().node;
+  nominal.add_cap(sink, load.input_cap(tech_, 0));
+  obs.elmore = nominal.elmore(sink);
+
+  std::vector<double> delay_by_idx(static_cast<std::size_t>(samples), -1e9);
+  parallel_for(
+      static_cast<std::size_t>(samples),
+      [&](std::size_t i) {
+        Rng sample_rng = cond.fork("s" + std::to_string(i));
+        const GlobalCorner corner = vm.sample_global(sample_rng);
+        Rng local = sample_rng.split();
+        const RcTree perturbed = tree.perturbed(
+            local, tech_.sigma_wire_local, corner.wire_r_factor,
+            corner.wire_c_factor);
+        StageConfig sc;
+        sc.driver = &driver;
+        sc.driver_pin = 0;
+        sc.in_rising = true;
+        sc.input_slew = config_.s_ref();
+        sc.wire = &perturbed;
+        StageReceiver rcv;
+        rcv.cell = &load;
+        rcv.pin = 0;
+        sc.receivers.push_back(rcv);
+        const auto res = sim_.run(sc, corner, &local);
+        if (res) delay_by_idx[i] = res->wire_delay;
+      },
+      config_.threads);
+
+  MomentAccumulator acc;
+  std::vector<double> delays;
+  delays.reserve(static_cast<std::size_t>(samples));
+  for (double d : delay_by_idx) {
+    if (d <= -1e8) continue;
+    acc.add(d);
+    delays.push_back(d);
+  }
+  if (delays.size() < 8) {
+    throw std::runtime_error("run_wire_observation: too many failures for " +
+                             driver.name() + "->" + load.name());
+  }
+  obs.wire_moments = acc.moments();
+  obs.quantiles = sigma_quantiles_smoothed(delays);
+  return obs;
+}
+
+// ------------------------------------------------------------- CharLib
+
+void CharLib::add_arc(ArcCharData arc) { arcs_.push_back(std::move(arc)); }
+
+bool CharLib::has_arc(const std::string& cell, int pin, bool in_rising) const {
+  const std::string key = ArcCharData::arc_key(cell, pin, in_rising);
+  for (const auto& a : arcs_) {
+    if (a.key() == key) return true;
+  }
+  return false;
+}
+
+const ArcCharData& CharLib::arc(const std::string& cell, int pin,
+                                bool in_rising) const {
+  const std::string key = ArcCharData::arc_key(cell, pin, in_rising);
+  for (const auto& a : arcs_) {
+    if (a.key() == key) return a;
+  }
+  throw std::out_of_range("CharLib: missing arc " + key);
+}
+
+void CharLib::add_wire_observation(WireObservation obs) {
+  wire_obs_.push_back(std::move(obs));
+}
+
+double CharLib::cell_variability(const std::string& cell) const {
+  double sum = 0.0;
+  int n = 0;
+  for (const auto& a : arcs_) {
+    if (a.cell != cell || a.pin != 0) continue;
+    sum += a.ref().moments.variability();
+    ++n;
+  }
+  if (n == 0) throw std::out_of_range("CharLib: no arcs for cell " + cell);
+  return sum / n;
+}
+
+std::string CharLib::serialize() const {
+  std::ostringstream os;
+  os.precision(15);
+  os << "nsdc_charlib 1\n";
+  os << "tech " << tech_.vdd << ' ' << tech_.sigma_vth_global << ' '
+     << tech_.avt << "\n";
+  os << "config " << config_.grid_samples << ' ' << config_.wire_samples
+     << ' ' << config_.c_ref_unit << ' ' << config_.seed << "\n";
+  for (const auto& a : arcs_) {
+    os << "arc " << a.cell << ' ' << a.pin << ' ' << (a.in_rising ? 'R' : 'F')
+       << "\n";
+    os << "slews";
+    for (double s : a.slews) os << ' ' << s;
+    os << "\nloads";
+    for (double c : a.loads) os << ' ' << c;
+    os << "\n";
+    for (const auto& g : a.grid) {
+      os << g.moments.mu << ' ' << g.moments.sigma << ' ' << g.moments.gamma
+         << ' ' << g.moments.kappa;
+      for (double q : g.quantiles) os << ' ' << q;
+      os << ' ' << g.mean_out_slew << ' ' << g.failures << "\n";
+    }
+    os << "end_arc\n";
+  }
+  for (const auto& w : wire_obs_) {
+    os << "wire " << w.driver_cell << ' ' << w.load_cell << ' ' << w.tree_id
+       << ' ' << w.elmore << ' ' << w.wire_moments.mu << ' '
+       << w.wire_moments.sigma << ' ' << w.wire_moments.gamma << ' '
+       << w.wire_moments.kappa;
+    for (double q : w.quantiles) os << ' ' << q;
+    os << "\n";
+  }
+  os << "end\n";
+  return os.str();
+}
+
+CharLib CharLib::deserialize(const std::string& text) {
+  CharLib lib;
+  std::istringstream is(text);
+  std::string line;
+  auto fail = [](const std::string& why) {
+    throw std::runtime_error("CharLib::deserialize: " + why);
+  };
+  if (!std::getline(is, line) || line.rfind("nsdc_charlib", 0) != 0) {
+    fail("bad magic");
+  }
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tok;
+    ls >> tok;
+    if (tok == "end") break;
+    if (tok == "tech") {
+      ls >> lib.tech_.vdd >> lib.tech_.sigma_vth_global >> lib.tech_.avt;
+      continue;
+    }
+    if (tok == "config") {
+      ls >> lib.config_.grid_samples >> lib.config_.wire_samples >>
+          lib.config_.c_ref_unit >> lib.config_.seed;
+      continue;
+    }
+    if (tok == "arc") {
+      ArcCharData a;
+      char dir = 'R';
+      if (!(ls >> a.cell >> a.pin >> dir)) fail("bad arc header");
+      a.in_rising = dir == 'R';
+      if (!std::getline(is, line)) fail("missing slews");
+      {
+        std::istringstream ss(line);
+        ss >> tok;  // "slews"
+        double v;
+        while (ss >> v) a.slews.push_back(v);
+      }
+      if (!std::getline(is, line)) fail("missing loads");
+      {
+        std::istringstream ss(line);
+        ss >> tok;  // "loads"
+        double v;
+        while (ss >> v) a.loads.push_back(v);
+      }
+      const std::size_t count = a.slews.size() * a.loads.size();
+      for (std::size_t i = 0; i < count; ++i) {
+        if (!std::getline(is, line)) fail("truncated grid");
+        std::istringstream gs(line);
+        ConditionStats c;
+        if (!(gs >> c.moments.mu >> c.moments.sigma >> c.moments.gamma >>
+              c.moments.kappa)) {
+          fail("bad grid line");
+        }
+        for (double& q : c.quantiles) gs >> q;
+        gs >> c.mean_out_slew >> c.failures;
+        c.mean_delay = c.moments.mu;
+        a.grid.push_back(std::move(c));
+      }
+      if (!std::getline(is, line) || line != "end_arc") fail("missing end_arc");
+      lib.arcs_.push_back(std::move(a));
+      continue;
+    }
+    if (tok == "wire") {
+      WireObservation w;
+      if (!(ls >> w.driver_cell >> w.load_cell >> w.tree_id >> w.elmore >>
+            w.wire_moments.mu >> w.wire_moments.sigma >> w.wire_moments.gamma >>
+            w.wire_moments.kappa)) {
+        fail("bad wire line");
+      }
+      for (double& q : w.quantiles) ls >> q;
+      lib.wire_obs_.push_back(std::move(w));
+      continue;
+    }
+    fail("unknown token " + tok);
+  }
+  return lib;
+}
+
+bool CharLib::save(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << serialize();
+  return static_cast<bool>(f);
+}
+
+std::optional<CharLib> CharLib::load(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return std::nullopt;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  try {
+    return deserialize(ss.str());
+  } catch (const std::exception& e) {
+    log_warn() << "CharLib::load(" << path << "): " << e.what();
+    return std::nullopt;
+  }
+}
+
+CharLib CharLib::build_or_load(const std::string& path, const TechParams& tech,
+                               const CellLibrary& lib, CharConfig config) {
+  if (!path.empty()) {
+    if (auto cached = load(path)) {
+      const bool fresh =
+          !cached->arcs().empty() && cached->tech().vdd == tech.vdd &&
+          cached->tech().sigma_vth_global == tech.sigma_vth_global &&
+          cached->tech().avt == tech.avt &&
+          cached->config().grid_samples == config.grid_samples &&
+          cached->config().seed == config.seed &&
+          cached->arcs().front().slews.size() == config.slew_grid.size() &&
+          cached->arcs().front().loads.size() == config.load_grid_rel.size();
+      if (fresh) {
+        log_info() << "CharLib: loaded " << cached->arcs().size()
+                   << " arcs from " << path;
+        return *std::move(cached);
+      }
+      log_info() << "CharLib: cache " << path << " is stale; re-characterizing";
+    }
+  }
+
+  CellCharacterizer characterizer(tech, config);
+  CharLib out;
+  out.set_tech(tech);
+  out.set_config(config);
+
+  // ---- cell arcs: pin 0 of every cell, both input directions ----
+  for (const auto& cell : lib.cells()) {
+    for (bool rising : {true, false}) {
+      log_info() << "characterizing " << cell.name() << " pin0 "
+                 << (rising ? "R" : "F");
+      out.add_arc(characterizer.characterize_arc(cell, 0, rising));
+    }
+  }
+
+  // ---- wire observations: driver x load combos over canonical trees ----
+  WireGenerator wires(tech);
+  const std::vector<RcTree> trees = {wires.line(40.0, 6, "Z"),
+                                     wires.line(120.0, 10, "Z")};
+  const std::vector<std::string> driver_names = {
+      "INVx1", "INVx2", "INVx4", "INVx8",
+      "NAND2x2", "NOR2x2", "AOI21x2", "OAI21x2"};
+  const std::vector<std::string> load_names = {"INVx1", "INVx2", "INVx4",
+                                               "INVx8", "NAND2x2", "NOR2x2"};
+  for (std::size_t t = 0; t < trees.size(); ++t) {
+    for (const auto& dn : driver_names) {
+      for (const auto& ln : load_names) {
+        log_info() << "wire obs " << dn << " -> " << ln << " tree " << t;
+        out.add_wire_observation(characterizer.run_wire_observation(
+            lib.by_name(dn), lib.by_name(ln), trees[t], static_cast<int>(t),
+            config.wire_samples));
+      }
+    }
+  }
+
+  if (!path.empty() && !out.save(path)) {
+    log_warn() << "CharLib: could not save cache to " << path;
+  }
+  return out;
+}
+
+}  // namespace nsdc

@@ -1,0 +1,180 @@
+#pragma once
+// Library characterization (the "SPICE MC -> moments" flow of paper Fig. 5).
+//
+// For every cell arc, Monte-Carlo transient simulations over an (input
+// slew x output load) grid produce the first four delay moments, the seven
+// sigma-level quantiles, and mean delay/slew tables. A companion wire
+// characterization runs driver/load-cell combinations around canonical RC
+// trees to expose the wire-delay variability the N-sigma wire model
+// calibrates against (paper Sec. IV-B).
+//
+// Characterization is expensive (minutes), so CharLib serializes to a text
+// file and benches share a cache (see build_or_load).
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "liberty/stagesim.hpp"
+#include "pdk/cells.hpp"
+#include "stats/moments.hpp"
+
+namespace nsdc {
+
+struct CharConfig {
+  int grid_samples = 600;   ///< MC samples per grid point
+  int wire_samples = 400;   ///< MC samples per wire observation
+  /// Worker threads for the MC loops (0 = hardware concurrency). Results
+  /// are bit-identical for any thread count (per-sample RNG forks).
+  unsigned threads = 0;
+  /// Input-slew axis; the first entry is the reference slew S_ref = 10 ps.
+  /// The top covers the slowest propagated slews seen in near-threshold STA.
+  std::vector<double> slew_grid{10e-12, 60e-12, 150e-12, 300e-12, 500e-12};
+  /// Output-load axis, relative to c_ref(cell); first entry must be 1.
+  /// The top of the range covers the heaviest STA loads (wire + 8 sinks).
+  std::vector<double> load_grid_rel{1.0, 4.0, 10.0, 18.0, 30.0};
+  double c_ref_unit = 0.4e-15;  ///< C_ref = c_ref_unit * strength (paper 0.4 fF)
+  std::uint64_t seed = 20230318;
+
+  double s_ref() const { return slew_grid.front(); }
+};
+
+/// MC statistics of one (arc, slew, load) operating condition.
+struct ConditionStats {
+  Moments moments;
+  std::array<double, 7> quantiles{};  ///< sigma levels -3..+3
+  double mean_delay = 0.0;
+  double mean_out_slew = 0.0;
+  int failures = 0;  ///< samples whose simulation/measurement failed
+  std::vector<double> samples;  ///< retained only when requested
+};
+
+/// Full slew x load characterization grid of one timing arc.
+struct ArcCharData {
+  std::string cell;
+  int pin = 0;
+  bool in_rising = true;
+  std::vector<double> slews;  ///< absolute seconds
+  std::vector<double> loads;  ///< absolute farads
+  std::vector<ConditionStats> grid;  ///< row-major slews x loads
+
+  std::size_t index(std::size_t i_slew, std::size_t i_load) const {
+    return i_slew * loads.size() + i_load;
+  }
+  const ConditionStats& at(std::size_t i_slew, std::size_t i_load) const {
+    return grid.at(index(i_slew, i_load));
+  }
+  /// Stats at the reference condition (slew[0], load[0]).
+  const ConditionStats& ref() const { return grid.at(0); }
+  static std::string arc_key(const std::string& cell, int pin, bool in_rising);
+  std::string key() const { return arc_key(cell, pin, in_rising); }
+};
+
+/// One wire-characterization observation: a driver/load cell pair around a
+/// canonical RC tree, MC-measured wire-delay statistics.
+struct WireObservation {
+  std::string driver_cell;
+  std::string load_cell;
+  int tree_id = 0;
+  double elmore = 0.0;       ///< nominal Elmore to the measured sink (s)
+  Moments wire_moments;      ///< MC wire-delay moments
+  std::array<double, 7> quantiles{};
+  double variability() const { return wire_moments.variability(); }
+};
+
+class CellCharacterizer {
+ public:
+  CellCharacterizer(const TechParams& tech, CharConfig config = {});
+
+  const TechParams& tech() const { return tech_; }
+  const CharConfig& config() const { return config_; }
+
+  /// Reference load C_ref for a cell (c_ref_unit x strength).
+  double c_ref(const CellType& cell) const;
+
+  /// A calibrated shaped-input operating point: the shaping cap producing
+  /// `actual_slew` (10-90) at the cell's switching pin under nominal
+  /// conditions. Characterizing with real driver edges instead of ideal
+  /// ramps keeps the library consistent with waveform-propagating path MC
+  /// (near-threshold edges have long tails an equivalent ramp misses).
+  struct ShapePoint {
+    double cap = 0.0;
+    double actual_slew = 0.0;
+  };
+
+  /// Bisects the shaping cap until the pin slew is within ~3% of target.
+  ShapePoint calibrate_shape(const CellType& cell, int pin, bool in_rising,
+                             double target_slew) const;
+
+  /// Monte-Carlo characterization of one operating condition. When `shape`
+  /// is non-null the input edge comes from the shaping driver; otherwise
+  /// an ideal ramp of `slew` is used.
+  ConditionStats run_condition(const CellType& cell, int pin, bool in_rising,
+                               double slew, double load, int samples,
+                               bool keep_samples = false,
+                               const ShapePoint* shape = nullptr) const;
+
+  /// Full grid for one arc.
+  ArcCharData characterize_arc(const CellType& cell, int pin,
+                               bool in_rising) const;
+
+  /// Wire observation: driver drives `tree` (perturbed per sample), load
+  /// cell at the first sink. `tree_id` only labels the observation.
+  WireObservation run_wire_observation(const CellType& driver,
+                                       const CellType& load,
+                                       const RcTree& tree, int tree_id,
+                                       int samples) const;
+
+ private:
+  TechParams tech_;
+  CharConfig config_;
+  StageSimulator sim_;
+};
+
+/// A characterized library: raw per-arc grids + wire observations.
+/// Model fitting (core/) consumes this.
+class CharLib {
+ public:
+  CharLib() = default;
+
+  const TechParams& tech() const { return tech_; }
+  void set_tech(const TechParams& t) { tech_ = t; }
+  const CharConfig& config() const { return config_; }
+  void set_config(const CharConfig& c) { config_ = c; }
+
+  void add_arc(ArcCharData arc);
+  bool has_arc(const std::string& cell, int pin, bool in_rising) const;
+  const ArcCharData& arc(const std::string& cell, int pin,
+                         bool in_rising) const;
+  const std::vector<ArcCharData>& arcs() const { return arcs_; }
+
+  void add_wire_observation(WireObservation obs);
+  const std::vector<WireObservation>& wire_observations() const {
+    return wire_obs_;
+  }
+
+  /// Cell-delay variability sigma/mu at the reference condition — the
+  /// sigma_FI/mu_FI of paper Eq. 6/7 (averaged over rise/fall arcs).
+  double cell_variability(const std::string& cell) const;
+
+  // --- persistence ---
+  std::string serialize() const;
+  static CharLib deserialize(const std::string& text);
+  bool save(const std::string& path) const;
+  static std::optional<CharLib> load(const std::string& path);
+
+  /// Characterizes every library cell (pin 0, both input directions) plus
+  /// the wire observations, or loads a previously saved file if `path`
+  /// exists and is non-empty. Progress goes to the info log.
+  static CharLib build_or_load(const std::string& path, const TechParams& tech,
+                               const CellLibrary& lib, CharConfig config = {});
+
+ private:
+  TechParams tech_;
+  CharConfig config_;
+  std::vector<ArcCharData> arcs_;
+  std::vector<WireObservation> wire_obs_;
+};
+
+}  // namespace nsdc

@@ -1,0 +1,27 @@
+#pragma once
+// Liberty / LVF-style exporter.
+//
+// Serializes the characterized library into a `.lib`-flavoured text file:
+// NLDM mean delay / output-slew tables plus LVF-style statistical tables
+// (ocv_sigma, and the skewness/kurtosis moments the N-sigma model adds on
+// top of standard LVF). This is an EXPORT format for interoperability and
+// inspection; it is intentionally a recognizable Liberty subset, not a
+// full IEEE grammar, and the library does not re-import it (CharLib's own
+// text format is the round-trip path).
+
+#include <string>
+
+#include "liberty/charlib.hpp"
+#include "pdk/cells.hpp"
+
+namespace nsdc {
+
+/// Renders the characterized library as Liberty-flavoured text.
+std::string write_liberty(const CharLib& charlib, const CellLibrary& cells,
+                          const std::string& library_name);
+
+/// Writes to disk; returns false on I/O failure.
+bool save_liberty(const CharLib& charlib, const CellLibrary& cells,
+                  const std::string& library_name, const std::string& path);
+
+}  // namespace nsdc

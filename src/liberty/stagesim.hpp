@@ -1,0 +1,86 @@
+#pragma once
+// Single-stage transistor-level simulation: input waveform -> driver cell
+// -> (optional) RC tree -> receiver cells -> measurements.
+//
+// This is the workhorse shared by cell characterization (no wire, lumped
+// load), wire-model characterization (driver + tree + load cell) and the
+// golden stage-cascaded path Monte-Carlo (waveform handoff between
+// consecutive stages) — the standard fast-SPICE decomposition for
+// unidirectional static CMOS.
+
+#include <optional>
+#include <vector>
+
+#include "parasitics/rctree.hpp"
+#include "pdk/cellgen.hpp"
+#include "pdk/varmodel.hpp"
+#include "spice/transient.hpp"
+
+namespace nsdc {
+
+struct StageReceiver {
+  const CellType* cell = nullptr;
+  int pin = 0;                 ///< which receiver pin attaches to the wire
+  std::string sink_pin_name;   ///< sink name in the RC tree ("" => first)
+  double output_load = -1.0;   ///< receiver output cap; < 0 => 2x its Cin
+};
+
+struct StageConfig {
+  const CellType* driver = nullptr;
+  int driver_pin = 0;
+  bool in_rising = true;        ///< direction of the switching input
+  double input_slew = 10e-12;   ///< used when input_wave == nullptr
+  const Trace* input_wave = nullptr;  ///< previous-stage waveform (optional)
+  const RcTree* wire = nullptr;       ///< nullptr => purely lumped load
+  std::vector<StageReceiver> receivers;
+  double lumped_load = 0.0;     ///< extra cap at the driver output (F)
+  double time_window = 0.0;     ///< 0 => auto-sized from drive estimates
+
+  /// Active-driver ("shaped") input: instead of an ideal ramp, the
+  /// switching pin is driven by a nominal shaping cell loaded with
+  /// `shaping_cap`, producing a realistic near-threshold edge whose
+  /// 10-90 slew plays the role of the input-slew coordinate. Ignored when
+  /// input_wave is set. The shaping cell never receives process variation
+  /// (the arc under test owns the distribution).
+  const CellType* shaping_driver = nullptr;
+  double shaping_cap = 0.0;
+};
+
+struct StageResult {
+  double input_slew = 0.0;   ///< measured 10-90 slew at the switching pin
+  double cell_delay = 0.0;   ///< input 50% -> driver output 50%
+  double wire_delay = 0.0;   ///< driver output 50% -> measured sink 50% (0 if no wire)
+  double total_delay = 0.0;  ///< input 50% -> measured sink 50%
+  double driver_out_slew = 0.0;
+  double sink_slew = 0.0;    ///< slew at the measured sink (== driver if no wire)
+  bool out_rising = false;   ///< direction at the driver output
+  Trace sink_trace;          ///< waveform at the measured sink (for cascading)
+};
+
+class StageSimulator {
+ public:
+  explicit StageSimulator(const TechParams& tech)
+      : tech_(tech), netlister_(tech) {}
+
+  const TechParams& tech() const { return tech_; }
+
+  /// Runs one stage under the given corner; per-transistor mismatch is
+  /// sampled from `local_rng` when non-null. The wire (if any) is used
+  /// as-is — callers perturb it beforehand. Returns nullopt if the
+  /// simulation fails or a measurement is missing (logged at debug level).
+  std::optional<StageResult> run(const StageConfig& config,
+                                 const GlobalCorner& corner,
+                                 Rng* local_rng) const;
+
+  /// Converts a recorded trace into a PWL source description, subsampled
+  /// to keep integrator breakpoints manageable. `t_shift` is added to all
+  /// times (use it to re-reference cascaded stages).
+  static Pwl trace_to_pwl(const Trace& trace, double t_shift,
+                          double v_epsilon);
+
+ private:
+  TechParams tech_;
+  CellNetlister netlister_;
+};
+
+}  // namespace nsdc

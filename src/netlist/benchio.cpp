@@ -1,0 +1,294 @@
+#include "netlist/benchio.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace nsdc {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  return s;
+}
+
+struct GateDef {
+  std::string out;
+  std::string func;  // as written
+  std::vector<std::string> ins;
+  int lineno = 0;
+};
+
+/// Incremental mapper: resolves generic functions onto the cell library,
+/// creating intermediate nets for decompositions.
+class BenchBuilder {
+ public:
+  BenchBuilder(GateNetlist& nl, const CellLibrary& lib) : nl_(nl), lib_(lib) {}
+
+  int net(const std::string& name) const {
+    const auto it = nets_.find(name);
+    return it == nets_.end() ? -1 : it->second;
+  }
+
+  void bind(const std::string& name, int net_idx) { nets_[name] = net_idx; }
+
+  int fresh_temp(const std::string& base, const CellType& type,
+                 const std::vector<int>& ins) {
+    const std::string net_name = base + "_t" + std::to_string(temp_counter_++);
+    const int cell = nl_.add_cell(net_name + "_g", type, ins, net_name);
+    return nl_.cell(cell).out_net;
+  }
+
+  int named_gate(const std::string& out, const CellType& type,
+                 const std::vector<int>& ins) {
+    const int cell = nl_.add_cell(out + "_g", type, ins, out);
+    const int net_idx = nl_.cell(cell).out_net;
+    bind(out, net_idx);
+    return net_idx;
+  }
+
+  const CellType& cell(CellFunc f, int strength = 1) const {
+    return lib_.by_func(f, strength);
+  }
+
+  /// Pairwise reduction with `op2`+INV (AND-reduce via NAND2, OR-reduce
+  /// via NOR2) until exactly two operands remain. Requires >= 2 inputs.
+  std::vector<int> reduce_to_pair(const std::string& base, CellFunc op2,
+                                  std::vector<int> ins) {
+    while (ins.size() > 2) {
+      std::vector<int> next;
+      for (std::size_t i = 0; i + 1 < ins.size(); i += 2) {
+        const int pair = fresh_temp(base, cell(op2), {ins[i], ins[i + 1]});
+        next.push_back(fresh_temp(base, cell(CellFunc::kInv), {pair}));
+      }
+      if (ins.size() % 2 == 1) next.push_back(ins.back());
+      ins = std::move(next);
+    }
+    return ins;
+  }
+
+  /// XOR of two nets via 4 NAND2; the final gate is named `out` when
+  /// `named` is true, otherwise a temp.
+  int xor2(const std::string& base, int a, int b, const std::string& out,
+           bool named) {
+    const auto& nand2 = cell(CellFunc::kNand2);
+    const int t1 = fresh_temp(base, nand2, {a, b});
+    const int t2 = fresh_temp(base, nand2, {a, t1});
+    const int t3 = fresh_temp(base, nand2, {b, t1});
+    if (named) return named_gate(out, nand2, {t2, t3});
+    return fresh_temp(base, nand2, {t2, t3});
+  }
+
+  GateNetlist& nl_;
+  const CellLibrary& lib_;
+  std::unordered_map<std::string, int> nets_;
+  int temp_counter_ = 0;
+};
+
+}  // namespace
+
+GateNetlist parse_bench(const std::string& text, const CellLibrary& lib,
+                        const std::string& design_name) {
+  GateNetlist nl(design_name);
+  BenchBuilder b(nl, lib);
+
+  std::vector<std::string> outputs;
+  std::unordered_map<std::string, GateDef> defs;
+  std::vector<std::string> def_order;
+
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const std::string uline = upper(line);
+    auto paren_arg = [&](std::size_t start) {
+      const auto open = line.find('(', start);
+      const auto close = line.rfind(')');
+      if (open == std::string::npos || close == std::string::npos ||
+          close <= open) {
+        throw std::runtime_error("bench parse error at line " +
+                                 std::to_string(lineno));
+      }
+      return trim(line.substr(open + 1, close - open - 1));
+    };
+
+    if (uline.rfind("INPUT", 0) == 0) {
+      const std::string name = paren_arg(5);
+      b.bind(name, nl.add_primary_input(name));
+      continue;
+    }
+    if (uline.rfind("OUTPUT", 0) == 0) {
+      outputs.push_back(paren_arg(6));
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("bench parse error (no '=') at line " +
+                               std::to_string(lineno));
+    }
+    GateDef def;
+    def.out = trim(line.substr(0, eq));
+    def.lineno = lineno;
+    const std::string rhs = trim(line.substr(eq + 1));
+    const auto open = rhs.find('(');
+    const auto close = rhs.rfind(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close <= open) {
+      throw std::runtime_error("bench parse error at line " +
+                               std::to_string(lineno));
+    }
+    def.func = trim(rhs.substr(0, open));
+    std::string args = rhs.substr(open + 1, close - open - 1);
+    std::istringstream as(args);
+    std::string arg;
+    while (std::getline(as, arg, ',')) {
+      arg = trim(arg);
+      if (!arg.empty()) def.ins.push_back(arg);
+    }
+    if (defs.count(def.out)) {
+      throw std::runtime_error("bench: duplicate definition of " + def.out +
+                               " at line " + std::to_string(lineno));
+    }
+    def_order.push_back(def.out);
+    defs.emplace(def.out, std::move(def));
+  }
+
+  // Resolve definitions depth-first so out-of-order files work.
+  std::unordered_set<std::string> in_progress;
+  std::function<int(const std::string&)> resolve =
+      [&](const std::string& name) -> int {
+    const int existing = b.net(name);
+    if (existing >= 0) return existing;
+    const auto it = defs.find(name);
+    if (it == defs.end()) {
+      throw std::runtime_error("bench: undefined signal " + name);
+    }
+    if (!in_progress.insert(name).second) {
+      throw std::runtime_error("bench: combinational cycle through " + name);
+    }
+    const GateDef& def = it->second;
+    std::vector<int> ins;
+    ins.reserve(def.ins.size());
+    for (const auto& src : def.ins) ins.push_back(resolve(src));
+    in_progress.erase(name);
+
+    const std::string fu = upper(def.func);
+    auto arity_error = [&] {
+      return std::runtime_error("bench: bad arity for " + def.func +
+                                " at line " + std::to_string(def.lineno));
+    };
+
+    // Exact library cell name (extended form), e.g. NAND2x4.
+    if (lib.contains(def.func)) {
+      const CellType& ct = lib.by_name(def.func);
+      if (static_cast<int>(ins.size()) != ct.num_inputs()) throw arity_error();
+      return b.named_gate(def.out, ct, ins);
+    }
+
+    if (fu == "NOT" || fu == "INV") {
+      if (ins.size() != 1) throw arity_error();
+      return b.named_gate(def.out, b.cell(CellFunc::kInv), ins);
+    }
+    if (fu == "BUFF" || fu == "BUF") {
+      if (ins.size() != 1) throw arity_error();
+      return b.named_gate(def.out, b.cell(CellFunc::kBuf), ins);
+    }
+    if (fu == "NAND" || fu == "AND" || fu == "NOR" || fu == "OR") {
+      if (ins.size() < 2) throw arity_error();
+      const bool and_family = fu == "NAND" || fu == "AND";
+      const CellFunc op2 = and_family ? CellFunc::kNand2 : CellFunc::kNor2;
+      const std::vector<int> pair = b.reduce_to_pair(def.out, op2, ins);
+      const bool inverting_target = fu == "NAND" || fu == "NOR";
+      if (inverting_target) {
+        return b.named_gate(def.out, b.cell(op2), pair);
+      }
+      const int t = b.fresh_temp(def.out, b.cell(op2), pair);
+      return b.named_gate(def.out, b.cell(CellFunc::kInv), {t});
+    }
+    if (fu == "XOR" || fu == "XNOR") {
+      if (ins.size() < 2) throw arity_error();
+      int acc = ins[0];
+      for (std::size_t i = 1; i + 1 < ins.size(); ++i) {
+        acc = b.xor2(def.out, acc, ins[i], "", false);
+      }
+      if (fu == "XOR") {
+        return b.xor2(def.out, acc, ins.back(), def.out, true);
+      }
+      const int x = b.xor2(def.out, acc, ins.back(), "", false);
+      return b.named_gate(def.out, b.cell(CellFunc::kInv), {x});
+    }
+    throw std::runtime_error("bench: unknown function " + def.func +
+                             " at line " + std::to_string(def.lineno));
+  };
+
+  for (const auto& name : def_order) resolve(name);
+  for (const auto& out : outputs) {
+    const int net_idx = resolve(out);
+    nl.mark_primary_output(net_idx);
+  }
+  return nl;
+}
+
+GateNetlist load_bench(const std::string& path, const CellLibrary& lib) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("load_bench: cannot open " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  // Design name = basename without extension.
+  std::string name = path;
+  const auto slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  const auto dot = name.find_last_of('.');
+  if (dot != std::string::npos) name = name.substr(0, dot);
+  return parse_bench(ss.str(), lib, name);
+}
+
+std::string write_bench(const GateNetlist& netlist) {
+  std::ostringstream os;
+  os << "# " << netlist.name() << " — nsdc extended .bench ("
+     << netlist.num_cells() << " cells, " << netlist.num_nets() << " nets)\n";
+  for (int pi : netlist.primary_inputs()) {
+    os << "INPUT(" << netlist.net(pi).name << ")\n";
+  }
+  for (int po : netlist.primary_outputs()) {
+    os << "OUTPUT(" << netlist.net(po).name << ")\n";
+  }
+  for (int c : netlist.topological_order()) {
+    const auto& inst = netlist.cell(c);
+    os << netlist.net(inst.out_net).name << " = " << inst.type->name() << "(";
+    for (std::size_t i = 0; i < inst.fanin_nets.size(); ++i) {
+      if (i) os << ", ";
+      os << netlist.net(inst.fanin_nets[i]).name;
+    }
+    os << ")\n";
+  }
+  return os.str();
+}
+
+bool save_bench(const GateNetlist& netlist, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << write_bench(netlist);
+  return static_cast<bool>(f);
+}
+
+}  // namespace nsdc

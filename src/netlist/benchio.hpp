@@ -1,0 +1,33 @@
+#pragma once
+// ISCAS-style .bench netlist I/O.
+//
+// The reader accepts classic ISCAS85 .bench files (INPUT/OUTPUT lines and
+// `y = FUNC(a, b, ...)` assignments with NOT/BUFF/AND/OR/NAND/NOR/XOR/XNOR
+// of any arity) as well as this library's extended mapped form where FUNC
+// is a concrete library cell name (e.g. `NAND2x4`). Generic functions are
+// technology-mapped on the fly: multi-input gates decompose into balanced
+// 2-input trees, AND/OR gain an output inverter, XOR/XNOR expand into
+// 4/5 NAND2 — so real ISCAS85 benchmark files can be loaded directly.
+//
+// The writer emits the extended mapped form, which round-trips exactly.
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace nsdc {
+
+/// Parses .bench text. `lib` must outlive the returned netlist.
+GateNetlist parse_bench(const std::string& text, const CellLibrary& lib,
+                        const std::string& design_name);
+
+/// Reads a .bench file from disk; throws std::runtime_error on I/O error.
+GateNetlist load_bench(const std::string& path, const CellLibrary& lib);
+
+/// Serializes in the extended mapped .bench form.
+std::string write_bench(const GateNetlist& netlist);
+
+/// Writes to disk; returns false on I/O failure.
+bool save_bench(const GateNetlist& netlist, const std::string& path);
+
+}  // namespace nsdc

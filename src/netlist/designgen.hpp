@@ -1,0 +1,83 @@
+#pragma once
+// Benchmark-design generation.
+//
+// The paper evaluates on Design-Compiler-mapped ISCAS85 netlists and the
+// functional units of the PULPino RISC-V core. Neither mapped form is
+// redistributable, so this module provides (a) seeded random mapped
+// netlists matched to the per-benchmark cell/net counts reported in the
+// paper's Table III, and (b) real structural generators for the arithmetic
+// units (ripple-carry adder/subtractor, array multiplier, non-restoring
+// array divider) built from the library's NAND2/INV cells the way
+// technology mapping would produce them. See DESIGN.md for the
+// substitution argument.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace nsdc {
+
+struct RandomNetlistSpec {
+  std::string name = "random";
+  int target_cells = 500;
+  int num_primary_inputs = 32;
+  int target_depth = 25;
+  std::uint64_t seed = 1;
+};
+
+/// Seeded random mapped DAG with locality-weighted fanin selection and a
+/// realistic function/strength mix.
+GateNetlist generate_random_mapped(const RandomNetlistSpec& spec,
+                                   const CellLibrary& lib);
+
+/// Statistics of the designs in the paper's Table III.
+struct BenchmarkStats {
+  std::string name;
+  int nets = 0;
+  int cells = 0;
+  int depth = 0;
+};
+
+/// All twelve Table-III designs (ISCAS85 + PULPino units) with the paper's
+/// published cell/net counts.
+const std::vector<BenchmarkStats>& table3_benchmarks();
+
+/// An ISCAS85-like synthetic netlist matched to the published statistics
+/// of `name` (e.g. "C432"). Throws std::out_of_range for unknown names.
+GateNetlist generate_iscas_like(const std::string& name,
+                                const CellLibrary& lib,
+                                std::uint64_t seed = 7);
+
+/// Structural arithmetic units ("functional units of PULPino").
+GateNetlist generate_ripple_adder(int bits, const CellLibrary& lib,
+                                  const std::string& name = "ADD");
+GateNetlist generate_subtractor(int bits, const CellLibrary& lib,
+                                const std::string& name = "SUB");
+GateNetlist generate_array_multiplier(int bits, const CellLibrary& lib,
+                                      const std::string& name = "MUL");
+GateNetlist generate_array_divider(int bits, const CellLibrary& lib,
+                                   const std::string& name = "DIV");
+
+/// Inserts BUF cells on nets whose fanout exceeds `max_fanout`, splitting
+/// the sink set — the post-synthesis buffering pass real flows run.
+/// Returns the number of buffers inserted.
+int insert_buffers(GateNetlist& netlist, const CellLibrary& lib,
+                   int max_fanout = 8);
+
+/// Load-aware drive-strength assignment, like a synthesizer's sizing step:
+/// each cell gets the smallest strength keeping load-per-strength under
+/// `max_load_per_strength`. Iterates until fixed point (pin caps change
+/// with sink sizes). Returns the number of resize operations.
+int size_cells(GateNetlist& netlist, const CellLibrary& lib,
+               const TechParams& tech,
+               double max_load_per_strength = 2.5e-15);
+
+/// Convenience: buffer + size, the standard post-processing for every
+/// generated benchmark.
+void finalize_design(GateNetlist& netlist, const CellLibrary& lib,
+                     const TechParams& tech);
+
+}  // namespace nsdc

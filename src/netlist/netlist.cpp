@@ -1,0 +1,137 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace nsdc {
+
+int GateNetlist::add_primary_input(const std::string& net_name) {
+  Net n;
+  n.name = net_name;
+  nets_.push_back(std::move(n));
+  const int idx = static_cast<int>(nets_.size()) - 1;
+  pi_nets_.push_back(idx);
+  return idx;
+}
+
+int GateNetlist::add_cell(const std::string& inst_name, const CellType& type,
+                          const std::vector<int>& fanin_nets,
+                          const std::string& out_net_name) {
+  if (static_cast<int>(fanin_nets.size()) != type.num_inputs()) {
+    throw std::invalid_argument("GateNetlist::add_cell: arity mismatch for " +
+                                inst_name + " (" + type.name() + ")");
+  }
+  for (int f : fanin_nets) {
+    if (f < 0 || f >= static_cast<int>(nets_.size())) {
+      throw std::out_of_range("GateNetlist::add_cell: bad fanin net");
+    }
+  }
+  const int cell_idx = static_cast<int>(cells_.size());
+  Net out;
+  out.name = out_net_name;
+  out.driver_cell = cell_idx;
+  nets_.push_back(std::move(out));
+  const int out_net = static_cast<int>(nets_.size()) - 1;
+
+  CellInst inst;
+  inst.name = inst_name;
+  inst.type = &type;
+  inst.fanin_nets = fanin_nets;
+  inst.out_net = out_net;
+  cells_.push_back(std::move(inst));
+
+  for (std::size_t pin = 0; pin < fanin_nets.size(); ++pin) {
+    nets_[static_cast<std::size_t>(fanin_nets[pin])].sinks.push_back(
+        {cell_idx, static_cast<int>(pin)});
+  }
+  return cell_idx;
+}
+
+void GateNetlist::mark_primary_output(int net) {
+  nets_.at(static_cast<std::size_t>(net)).is_primary_output = true;
+}
+
+std::vector<int> GateNetlist::primary_outputs() const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    if (nets_[i].is_primary_output) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+int GateNetlist::find_net(const std::string& net_name) const {
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    if (nets_[i].name == net_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void GateNetlist::set_cell_type(int cell_idx, const CellType& type) {
+  CellInst& inst = cells_.at(static_cast<std::size_t>(cell_idx));
+  if (type.num_inputs() != inst.type->num_inputs()) {
+    throw std::invalid_argument("set_cell_type: arity mismatch for " +
+                                inst.name);
+  }
+  inst.type = &type;
+}
+
+std::vector<int> GateNetlist::topological_order() const {
+  // Kahn's algorithm over cells; a cell is ready once all fanin nets are
+  // resolved (PI or already-ordered driver).
+  std::vector<int> pending(cells_.size(), 0);
+  std::vector<int> ready;
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    int deps = 0;
+    for (int f : cells_[c].fanin_nets) {
+      if (nets_[static_cast<std::size_t>(f)].driver_cell >= 0) ++deps;
+    }
+    pending[c] = deps;
+    if (deps == 0) ready.push_back(static_cast<int>(c));
+  }
+  std::vector<int> order;
+  order.reserve(cells_.size());
+  for (std::size_t head = 0; head < ready.size(); ++head) {
+    const int c = ready[head];
+    order.push_back(c);
+    const int out = cells_[static_cast<std::size_t>(c)].out_net;
+    for (const auto& sink : nets_[static_cast<std::size_t>(out)].sinks) {
+      if (--pending[static_cast<std::size_t>(sink.cell)] == 0) {
+        ready.push_back(sink.cell);
+      }
+    }
+  }
+  if (order.size() != cells_.size()) {
+    throw std::runtime_error("GateNetlist: combinational cycle detected in " +
+                             name_);
+  }
+  return order;
+}
+
+int GateNetlist::depth() const {
+  const auto order = topological_order();
+  std::vector<int> level(cells_.size(), 1);
+  int max_level = 0;
+  for (int c : order) {
+    const auto& inst = cells_[static_cast<std::size_t>(c)];
+    int lv = 1;
+    for (int f : inst.fanin_nets) {
+      const int drv = nets_[static_cast<std::size_t>(f)].driver_cell;
+      if (drv >= 0) lv = std::max(lv, level[static_cast<std::size_t>(drv)] + 1);
+    }
+    level[static_cast<std::size_t>(c)] = lv;
+    max_level = std::max(max_level, lv);
+  }
+  return max_level;
+}
+
+double GateNetlist::net_pin_cap(int net, const TechParams& tech) const {
+  double cap = 0.0;
+  for (const auto& sink : nets_.at(static_cast<std::size_t>(net)).sinks) {
+    const auto& inst = cells_[static_cast<std::size_t>(sink.cell)];
+    cap += inst.type->input_cap(tech, sink.pin);
+  }
+  return cap;
+}
+
+}  // namespace nsdc

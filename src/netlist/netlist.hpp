@@ -1,0 +1,86 @@
+#pragma once
+// Gate-level mapped netlist: cell instances over the PDK cell library,
+// nets with one driver and many sinks, levelization, and simple design
+// statistics. This is the substrate for STA, parasitic annotation, and
+// path extraction.
+//
+// Lifetime note: instances hold `const CellType*` into a caller-owned
+// CellLibrary, which must outlive the netlist.
+
+#include <string>
+#include <vector>
+
+#include "pdk/cells.hpp"
+
+namespace nsdc {
+
+struct CellInst {
+  std::string name;
+  const CellType* type = nullptr;
+  std::vector<int> fanin_nets;  ///< one net per input pin
+  int out_net = -1;
+};
+
+struct NetSink {
+  int cell = -1;  ///< sink cell index
+  int pin = -1;   ///< input pin index on that cell
+};
+
+struct Net {
+  std::string name;
+  int driver_cell = -1;  ///< -1 => primary input
+  std::vector<NetSink> sinks;
+  bool is_primary_output = false;
+};
+
+class GateNetlist {
+ public:
+  explicit GateNetlist(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Creates a primary input; returns its net index.
+  int add_primary_input(const std::string& net_name);
+
+  /// Creates a cell instance driving a fresh net `out_net_name`.
+  /// Returns the cell index. Fanin arity must match the cell type.
+  int add_cell(const std::string& inst_name, const CellType& type,
+               const std::vector<int>& fanin_nets,
+               const std::string& out_net_name);
+
+  void mark_primary_output(int net);
+
+  std::size_t num_cells() const { return cells_.size(); }
+  std::size_t num_nets() const { return nets_.size(); }
+  const CellInst& cell(int i) const { return cells_.at(static_cast<std::size_t>(i)); }
+  const Net& net(int i) const { return nets_.at(static_cast<std::size_t>(i)); }
+  const std::vector<CellInst>& cells() const { return cells_; }
+  const std::vector<Net>& nets() const { return nets_; }
+  const std::vector<int>& primary_inputs() const { return pi_nets_; }
+  std::vector<int> primary_outputs() const;
+
+  /// Net index by name; -1 if absent.
+  int find_net(const std::string& net_name) const;
+
+  /// Swaps a cell's library type (re-sizing). The new type must have the
+  /// same input arity.
+  void set_cell_type(int cell_idx, const CellType& type);
+
+  /// Cells in topological order (fanin before fanout). Throws
+  /// std::runtime_error if the netlist has a combinational cycle.
+  std::vector<int> topological_order() const;
+
+  /// Logic depth (cell count on the longest PI->PO path).
+  int depth() const;
+
+  /// Sum of sink-pin input capacitances on a net (F).
+  double net_pin_cap(int net, const TechParams& tech) const;
+
+ private:
+  std::string name_;
+  std::vector<CellInst> cells_;
+  std::vector<Net> nets_;
+  std::vector<int> pi_nets_;
+};
+
+}  // namespace nsdc

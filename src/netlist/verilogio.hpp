@@ -1,0 +1,31 @@
+#pragma once
+// Structural (gate-level) Verilog I/O — the netlist interchange format
+// synthesis flows actually emit.
+//
+// Writer: one module, library cells instantiated by name with named port
+// connections (.A0/.A1/.A2 inputs, .Z output), wire declarations for all
+// internal nets.
+//
+// Reader: the matching subset — `module/endmodule`, `input`, `output`,
+// `wire` declarations (scalar, comma-separated), and cell instantiations
+// with named connections in any port order. Good enough to round-trip
+// this library's output and to ingest simple mapped netlists from other
+// tools. Unsupported constructs (buses, assigns, parameters) raise
+// std::runtime_error with a line number.
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace nsdc {
+
+/// Serializes the netlist as a structural Verilog module.
+std::string write_verilog(const GateNetlist& netlist);
+
+/// Parses a structural Verilog module. `lib` must outlive the netlist.
+GateNetlist parse_verilog(const std::string& text, const CellLibrary& lib);
+
+bool save_verilog(const GateNetlist& netlist, const std::string& path);
+GateNetlist load_verilog(const std::string& path, const CellLibrary& lib);
+
+}  // namespace nsdc

@@ -1,0 +1,185 @@
+#include "parasitics/rctree.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace nsdc {
+
+RcTree::RcTree() {
+  parent_.push_back(-1);
+  res_.push_back(0.0);
+  cap_.push_back(0.0);
+}
+
+int RcTree::add_node(int parent, double r_ohms, double c_farads) {
+  if (parent < 0 || parent >= num_nodes()) {
+    throw std::out_of_range("RcTree::add_node: bad parent");
+  }
+  if (!(r_ohms >= 0.0) || !(c_farads >= 0.0)) {
+    throw std::invalid_argument("RcTree::add_node: negative R or C");
+  }
+  parent_.push_back(parent);
+  res_.push_back(r_ohms);
+  cap_.push_back(c_farads);
+  return num_nodes() - 1;
+}
+
+void RcTree::add_cap(int node, double c_farads) {
+  cap_.at(static_cast<std::size_t>(node)) += c_farads;
+}
+
+void RcTree::mark_sink(int node, std::string pin_name) {
+  if (node <= 0 || node >= num_nodes()) {
+    throw std::out_of_range("RcTree::mark_sink: bad node");
+  }
+  sinks_.push_back({node, std::move(pin_name)});
+}
+
+int RcTree::sink_node(const std::string& pin) const {
+  for (const auto& s : sinks_) {
+    if (s.pin == pin) return s.node;
+  }
+  throw std::out_of_range("RcTree: unknown sink pin " + pin);
+}
+
+double RcTree::total_cap() const {
+  double c = 0.0;
+  for (double x : cap_) c += x;
+  return c;
+}
+
+double RcTree::total_res() const {
+  double r = 0.0;
+  for (double x : res_) r += x;
+  return r;
+}
+
+double RcTree::common_resistance(int a, int b) const {
+  // Sum of edge resistances shared between root->a and root->b paths.
+  // Gather ancestors of a (including a), then walk b upward.
+  std::vector<int> path_a;
+  for (int n = a; n > 0; n = parent_[static_cast<std::size_t>(n)]) {
+    path_a.push_back(n);
+  }
+  double r = 0.0;
+  for (int n = b; n > 0; n = parent_[static_cast<std::size_t>(n)]) {
+    for (int m : path_a) {
+      if (m == n) {
+        r += res_[static_cast<std::size_t>(n)];
+        break;
+      }
+    }
+  }
+  return r;
+}
+
+double RcTree::elmore(int node) const {
+  double m1 = 0.0;
+  for (int k = 1; k < num_nodes(); ++k) {
+    m1 += common_resistance(node, k) * cap_[static_cast<std::size_t>(k)];
+  }
+  return m1;
+}
+
+double RcTree::second_moment(int node) const {
+  // m2(i) = sum_k R_common(i,k) * C_k * m1(k); this is the standard
+  // path-tracing recursion for the second impulse-response moment.
+  double m2 = 0.0;
+  for (int k = 1; k < num_nodes(); ++k) {
+    m2 += common_resistance(node, k) * cap_[static_cast<std::size_t>(k)] *
+          elmore(k);
+  }
+  return m2;
+}
+
+double RcTree::third_moment(int node) const {
+  double m3 = 0.0;
+  for (int k = 1; k < num_nodes(); ++k) {
+    m3 += common_resistance(node, k) * cap_[static_cast<std::size_t>(k)] *
+          second_moment(k);
+  }
+  return m3;
+}
+
+double RcTree::two_pole_delay(int node, double threshold) const {
+  const double m1 = elmore(node);
+  const double m2 = second_moment(node);
+  // Pade [0/2]: H(s) = 1 / (1 + a1 s + a2 s^2) with a1 = m1,
+  // a2 = m1^2 - m2 (circuit-moment sign convention).
+  const double a1 = m1;
+  const double a2 = m1 * m1 - m2;
+  const double disc = a1 * a1 - 4.0 * a2;
+  if (!(a2 > 0.0) || disc <= 0.0) return d2m(node);  // complex/degenerate
+  // Real poles: time constants tau = 2 a2 / (a1 -+ sqrt(disc)).
+  const double root = std::sqrt(disc);
+  const double tau1 = 2.0 * a2 / (a1 - root);  // slower
+  const double tau2 = 2.0 * a2 / (a1 + root);  // faster
+  if (!(tau1 > 0.0) || !(tau2 > 0.0)) return d2m(node);
+  // Step response: v(t) = 1 - (tau1 e^{-t/tau1} - tau2 e^{-t/tau2})
+  //                            / (tau1 - tau2); solve v(t) = threshold.
+  auto v = [&](double t) {
+    if (tau1 == tau2) return 1.0 - std::exp(-t / tau1) * (1.0 + t / tau1);
+    return 1.0 - (tau1 * std::exp(-t / tau1) - tau2 * std::exp(-t / tau2)) /
+                     (tau1 - tau2);
+  };
+  double lo = 0.0, hi = 30.0 * tau1;
+  if (v(hi) < threshold) return d2m(node);
+  for (int it = 0; it < 80; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (v(mid) < threshold) lo = mid; else hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double RcTree::d2m(int node) const {
+  const double m1 = elmore(node);
+  const double m2 = second_moment(node);
+  if (m2 <= 0.0) return m1 * std::numbers::ln2;
+  return std::numbers::ln2 * m1 * m1 / std::sqrt(m2);
+}
+
+RcTree RcTree::scaled(double r_factor, double c_factor) const {
+  RcTree t = *this;
+  for (std::size_t i = 0; i < t.res_.size(); ++i) {
+    t.res_[i] *= r_factor;
+    t.cap_[i] *= c_factor;
+  }
+  return t;
+}
+
+RcTree RcTree::perturbed(Rng& rng, double sigma_local, double r_factor,
+                         double c_factor) const {
+  RcTree t = *this;
+  auto local = [&] {
+    const double z = rng.normal();
+    return std::max(0.3, 1.0 + sigma_local * (z > 4.0 ? 4.0 : (z < -4.0 ? -4.0 : z)));
+  };
+  for (std::size_t i = 1; i < t.res_.size(); ++i) {
+    t.res_[i] *= r_factor * local();
+    t.cap_[i] *= c_factor * local();
+  }
+  t.cap_[0] *= c_factor;
+  return t;
+}
+
+std::vector<NodeId> RcTree::build_spice(Circuit& ckt, NodeId root,
+                                        double initial_v) const {
+  std::vector<NodeId> ids(static_cast<std::size_t>(num_nodes()));
+  ids[0] = root;
+  for (int n = 1; n < num_nodes(); ++n) {
+    ids[static_cast<std::size_t>(n)] = ckt.make_node("rc" + std::to_string(n));
+    ckt.set_initial_voltage(ids[static_cast<std::size_t>(n)], initial_v);
+  }
+  for (int n = 1; n < num_nodes(); ++n) {
+    const auto ni = static_cast<std::size_t>(n);
+    const auto pi = static_cast<std::size_t>(parent_[ni]);
+    // A zero-resistance edge would need node merging; clamp to 0.1 Ohm.
+    ckt.add_resistor(ids[pi], ids[ni], std::max(res_[ni], 0.1));
+    if (cap_[ni] > 0.0) ckt.add_capacitor(ids[ni], kGround, cap_[ni]);
+  }
+  if (cap_[0] > 0.0) ckt.add_capacitor(root, kGround, cap_[0]);
+  return ids;
+}
+
+}  // namespace nsdc

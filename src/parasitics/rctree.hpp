@@ -1,0 +1,82 @@
+#pragma once
+// RC interconnect trees: storage, moment metrics (Elmore m1, second moment,
+// D2M), variation scaling, and export into the transistor-level simulator.
+//
+// Node 0 is always the root (the driver output pin). Every other node has a
+// parent and a resistance on the edge to its parent; capacitance is lumped
+// at nodes. Sinks (receiver input pins) are marked nodes.
+
+#include <string>
+#include <vector>
+
+#include "spice/circuit.hpp"
+#include "util/rng.hpp"
+
+namespace nsdc {
+
+class RcTree {
+ public:
+  RcTree();
+
+  /// Adds a node hanging off `parent` through resistance `r_ohms`, with
+  /// `c_farads` lumped at the new node. Returns the new node index.
+  int add_node(int parent, double r_ohms, double c_farads);
+
+  /// Adds extra lumped capacitance at an existing node (e.g. pin caps).
+  void add_cap(int node, double c_farads);
+
+  /// Marks a node as a sink pin.
+  void mark_sink(int node, std::string pin_name);
+
+  int num_nodes() const { return static_cast<int>(parent_.size()); }
+  int parent(int node) const { return parent_.at(static_cast<std::size_t>(node)); }
+  double edge_res(int node) const { return res_.at(static_cast<std::size_t>(node)); }
+  double node_cap(int node) const { return cap_.at(static_cast<std::size_t>(node)); }
+
+  struct Sink {
+    int node = 0;
+    std::string pin;
+  };
+  const std::vector<Sink>& sinks() const { return sinks_; }
+  /// Sink node for a pin name; throws std::out_of_range if absent.
+  int sink_node(const std::string& pin) const;
+
+  double total_cap() const;
+  double total_res() const;
+
+  /// Elmore delay (first moment of the impulse response) root -> node.
+  double elmore(int node) const;
+  /// Second impulse-response moment  m2 = sum_k R_common(i,k) C_k m1(k).
+  double second_moment(int node) const;
+  /// Third impulse-response moment  m3 = sum_k R_common(i,k) C_k m2(k).
+  double third_moment(int node) const;
+  /// D2M delay metric: ln(2) * m1^2 / sqrt(m2).
+  double d2m(int node) const;
+  /// Two-pole (AWE-style Pade [0/2]) 50% step-response delay: poles from
+  /// m1/m2, threshold crossing solved numerically. Falls back to D2M when
+  /// the pole pair is complex.
+  double two_pole_delay(int node, double threshold = 0.5) const;
+
+  /// Copy with all resistances / capacitances scaled (variation corners).
+  RcTree scaled(double r_factor, double c_factor) const;
+  /// Copy with independent per-element local variation factors.
+  RcTree perturbed(Rng& rng, double sigma_local, double r_factor,
+                   double c_factor) const;
+
+  /// Instantiates the tree into a circuit. `root` is the existing circuit
+  /// node for the driver pin; returns circuit nodes indexed by tree node
+  /// (entry 0 == root). All tree nodes start at `initial_v`.
+  std::vector<NodeId> build_spice(Circuit& ckt, NodeId root,
+                                  double initial_v) const;
+
+ private:
+  /// Resistance of the common root-path of nodes a and b.
+  double common_resistance(int a, int b) const;
+
+  std::vector<int> parent_;
+  std::vector<double> res_;
+  std::vector<double> cap_;
+  std::vector<Sink> sinks_;
+};
+
+}  // namespace nsdc

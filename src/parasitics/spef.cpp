@@ -1,0 +1,138 @@
+#include "parasitics/spef.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nsdc {
+
+void ParasiticDb::add(const std::string& net, RcTree tree) {
+  nets_.insert_or_assign(net, std::move(tree));
+}
+
+bool ParasiticDb::contains(const std::string& net) const {
+  return nets_.count(net) != 0;
+}
+
+const RcTree& ParasiticDb::net(const std::string& net_name) const {
+  const auto it = nets_.find(net_name);
+  if (it == nets_.end()) {
+    throw std::out_of_range("ParasiticDb: no parasitics for net " + net_name);
+  }
+  return it->second;
+}
+
+std::string ParasiticDb::to_spef(const std::string& design_name) const {
+  std::ostringstream os;
+  os.precision(12);
+  os << "*SPEF nsdc-lite 1\n*DESIGN " << design_name << "\n";
+  for (const auto& [name, tree] : nets_) {
+    os << "*D_NET " << name << ' ' << tree.total_cap() << '\n';
+    os << "*NODES " << tree.num_nodes() << '\n';
+    for (int n = 1; n < tree.num_nodes(); ++n) {
+      os << n << ' ' << tree.parent(n) << ' ' << tree.edge_res(n) << ' '
+         << tree.node_cap(n) << '\n';
+    }
+    // Root cap is carried as a pseudo-entry with parent -1.
+    if (tree.node_cap(0) > 0.0) {
+      os << "0 -1 0 " << tree.node_cap(0) << '\n';
+    }
+    os << "*SINKS\n";
+    for (const auto& s : tree.sinks()) {
+      os << s.pin << ' ' << s.node << '\n';
+    }
+    os << "*END\n";
+  }
+  return os.str();
+}
+
+ParasiticDb ParasiticDb::from_spef(const std::string& text) {
+  ParasiticDb db;
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  auto fail = [&](const std::string& why) {
+    throw std::runtime_error("SPEF-lite parse error at line " +
+                             std::to_string(lineno) + ": " + why);
+  };
+
+  std::string cur_net;
+  RcTree cur_tree;
+  enum class Section { kNone, kNodes, kSinks };
+  Section section = Section::kNone;
+
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tok;
+    ls >> tok;
+    if (tok == "*SPEF" || tok == "*DESIGN") continue;
+    if (tok == "*D_NET") {
+      if (!cur_net.empty()) fail("*D_NET before *END of previous net");
+      if (!(ls >> cur_net)) fail("missing net name");
+      cur_tree = RcTree();
+      section = Section::kNone;
+      continue;
+    }
+    if (tok == "*NODES") {
+      section = Section::kNodes;
+      continue;
+    }
+    if (tok == "*SINKS") {
+      section = Section::kSinks;
+      continue;
+    }
+    if (tok == "*END") {
+      if (cur_net.empty()) fail("*END without *D_NET");
+      db.add(cur_net, std::move(cur_tree));
+      cur_net.clear();
+      cur_tree = RcTree();
+      section = Section::kNone;
+      continue;
+    }
+    if (cur_net.empty()) fail("content outside *D_NET block");
+    if (section == Section::kNodes) {
+      int idx = 0, parent = 0;
+      double r = 0.0, c = 0.0;
+      std::istringstream ns(line);
+      if (!(ns >> idx >> parent >> r >> c)) fail("bad node line");
+      if (idx == 0 && parent == -1) {
+        cur_tree.add_cap(0, c);
+        continue;
+      }
+      if (idx != cur_tree.num_nodes()) fail("nodes must be listed in order");
+      cur_tree.add_node(parent, r, c);
+    } else if (section == Section::kSinks) {
+      std::string pin;
+      int node = 0;
+      std::istringstream ss(line);
+      if (!(ss >> pin >> node)) fail("bad sink line");
+      cur_tree.mark_sink(node, pin);
+    } else {
+      fail("unexpected line");
+    }
+  }
+  if (!cur_net.empty()) {
+    throw std::runtime_error("SPEF-lite parse error: missing final *END");
+  }
+  return db;
+}
+
+bool ParasiticDb::save(const std::string& path,
+                       const std::string& design_name) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_spef(design_name);
+  return static_cast<bool>(f);
+}
+
+std::optional<ParasiticDb> ParasiticDb::load(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return std::nullopt;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return from_spef(ss.str());
+}
+
+}  // namespace nsdc

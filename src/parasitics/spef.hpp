@@ -1,0 +1,46 @@
+#pragma once
+// SPEF-lite: a compact SPEF-flavoured exchange format for per-net RC trees.
+// The full IEEE 1481 grammar is deliberately out of scope; this subset
+// carries exactly what the timing flow consumes (tree topology, R, C, sink
+// pins) and round-trips losslessly through ParasiticDb.
+//
+//   *SPEF nsdc-lite 1
+//   *DESIGN <name>
+//   *D_NET <net_name> <total_cap_farads>
+//   *NODES <count>
+//   <idx> <parent_idx> <r_ohms> <c_farads>     (one line per non-root node)
+//   *SINKS
+//   <pin_name> <node_idx>
+//   *END
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "parasitics/rctree.hpp"
+
+namespace nsdc {
+
+/// Net-name -> RC tree storage for a whole design.
+class ParasiticDb {
+ public:
+  void add(const std::string& net, RcTree tree);
+  bool contains(const std::string& net) const;
+  const RcTree& net(const std::string& net_name) const;
+  std::size_t size() const { return nets_.size(); }
+  const std::map<std::string, RcTree>& all() const { return nets_; }
+
+  /// Serializes to SPEF-lite text.
+  std::string to_spef(const std::string& design_name) const;
+  /// Parses SPEF-lite text; throws std::runtime_error with a line number
+  /// on malformed input.
+  static ParasiticDb from_spef(const std::string& text);
+
+  bool save(const std::string& path, const std::string& design_name) const;
+  static std::optional<ParasiticDb> load(const std::string& path);
+
+ private:
+  std::map<std::string, RcTree> nets_;
+};
+
+}  // namespace nsdc

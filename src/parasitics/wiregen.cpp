@@ -1,0 +1,77 @@
+#include "parasitics/wiregen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nsdc {
+
+WireGenerator::WireGenerator(const TechParams& tech, WireGenConfig config)
+    : tech_(tech), config_(config) {}
+
+int WireGenerator::append_run(RcTree& tree, Rng& rng, int from,
+                              double length_um, int segments) const {
+  int node = from;
+  const double seg_len = length_um / static_cast<double>(segments) * 1e-6;
+  for (int i = 0; i < segments; ++i) {
+    // Mild per-segment length jitter, conserving the mean.
+    const double jitter = std::clamp(rng.normal(1.0, 0.15), 0.5, 1.5);
+    const double len = seg_len * jitter;
+    const double r = tech_.wire_r_per_m * len;
+    const double c = tech_.wire_c_per_m * len;
+    // Pi model: half the segment cap at each end.
+    tree.add_cap(node, 0.5 * c);
+    node = tree.add_node(node, r, 0.5 * c);
+  }
+  return node;
+}
+
+RcTree WireGenerator::generate(Rng& rng,
+                               const std::vector<std::string>& pin_names) const {
+  RcTree tree;
+  const double trunk_len =
+      std::exp(rng.normal(std::log(config_.mean_length_um),
+                          config_.length_sigma_ln));
+  const int trunk_segs = static_cast<int>(rng.uniform_int(
+      config_.min_trunk_segments, config_.max_trunk_segments));
+
+  // Build the trunk, remembering tap points.
+  std::vector<int> taps;
+  taps.push_back(0);
+  int node = 0;
+  const double seg_len = trunk_len / trunk_segs;
+  for (int i = 0; i < trunk_segs; ++i) {
+    node = append_run(tree, rng, node, seg_len, 1);
+    taps.push_back(node);
+  }
+
+  // Hang each sink off a random tap through a short branch.
+  for (const auto& pin : pin_names) {
+    const int tap =
+        taps[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(taps.size()) - 1))];
+    const double branch_len =
+        std::max(0.5, rng.normal(config_.per_fanout_um,
+                                 0.4 * config_.per_fanout_um));
+    const int segs = branch_len > 6.0 ? 2 : 1;
+    const int leaf = append_run(tree, rng, tap, branch_len, segs);
+    tree.mark_sink(leaf, pin);
+  }
+  return tree;
+}
+
+RcTree WireGenerator::line(double length_um, int segments,
+                           const std::string& pin_name) const {
+  RcTree tree;
+  int node = 0;
+  const double seg_len = length_um / segments * 1e-6;
+  for (int i = 0; i < segments; ++i) {
+    const double r = tech_.wire_r_per_m * seg_len;
+    const double c = tech_.wire_c_per_m * seg_len;
+    tree.add_cap(node, 0.5 * c);
+    node = tree.add_node(node, r, 0.5 * c);
+  }
+  tree.mark_sink(node, pin_name);
+  return tree;
+}
+
+}  // namespace nsdc

@@ -1,0 +1,46 @@
+#pragma once
+// Synthetic parasitic generation — stands in for the paper's "parasitic
+// files ... obtained through IC Compiler". Net RC trees are sampled from
+// seeded length distributions with trunk-and-branch topology, using the
+// technology's per-micron wire R/C.
+
+#include <string>
+#include <vector>
+
+#include "parasitics/rctree.hpp"
+#include "pdk/tech.hpp"
+#include "util/rng.hpp"
+
+namespace nsdc {
+
+struct WireGenConfig {
+  double mean_length_um = 12.0;   ///< median trunk length (lognormal)
+  double length_sigma_ln = 0.65;  ///< lognormal sigma of trunk length
+  double per_fanout_um = 4.0;     ///< extra branch length per sink
+  int min_trunk_segments = 2;
+  int max_trunk_segments = 6;
+};
+
+class WireGenerator {
+ public:
+  explicit WireGenerator(const TechParams& tech, WireGenConfig config = {});
+
+  /// A random multi-sink tree; `pin_names.size()` determines the sink
+  /// count. Node caps include wire cap only (callers add pin caps).
+  RcTree generate(Rng& rng, const std::vector<std::string>& pin_names) const;
+
+  /// A uniform single-sink line of `segments` pi-sections — the canonical
+  /// RC example nets of paper Sec. V-C.
+  RcTree line(double length_um, int segments,
+              const std::string& pin_name = "Z") const;
+
+ private:
+  /// Appends a chain of segments totalling `length_um`; returns last node.
+  int append_run(RcTree& tree, Rng& rng, int from, double length_um,
+                 int segments) const;
+
+  TechParams tech_;
+  WireGenConfig config_;
+};
+
+}  // namespace nsdc

@@ -1,0 +1,35 @@
+#pragma once
+// Transistor-level cell instantiation: expands a library cell into MOSFETs
+// and parasitic capacitors inside a spice Circuit, applying a sampled
+// process-variation corner plus per-transistor Pelgrom mismatch.
+
+#include <span>
+
+#include "pdk/cells.hpp"
+#include "pdk/varmodel.hpp"
+#include "spice/circuit.hpp"
+#include "util/rng.hpp"
+
+namespace nsdc {
+
+class CellNetlister {
+ public:
+  explicit CellNetlister(const TechParams& tech) : tech_(tech) {}
+
+  const TechParams& tech() const { return tech_; }
+
+  /// Appends the transistor-level implementation of `cell` to `ckt`.
+  /// `inputs` must provide one node per cell input pin; `vdd_node` is the
+  /// supply. Internal nodes are created fresh. Device parameters are
+  /// perturbed by `corner`; if `local_rng` is non-null, per-transistor
+  /// Pelgrom mismatch is sampled from it (pass nullptr for a nominal cell).
+  /// Returns the output node.
+  NodeId instantiate(Circuit& ckt, const CellType& cell,
+                     std::span<const NodeId> inputs, NodeId vdd_node,
+                     const GlobalCorner& corner, Rng* local_rng) const;
+
+ private:
+  TechParams tech_;
+};
+
+}  // namespace nsdc

@@ -1,0 +1,13 @@
+#include "pdk/tech.hpp"
+
+namespace nsdc {
+
+TechParams TechParams::nominal28() { return TechParams{}; }
+
+TechParams TechParams::at_voltage(double new_vdd) const {
+  TechParams t = *this;
+  t.vdd = new_vdd;
+  return t;
+}
+
+}  // namespace nsdc

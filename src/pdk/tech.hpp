@@ -1,0 +1,62 @@
+#pragma once
+// Synthetic 28 nm-class technology parameters.
+//
+// Stands in for the TSMC 28 nm PDK the paper characterizes against
+// (see DESIGN.md, substitution table). Values are chosen to land in the
+// publicly documented ballpark for a 28 nm HKMG process: Vth ~ 0.4 V,
+// Cox ~ 29 fF/um^2, Pelgrom A_VT ~ 1.8 mV*um, mid-level wire R ~ 5 Ohm/um
+// and C ~ 0.2 fF/um. The headline regime of the paper — near-threshold
+// operation at VDD = 0.6 V — is the default.
+
+namespace nsdc {
+
+struct TechParams {
+  // Operating point.
+  double vdd = 0.6;            ///< supply (V); paper evaluates 0.5-0.8
+  double vt_thermal = 0.02569; ///< kT/q at 25 C (V)
+
+  // Transistor nominals (NMOS / PMOS).
+  double vth_n = 0.40;   ///< NMOS threshold (V)
+  double vth_p = 0.42;   ///< PMOS threshold magnitude (V)
+  double kp_n = 3.0e-4;  ///< NMOS mobility*Cox (A/V^2)
+  double kp_p = 1.5e-4;  ///< PMOS mobility*Cox (A/V^2)
+  double n_slope_n = 1.35;
+  double n_slope_p = 1.40;
+  double lambda_n = 0.08;  ///< CLM (1/V)
+  double lambda_p = 0.10;
+  double l_min = 30e-9;    ///< drawn channel length (m)
+  double w_min_n = 100e-9; ///< unit NMOS width (m)
+  double w_min_p = 160e-9; ///< unit PMOS width (m), balances weaker PMOS
+
+  // Capacitances.
+  double cox_per_area = 0.029;        ///< F/m^2 (29 fF/um^2)
+  double c_overlap_per_width = 0.30e-9;  ///< F/m gate overlap+fringe per edge
+  double c_junction_per_width = 0.45e-9; ///< F/m drain/source junction
+
+  // Process variation (local mismatch per Pelgrom + global corner).
+  // The local/global split is tuned so that the FO4 delay variability and
+  // shape range land in the paper's moderate near-threshold regime
+  // (sigma/mu ~ 0.2-0.3, skewness ~ 1); with much stronger variation the
+  // -3-sigma tail saturates and the linear Table-I forms degrade (see
+  // EXPERIMENTS.md notes).
+  double avt = 1.0e-9;          ///< V*m; sigma_vth = avt/sqrt(W*L)
+  double a_beta = 0.012e-6;     ///< m; relative current-factor mismatch
+  double sigma_vth_global = 0.018;  ///< V, die-to-die threshold shift
+  double sigma_mu_global = 0.04;    ///< relative die-to-die mobility
+  double sigma_l_global = 0.015;    ///< relative die-to-die gate length
+
+  // Interconnect (mid-level metal).
+  double wire_r_per_m = 12.0e6;  ///< Ohm/m (12 Ohm/um)
+  double wire_c_per_m = 0.18e-9; ///< F/m (0.18 fF/um)
+  double sigma_wire_r_global = 0.10;  ///< relative, die-to-die
+  double sigma_wire_c_global = 0.06;
+  double sigma_wire_local = 0.04;     ///< relative, per segment
+
+  /// Canonical synthetic-28nm instance at the paper's 0.6 V / 25 C point.
+  static TechParams nominal28();
+
+  /// Same process retargeted to another supply (for the Fig. 2 sweep).
+  TechParams at_voltage(double new_vdd) const;
+};
+
+}  // namespace nsdc

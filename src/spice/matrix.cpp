@@ -1,0 +1,64 @@
+#include "spice/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nsdc {
+
+void DenseMatrix::set_zero() { std::fill(a_.begin(), a_.end(), 0.0); }
+
+bool DenseMatrix::lu_factor() {
+  perm_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) perm_[i] = i;
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Partial pivot.
+    std::size_t piv = k;
+    double best = std::fabs(a_[k * n_ + k]);
+    for (std::size_t i = k + 1; i < n_; ++i) {
+      const double v = std::fabs(a_[i * n_ + k]);
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    if (best < 1e-300) return false;
+    if (piv != k) {
+      for (std::size_t c = 0; c < n_; ++c) {
+        std::swap(a_[k * n_ + c], a_[piv * n_ + c]);
+      }
+      std::swap(perm_[k], perm_[piv]);
+    }
+    const double inv_pivot = 1.0 / a_[k * n_ + k];
+    for (std::size_t i = k + 1; i < n_; ++i) {
+      const double m = a_[i * n_ + k] * inv_pivot;
+      a_[i * n_ + k] = m;
+      if (m == 0.0) continue;
+      const double* rk = &a_[k * n_ + k + 1];
+      double* ri = &a_[i * n_ + k + 1];
+      for (std::size_t c = k + 1; c < n_; ++c) *ri++ -= m * *rk++;
+    }
+  }
+  return true;
+}
+
+void DenseMatrix::lu_solve(std::vector<double>& b) const {
+  std::vector<double> x(n_);
+  for (std::size_t i = 0; i < n_; ++i) x[i] = b[perm_[i]];
+  // Forward substitution (unit lower).
+  for (std::size_t i = 1; i < n_; ++i) {
+    double s = x[i];
+    const double* row = &a_[i * n_];
+    for (std::size_t k = 0; k < i; ++k) s -= row[k] * x[k];
+    x[i] = s;
+  }
+  // Back substitution.
+  for (std::size_t ii = n_; ii-- > 0;) {
+    double s = x[ii];
+    const double* row = &a_[ii * n_];
+    for (std::size_t k = ii + 1; k < n_; ++k) s -= row[k] * x[k];
+    x[ii] = s / row[ii];
+  }
+  b = std::move(x);
+}
+
+}  // namespace nsdc

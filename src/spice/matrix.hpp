@@ -1,0 +1,34 @@
+#pragma once
+// Small dense matrix with partial-pivot LU, sized for the modified-nodal
+// systems of single logic stages (cell + RC tree + load gate, tens of
+// unknowns). Dense LU beats sparse machinery at these sizes.
+
+#include <cstddef>
+#include <vector>
+
+namespace nsdc {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  explicit DenseMatrix(std::size_t n) : n_(n), a_(n * n, 0.0) {}
+
+  std::size_t size() const { return n_; }
+  double& operator()(std::size_t r, std::size_t c) { return a_[r * n_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return a_[r * n_ + c]; }
+  void set_zero();
+
+  /// Factors A = P L U in place. Returns false if singular to working
+  /// precision (pivot below tiny threshold).
+  bool lu_factor();
+
+  /// Solves the factored system in place; `b` becomes x.
+  void lu_solve(std::vector<double>& b) const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> a_;
+  std::vector<std::size_t> perm_;
+};
+
+}  // namespace nsdc

@@ -1,0 +1,323 @@
+#include "spice/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "spice/matrix.hpp"
+
+namespace nsdc {
+namespace {
+
+/// Shared MNA assembly/Newton machinery for DC and transient solves.
+class MnaSolver {
+ public:
+  explicit MnaSolver(const Circuit& ckt)
+      : ckt_(ckt),
+        nv_(static_cast<std::size_t>(ckt.num_nodes()) - 1),
+        nb_(ckt.vsources().size()),
+        n_(nv_ + nb_),
+        jac_(n_),
+        rhs_(n_, 0.0) {}
+
+  std::size_t num_unknowns() const { return n_; }
+
+  /// Node voltage from an unknown vector (ground = 0).
+  static double node_v(const std::vector<double>& x, NodeId node) {
+    return node == kGround ? 0.0 : x[static_cast<std::size_t>(node) - 1];
+  }
+
+  struct CapCompanion {
+    double geq = 0.0;  ///< companion conductance (0 => cap open, DC)
+    double ieq = 0.0;  ///< companion Norton current a->b
+  };
+
+  /// One Newton solve of the linearized system. `x` holds the candidate
+  /// (voltages then branch currents) and is updated in place. Returns the
+  /// max clamped node-voltage update magnitude, or NaN on singular matrix.
+  double newton_step(std::vector<double>& x, double time, double gmin,
+                     const std::vector<CapCompanion>& caps, double dv_clamp) {
+    jac_.set_zero();
+    std::fill(rhs_.begin(), rhs_.end(), 0.0);
+
+    auto stamp_g = [&](NodeId a, NodeId b, double g) {
+      if (a != kGround) {
+        jac_(idx(a), idx(a)) += g;
+        if (b != kGround) jac_(idx(a), idx(b)) -= g;
+      }
+      if (b != kGround) {
+        jac_(idx(b), idx(b)) += g;
+        if (a != kGround) jac_(idx(b), idx(a)) -= g;
+      }
+    };
+    auto stamp_i = [&](NodeId a, NodeId b, double i_ab) {
+      // Current i_ab flows out of a into b.
+      if (a != kGround) rhs_[idx(a)] -= i_ab;
+      if (b != kGround) rhs_[idx(b)] += i_ab;
+    };
+
+    for (const auto& r : ckt_.resistors()) stamp_g(r.a, r.b, 1.0 / r.r);
+
+    const auto& cap_list = ckt_.capacitors();
+    for (std::size_t k = 0; k < cap_list.size(); ++k) {
+      const auto& c = cap_list[k];
+      const auto& comp = caps[k];
+      if (comp.geq == 0.0) continue;  // DC: open
+      stamp_g(c.a, c.b, comp.geq);
+      stamp_i(c.a, c.b, comp.ieq);
+    }
+
+    for (std::size_t k = 0; k < ckt_.vsources().size(); ++k) {
+      const auto& vs = ckt_.vsources()[k];
+      const std::size_t br = nv_ + k;
+      if (vs.pos != kGround) {
+        jac_(idx(vs.pos), br) += 1.0;
+        jac_(br, idx(vs.pos)) += 1.0;
+      }
+      if (vs.neg != kGround) {
+        jac_(idx(vs.neg), br) -= 1.0;
+        jac_(br, idx(vs.neg)) -= 1.0;
+      }
+      rhs_[br] = vs.wave.at(time);
+    }
+
+    for (const auto& m : ckt_.mosfets()) {
+      const double vd = node_v(x, m.d);
+      const double vg = node_v(x, m.g);
+      const double vs = node_v(x, m.s);
+      const MosEval e = mos_eval(m.params, vd, vg, vs);
+      // Norton linearization: I ~= Ieq + gds*vd + gm*vg + gs*vs.
+      const double ieq = e.ids - e.gds * vd - e.gm * vg - e.gs * vs;
+      if (m.d != kGround) {
+        jac_(idx(m.d), idx(m.d)) += e.gds;
+        if (m.g != kGround) jac_(idx(m.d), idx(m.g)) += e.gm;
+        if (m.s != kGround) jac_(idx(m.d), idx(m.s)) += e.gs;
+        rhs_[idx(m.d)] -= ieq;
+      }
+      if (m.s != kGround) {
+        if (m.d != kGround) jac_(idx(m.s), idx(m.d)) -= e.gds;
+        if (m.g != kGround) jac_(idx(m.s), idx(m.g)) -= e.gm;
+        jac_(idx(m.s), idx(m.s)) -= e.gs;
+        rhs_[idx(m.s)] += ieq;
+      }
+    }
+
+    if (gmin > 0.0) {
+      for (std::size_t i = 0; i < nv_; ++i) jac_(i, i) += gmin;
+    }
+
+    if (!jac_.lu_factor()) return std::numeric_limits<double>::quiet_NaN();
+    std::vector<double> sol = rhs_;
+    jac_.lu_solve(sol);
+
+    double max_dv = 0.0;
+    for (std::size_t i = 0; i < nv_; ++i) {
+      double dv = sol[i] - x[i];
+      max_dv = std::max(max_dv, std::fabs(dv));
+      dv = std::clamp(dv, -dv_clamp, dv_clamp);
+      x[i] += dv;
+    }
+    for (std::size_t i = nv_; i < n_; ++i) x[i] = sol[i];
+    return max_dv;
+  }
+
+  /// Full Newton loop; returns true on convergence.
+  bool newton_solve(std::vector<double>& x, double time, double gmin,
+                    const std::vector<CapCompanion>& caps, double abstol,
+                    double reltol, int max_iters, double dv_clamp,
+                    int* iters_used = nullptr) {
+    for (int it = 0; it < max_iters; ++it) {
+      const double max_dv = newton_step(x, time, gmin, caps, dv_clamp);
+      if (std::isnan(max_dv)) return false;
+      double vmax = 0.0;
+      for (std::size_t i = 0; i < nv_; ++i) vmax = std::max(vmax, std::fabs(x[i]));
+      if (max_dv < abstol + reltol * vmax) {
+        if (iters_used) *iters_used = it + 1;
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::size_t idx(NodeId node) const { return static_cast<std::size_t>(node) - 1; }
+
+  const Circuit& ckt_;
+  std::size_t nv_, nb_, n_;
+  DenseMatrix jac_;
+  std::vector<double> rhs_;
+};
+
+std::vector<MnaSolver::CapCompanion> open_caps(const Circuit& ckt) {
+  return std::vector<MnaSolver::CapCompanion>(ckt.capacitors().size());
+}
+
+}  // namespace
+
+std::vector<double> solve_dc(const Circuit& circuit, bool* ok,
+                             const DcOptions& options) {
+  MnaSolver solver(circuit);
+  const auto caps = open_caps(circuit);
+  std::vector<double> x(solver.num_unknowns(), 0.0);
+  for (NodeId node = 1; node < circuit.num_nodes(); ++node) {
+    x[static_cast<std::size_t>(node) - 1] = circuit.initial_voltage(node);
+  }
+
+  bool converged = solver.newton_solve(x, 0.0, 0.0, caps, options.abstol,
+                                       options.reltol, options.max_newton,
+                                       options.dv_clamp);
+  if (!converged) {
+    // gmin continuation: solve with a strong shunt, then relax it.
+    for (double gmin = 1e-2; gmin >= 1e-13; gmin /= 100.0) {
+      converged = solver.newton_solve(x, 0.0, gmin, caps, options.abstol,
+                                      options.reltol, options.max_newton,
+                                      options.dv_clamp);
+      if (!converged) break;
+    }
+    if (converged) {
+      converged = solver.newton_solve(x, 0.0, 0.0, caps, options.abstol,
+                                      options.reltol, options.max_newton,
+                                      options.dv_clamp);
+    }
+  }
+  if (ok) *ok = converged;
+
+  std::vector<double> v(static_cast<std::size_t>(circuit.num_nodes()), 0.0);
+  for (NodeId node = 1; node < circuit.num_nodes(); ++node) {
+    v[static_cast<std::size_t>(node)] = MnaSolver::node_v(x, node);
+  }
+  return v;
+}
+
+TransientResult run_transient(const Circuit& circuit,
+                              const TransientOptions& options) {
+  TransientResult result;
+  const double tstop = options.tstop;
+  if (!(tstop > 0.0)) {
+    result.error = "tstop must be positive";
+    return result;
+  }
+  const double dt_init = options.dt_init > 0.0 ? options.dt_init : tstop / 1000.0;
+  const double dt_min = options.dt_min > 0.0 ? options.dt_min : tstop / 1e8;
+  const double dt_max = options.dt_max > 0.0 ? options.dt_max : tstop / 250.0;
+
+  // DC operating point.
+  bool dc_ok = false;
+  std::vector<double> v0 = solve_dc(circuit, &dc_ok);
+  if (!dc_ok) {
+    result.error = "DC operating point did not converge";
+    return result;
+  }
+
+  MnaSolver solver(circuit);
+  const std::size_t nv = static_cast<std::size_t>(circuit.num_nodes()) - 1;
+  std::vector<double> x(solver.num_unknowns(), 0.0);
+  for (std::size_t i = 0; i < nv; ++i) x[i] = v0[i + 1];
+
+  // Capacitor state: voltage across and current through at time t_n.
+  const auto& caps = circuit.capacitors();
+  std::vector<double> cap_v(caps.size(), 0.0);
+  std::vector<double> cap_i(caps.size(), 0.0);
+  for (std::size_t k = 0; k < caps.size(); ++k) {
+    cap_v[k] = v0[static_cast<std::size_t>(caps[k].a)] -
+               v0[static_cast<std::size_t>(caps[k].b)];
+  }
+
+  // Source breakpoints the stepper must land on exactly.
+  std::set<double> breakpoints;
+  for (const auto& vs : circuit.vsources()) {
+    for (const auto& [bt, bv] : vs.wave.points()) {
+      (void)bv;
+      if (bt > 0.0 && bt < tstop) breakpoints.insert(bt);
+    }
+  }
+
+  // Trace storage.
+  result.traces.resize(static_cast<std::size_t>(circuit.num_nodes()));
+  auto record = [&](double time) {
+    for (NodeId node = 0; node < circuit.num_nodes(); ++node) {
+      auto& tr = result.traces[static_cast<std::size_t>(node)];
+      tr.t.push_back(time);
+      tr.v.push_back(MnaSolver::node_v(x, node));
+    }
+  };
+  record(0.0);
+
+  double t = 0.0;
+  double dt = std::min(dt_init, dt_max);
+  bool use_backward_euler = true;  // first step after DC
+  std::vector<MnaSolver::CapCompanion> comps(caps.size());
+
+  while (t < tstop - 1e-21) {
+    // Clamp the step to the next breakpoint or tstop.
+    double dt_step = std::min(dt, tstop - t);
+    const auto bp = breakpoints.upper_bound(t + 1e-21);
+    bool hit_breakpoint = false;
+    if (bp != breakpoints.end() && t + dt_step >= *bp - 1e-21) {
+      dt_step = *bp - t;
+      hit_breakpoint = true;
+    }
+
+    bool accepted = false;
+    int iters = 0;
+    std::vector<double> x_try;
+    while (!accepted) {
+      const double h = dt_step;
+      for (std::size_t k = 0; k < caps.size(); ++k) {
+        if (use_backward_euler) {
+          comps[k].geq = caps[k].c / h;
+          comps[k].ieq = -comps[k].geq * cap_v[k];
+        } else {  // trapezoidal
+          comps[k].geq = 2.0 * caps[k].c / h;
+          comps[k].ieq = -comps[k].geq * cap_v[k] - cap_i[k];
+        }
+      }
+      x_try = x;
+      const bool ok = solver.newton_solve(
+          x_try, t + h, 0.0, comps, options.abstol, options.reltol,
+          options.max_newton, options.dv_clamp, &iters);
+      if (ok) {
+        accepted = true;
+      } else {
+        dt_step *= 0.25;
+        hit_breakpoint = false;
+        if (dt_step < dt_min) {
+          result.error = "transient: Newton failed at t=" + std::to_string(t);
+          return result;
+        }
+      }
+    }
+
+    // Commit the step: update capacitor states.
+    x = x_try;
+    for (std::size_t k = 0; k < caps.size(); ++k) {
+      const double va = MnaSolver::node_v(x, caps[k].a);
+      const double vb = MnaSolver::node_v(x, caps[k].b);
+      const double v_new = va - vb;
+      if (use_backward_euler) {
+        cap_i[k] = comps[k].geq * (v_new - cap_v[k]);
+      } else {
+        cap_i[k] = comps[k].geq * (v_new - cap_v[k]) - cap_i[k];
+      }
+      cap_v[k] = v_new;
+    }
+    t += dt_step;
+    record(t);
+    ++result.total_steps;
+    result.total_newton_iters += static_cast<std::size_t>(iters);
+
+    use_backward_euler = hit_breakpoint;  // damp restart at slope changes
+    if (iters <= 5) {
+      dt = std::min(dt * 1.25, dt_max);
+    } else if (iters > 12) {
+      dt = std::max(dt * 0.6, dt_min);
+    }
+    if (dt_step < dt) dt = std::max(dt_step * 2.0, dt_min);
+  }
+
+  result.ok = true;
+  return result;
+}
+
+}  // namespace nsdc

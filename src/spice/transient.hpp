@@ -1,0 +1,53 @@
+#pragma once
+// Transient analysis: modified nodal analysis, Newton-Raphson per step,
+// trapezoidal integration with Newton-count-driven adaptive stepping.
+// Backward Euler is used for the first step after each PWL breakpoint to
+// damp the trapezoidal start-up ringing.
+
+#include <string>
+#include <vector>
+
+#include "spice/circuit.hpp"
+#include "spice/waveform.hpp"
+
+namespace nsdc {
+
+struct TransientOptions {
+  double tstop = 1e-9;   ///< end time (s)
+  double dt_init = 0.0;  ///< 0 => tstop / 1000
+  double dt_min = 0.0;   ///< 0 => tstop / 1e8
+  double dt_max = 0.0;   ///< 0 => tstop / 250
+  double abstol = 1e-6;  ///< Newton voltage tolerance (V)
+  double reltol = 1e-4;
+  int max_newton = 40;
+  double dv_clamp = 0.5;  ///< per-iteration voltage-update clamp (V)
+};
+
+struct TransientResult {
+  bool ok = false;
+  std::string error;
+  /// One trace per circuit node (index == NodeId, ground included).
+  std::vector<Trace> traces;
+  std::size_t total_steps = 0;
+  std::size_t total_newton_iters = 0;
+};
+
+/// Runs a transient simulation from a DC operating point at t = 0.
+TransientResult run_transient(const Circuit& circuit,
+                              const TransientOptions& options);
+
+struct DcOptions {
+  double abstol = 1e-9;
+  double reltol = 1e-6;
+  int max_newton = 200;
+  double dv_clamp = 0.2;
+};
+
+/// Solves the DC operating point (capacitors open, sources at t = 0),
+/// starting from the circuit's initial-voltage hints. Returns node
+/// voltages indexed by NodeId. Uses gmin continuation as a fallback.
+/// Sets *ok to false on failure.
+std::vector<double> solve_dc(const Circuit& circuit, bool* ok,
+                             const DcOptions& options = {});
+
+}  // namespace nsdc

@@ -1,0 +1,104 @@
+#include "spice/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nsdc {
+
+Pwl::Pwl(std::vector<std::pair<double, double>> points)
+    : pts_(std::move(points)) {
+  for (std::size_t i = 1; i < pts_.size(); ++i) {
+    if (pts_[i].first < pts_[i - 1].first) {
+      throw std::invalid_argument("Pwl: points not time-ascending");
+    }
+  }
+}
+
+Pwl Pwl::constant(double v) { return Pwl({{0.0, v}}); }
+
+Pwl Pwl::ramp(double t0, double v0, double v1, double slew) {
+  // 10-90 transition time == slew  =>  full 0-100 ramp time = slew / 0.8.
+  const double ramp_time = std::max(slew / 0.8, 1e-15);
+  return Pwl({{t0, v0}, {t0 + ramp_time, v1}});
+}
+
+double Pwl::at(double t) const {
+  if (pts_.empty()) return 0.0;
+  if (t <= pts_.front().first) return pts_.front().second;
+  if (t >= pts_.back().first) return pts_.back().second;
+  const auto it = std::upper_bound(
+      pts_.begin(), pts_.end(), t,
+      [](double q, const std::pair<double, double>& p) { return q < p.first; });
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  const double span = hi.first - lo.first;
+  if (span <= 0.0) return hi.second;
+  const double f = (t - lo.first) / span;
+  return lo.second + f * (hi.second - lo.second);
+}
+
+double Trace::at(double time) const {
+  if (t.empty()) return 0.0;
+  if (time <= t.front()) return v.front();
+  if (time >= t.back()) return v.back();
+  const auto it = std::upper_bound(t.begin(), t.end(), time);
+  const auto i = static_cast<std::size_t>(it - t.begin());
+  const double span = t[i] - t[i - 1];
+  if (span <= 0.0) return v[i];
+  const double f = (time - t[i - 1]) / span;
+  return v[i - 1] + f * (v[i] - v[i - 1]);
+}
+
+std::optional<double> cross_time(const Trace& trace, double level, bool rising,
+                                 double after) {
+  const auto& t = trace.t;
+  const auto& v = trace.v;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    if (t[i] < after) continue;
+    const double v0 = v[i - 1];
+    const double v1 = v[i];
+    const bool crossed = rising ? (v0 < level && v1 >= level)
+                                : (v0 > level && v1 <= level);
+    if (!crossed) continue;
+    const double dv = v1 - v0;
+    const double f = dv != 0.0 ? (level - v0) / dv : 0.0;
+    const double tc = t[i - 1] + f * (t[i] - t[i - 1]);
+    if (tc >= after) return tc;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> measure_slew(const Trace& trace, double vdd, bool rising,
+                                   double after) {
+  const double lo = 0.1 * vdd;
+  const double hi = 0.9 * vdd;
+  if (rising) {
+    const auto t_lo = cross_time(trace, lo, true, after);
+    if (!t_lo) return std::nullopt;
+    const auto t_hi = cross_time(trace, hi, true, *t_lo);
+    if (!t_hi) return std::nullopt;
+    return *t_hi - *t_lo;
+  }
+  const auto t_hi = cross_time(trace, hi, false, after);
+  if (!t_hi) return std::nullopt;
+  const auto t_lo = cross_time(trace, lo, false, *t_hi);
+  if (!t_lo) return std::nullopt;
+  return *t_lo - *t_hi;
+}
+
+std::optional<double> measure_delay(const Trace& input, bool in_rising,
+                                    const Trace& output, bool out_rising,
+                                    double vdd, double after) {
+  const double mid = 0.5 * vdd;
+  const auto t_in = cross_time(input, mid, in_rising, after);
+  if (!t_in) return std::nullopt;
+  // The output crossing is searched from `after`, not from t_in: with a
+  // slow input edge into a strong gate the output legitimately crosses
+  // 50% before the input does (negative propagation delay).
+  const auto t_out = cross_time(output, mid, out_rising, after);
+  if (!t_out) return std::nullopt;
+  return *t_out - *t_in;
+}
+
+}  // namespace nsdc

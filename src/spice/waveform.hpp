@@ -1,0 +1,57 @@
+#pragma once
+// Waveforms: piecewise-linear sources driving simulations and recorded
+// traces coming out of them, plus the delay/slew measurements used by
+// characterization (50% crossing delay, 10-90% slew — the conventions the
+// paper's operating-condition sweeps assume).
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace nsdc {
+
+/// Piecewise-linear voltage source description. Points must be
+/// time-ascending; value is held flat before the first and after the last.
+class Pwl {
+ public:
+  Pwl() = default;
+  explicit Pwl(std::vector<std::pair<double, double>> points);
+
+  /// Constant level.
+  static Pwl constant(double v);
+  /// Ramp from v0 to v1 whose 10%-90% transition time equals `slew`,
+  /// starting (0% point) at t0. A zero slew gives an (almost) ideal step.
+  static Pwl ramp(double t0, double v0, double v1, double slew);
+
+  double at(double t) const;
+  /// Times where the slope changes — the integrator places steps on these.
+  const std::vector<std::pair<double, double>>& points() const { return pts_; }
+
+ private:
+  std::vector<std::pair<double, double>> pts_;
+};
+
+/// A recorded node-voltage trace.
+struct Trace {
+  std::vector<double> t;
+  std::vector<double> v;
+
+  double at(double time) const;  ///< linear interpolation, clamped ends
+};
+
+/// First time the trace crosses `level` in the given direction, at or
+/// after `after`. Linear interpolation between samples.
+std::optional<double> cross_time(const Trace& trace, double level, bool rising,
+                                 double after = 0.0);
+
+/// 10%-90% (falling: 90%-10%) transition time of the swing [0, vdd]
+/// around the transition that crosses 50% at/after `after`.
+std::optional<double> measure_slew(const Trace& trace, double vdd, bool rising,
+                                   double after = 0.0);
+
+/// 50%-to-50% propagation delay between two traces.
+std::optional<double> measure_delay(const Trace& input, bool in_rising,
+                                    const Trace& output, bool out_rising,
+                                    double vdd, double after = 0.0);
+
+}  // namespace nsdc

@@ -1,0 +1,29 @@
+#include "sta/annotate.hpp"
+
+namespace nsdc {
+
+std::string sink_pin_name(const CellInst& inst, int pin) {
+  return inst.name + ":" + std::to_string(pin);
+}
+
+ParasiticDb generate_parasitics(const GateNetlist& netlist,
+                                const TechParams& tech,
+                                const AnnotateConfig& config) {
+  WireGenerator gen(tech, config.wire);
+  Rng rng(config.seed);
+  ParasiticDb db;
+  for (std::size_t n = 0; n < netlist.num_nets(); ++n) {
+    const Net& net = netlist.net(static_cast<int>(n));
+    std::vector<std::string> pins;
+    for (const auto& sink : net.sinks) {
+      pins.push_back(sink_pin_name(netlist.cell(sink.cell), sink.pin));
+    }
+    if (net.is_primary_output) pins.push_back("PO");
+    if (pins.empty()) continue;
+    Rng net_rng = rng.fork(net.name);
+    db.add(net.name, gen.generate(net_rng, pins));
+  }
+  return db;
+}
+
+}  // namespace nsdc

@@ -1,0 +1,26 @@
+#pragma once
+// Parasitic annotation: generates a seeded RC tree for every net of a
+// netlist (the stand-in for IC Compiler SPEF extraction) with sink pins
+// named "<instance>:<pin>" so the STA engine can map tree nodes back to
+// receiver pins. Primary-output nets get a single sink named "PO".
+
+#include "netlist/netlist.hpp"
+#include "parasitics/spef.hpp"
+#include "parasitics/wiregen.hpp"
+
+namespace nsdc {
+
+/// Sink pin naming convention shared by annotation and STA.
+std::string sink_pin_name(const CellInst& inst, int pin);
+
+struct AnnotateConfig {
+  WireGenConfig wire;
+  std::uint64_t seed = 99;
+};
+
+/// One RC tree per net (nets with no sinks and no PO flag are skipped).
+ParasiticDb generate_parasitics(const GateNetlist& netlist,
+                                const TechParams& tech,
+                                const AnnotateConfig& config = {});
+
+}  // namespace nsdc

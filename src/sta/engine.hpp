@@ -1,0 +1,58 @@
+#pragma once
+// Graph-based static timing: dual-rail (rise/fall) mean-delay propagation
+// over the levelized netlist, Elmore wire delays from annotated
+// parasitics, slew propagation through the NLDM-style mean tables, and
+// critical-path extraction into a PathDescription for the statistical
+// calculators.
+
+#include <vector>
+
+#include "core/nsigma_cell.hpp"
+#include "core/path.hpp"
+#include "netlist/netlist.hpp"
+#include "parasitics/spef.hpp"
+
+namespace nsdc {
+
+class StaEngine {
+ public:
+  StaEngine(const NSigmaCellModel& model, const TechParams& tech)
+      : model_(model), tech_(tech) {}
+
+  /// Per-net timing state at the driver output. Index 0 = rising edge at
+  /// this net, 1 = falling.
+  struct NetTime {
+    std::array<double, 2> arrival{0.0, 0.0};
+    std::array<double, 2> slew{10e-12, 10e-12};
+    /// Worst fanin pin for each edge (-1 at primary inputs).
+    std::array<int, 2> from_pin{-1, -1};
+    bool reachable = false;
+  };
+
+  struct Result {
+    std::vector<NetTime> nets;       ///< indexed by net id
+    std::vector<RcTree> annotated;   ///< per net: tree with pin caps added
+    std::vector<double> net_load;    ///< per net: total cap seen by driver
+    double max_arrival = 0.0;        ///< worst PO mean arrival
+    int critical_net = -1;
+    int critical_edge = 0;  ///< 0 rise / 1 fall at the PO net
+  };
+
+  Result run(const GateNetlist& netlist, const ParasiticDb& parasitics) const;
+
+  /// Backtracks the worst PO arrival into a stage-by-stage path.
+  PathDescription extract_critical_path(const GateNetlist& netlist,
+                                        const Result& result) const;
+
+  /// Worst path per primary output, sorted by decreasing mean arrival,
+  /// truncated to `max_paths`. Entry 0 equals the critical path.
+  std::vector<PathDescription> extract_worst_paths(
+      const GateNetlist& netlist, const Result& result,
+      std::size_t max_paths) const;
+
+ private:
+  const NSigmaCellModel& model_;
+  TechParams tech_;
+};
+
+}  // namespace nsdc

@@ -1,0 +1,28 @@
+#pragma once
+// SDF (Standard Delay Format) writer: exports the timing annotation a
+// downstream gate-level simulator would consume. Each cell instance gets
+// an IOPATH with (min:typ:max) triples taken from the N-sigma model's
+// (-3s : median : +3s) quantiles at the instance's STA operating point;
+// each net gets INTERCONNECT entries from the calibrated wire model.
+
+#include <string>
+
+#include "core/nsigma_cell.hpp"
+#include "core/nsigma_wire.hpp"
+#include "netlist/netlist.hpp"
+#include "parasitics/spef.hpp"
+
+namespace nsdc {
+
+/// Renders an SDF 3.0-flavoured annotation for the whole design.
+std::string write_sdf(const GateNetlist& netlist, const ParasiticDb& parasitics,
+                      const NSigmaCellModel& cell_model,
+                      const NSigmaWireModel& wire_model,
+                      const TechParams& tech);
+
+bool save_sdf(const GateNetlist& netlist, const ParasiticDb& parasitics,
+              const NSigmaCellModel& cell_model,
+              const NSigmaWireModel& wire_model, const TechParams& tech,
+              const std::string& path);
+
+}  // namespace nsdc

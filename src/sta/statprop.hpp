@@ -1,0 +1,75 @@
+#pragma once
+// Block-based statistical timing propagation — the graph-level alternative
+// to the paper's path-based Eq. 10, provided for comparison/ablation.
+//
+// Arrival times are propagated as (mean, sigma) pairs: edge delays add
+// with a configurable inter-stage correlation (the die-to-die share of the
+// variance), and competing fanin arrivals combine with Clark's Gaussian
+// MAX approximation. This is the classic SSTA formulation of Blaauw et
+// al. [1]; it captures statistical averaging along paths (which the
+// quantile-sum of Eq. 10 does not) but drops the skewness/kurtosis
+// information the N-sigma model keeps.
+
+#include <array>
+#include <vector>
+
+#include "core/nsigma_cell.hpp"
+#include "core/nsigma_wire.hpp"
+#include "netlist/netlist.hpp"
+#include "parasitics/spef.hpp"
+
+namespace nsdc {
+
+/// Clark's approximation of max(A, B) for jointly Gaussian A, B with
+/// correlation rho: returns the mean/variance of the max.
+struct ClarkMax {
+  double mean = 0.0;
+  double var = 0.0;
+};
+ClarkMax clark_max(double mean_a, double var_a, double mean_b, double var_b,
+                   double rho);
+
+struct StatArrival {
+  double mean = 0.0;
+  double var = 0.0;
+  double sigma() const;
+  /// Gaussian quantile mean + n*sigma.
+  double quantile(double n_sigma) const;
+};
+
+class StatisticalSta {
+ public:
+  struct Config {
+    /// Correlation between any two stage delays (die-to-die share) and
+    /// between competing fanin arrivals at a max node.
+    double stage_correlation = 0.5;
+  };
+
+  StatisticalSta(const NSigmaCellModel& cell_model,
+                 const NSigmaWireModel& wire_model, const TechParams& tech)
+      : cell_model_(cell_model), wire_model_(wire_model), tech_(tech) {}
+
+  StatisticalSta(const NSigmaCellModel& cell_model,
+                 const NSigmaWireModel& wire_model, const TechParams& tech,
+                 Config config)
+      : cell_model_(cell_model),
+        wire_model_(wire_model),
+        tech_(tech),
+        config_(config) {}
+
+  struct Result {
+    /// Per net, per edge (0 = rise): arrival statistics at driver output.
+    std::vector<std::array<StatArrival, 2>> nets;
+    StatArrival worst;  ///< statistical max over all PO arrivals
+  };
+
+  Result run(const GateNetlist& netlist, const ParasiticDb& parasitics) const;
+
+ private:
+  const NSigmaCellModel& cell_model_;
+  const NSigmaWireModel& wire_model_;
+  TechParams tech_;
+  Config config_{};
+};
+
+}  // namespace nsdc

@@ -1,0 +1,327 @@
+#include "stats/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/optimize.hpp"
+#include "stats/quantiles.hpp"
+
+namespace nsdc {
+namespace {
+constexpr double kPi = std::numbers::pi;
+}
+
+// ---------------------------------------------------------------- Owen's T
+
+double owens_t(double h, double a) {
+  if (a == 0.0) return 0.0;
+  if (h == 0.0) return std::atan(a) / (2.0 * kPi);
+  const double sign = a < 0.0 ? -1.0 : 1.0;
+  const double aa = std::fabs(a);
+  // For |a| > 1 use the reflection identity
+  //   T(h, a) = 0.5*(Phi(h) + Phi(ah)) - Phi(h)*Phi(ah) - T(ah, 1/a).
+  if (aa > 1.0) {
+    const double ah = aa * h;
+    const double t = 0.5 * (normal_cdf(h) + normal_cdf(ah)) -
+                     normal_cdf(h) * normal_cdf(ah) - owens_t(ah, 1.0 / aa);
+    return sign * t;
+  }
+  // 48-point Gauss-Legendre on [0, a]: integrand is smooth and bounded.
+  static constexpr int kN = 48;
+  static thread_local std::vector<double> nodes, weights;
+  if (nodes.empty()) {
+    // Compute Legendre nodes/weights once via Newton on P_n.
+    nodes.resize(kN);
+    weights.resize(kN);
+    for (int i = 0; i < kN; ++i) {
+      double x = std::cos(kPi * (static_cast<double>(i) + 0.75) /
+                          (static_cast<double>(kN) + 0.5));
+      for (int it = 0; it < 100; ++it) {
+        double p0 = 1.0, p1 = x;
+        for (int j = 2; j <= kN; ++j) {
+          const double p2 = ((2.0 * j - 1.0) * x * p1 - (j - 1.0) * p0) / j;
+          p0 = p1;
+          p1 = p2;
+        }
+        const double dp = kN * (x * p1 - p0) / (x * x - 1.0);
+        const double dx = p1 / dp;
+        x -= dx;
+        if (std::fabs(dx) < 1e-15) break;
+      }
+      double p0 = 1.0, p1 = x;
+      for (int j = 2; j <= kN; ++j) {
+        const double p2 = ((2.0 * j - 1.0) * x * p1 - (j - 1.0) * p0) / j;
+        p0 = p1;
+        p1 = p2;
+      }
+      const double dp = kN * (x * p1 - p0) / (x * x - 1.0);
+      nodes[static_cast<std::size_t>(i)] = x;
+      weights[static_cast<std::size_t>(i)] =
+          2.0 / ((1.0 - x * x) * dp * dp);
+    }
+  }
+  const double h2 = h * h;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = 0.5 * aa * (nodes[static_cast<std::size_t>(i)] + 1.0);
+    const double f = std::exp(-0.5 * h2 * (1.0 + x * x)) / (1.0 + x * x);
+    sum += weights[static_cast<std::size_t>(i)] * f;
+  }
+  return sign * sum * 0.5 * aa / (2.0 * kPi);
+}
+
+// ----------------------------------------------------------------- Normal
+
+double NormalDist::pdf(double x) const {
+  return normal_pdf((x - mu) / sigma) / sigma;
+}
+double NormalDist::cdf(double x) const { return normal_cdf((x - mu) / sigma); }
+double NormalDist::quantile(double p) const {
+  return mu + sigma * normal_quantile(p);
+}
+double NormalDist::sample(Rng& rng) const { return rng.normal(mu, sigma); }
+
+NormalDist NormalDist::fit(std::span<const double> samples) {
+  const Moments m = compute_moments(samples);
+  return {m.mu, m.sigma};
+}
+
+// ------------------------------------------------------------- SkewNormal
+
+double SkewNormal::pdf(double x) const {
+  const double z = (x - xi) / omega;
+  return 2.0 / omega * normal_pdf(z) * normal_cdf(alpha * z);
+}
+
+double SkewNormal::cdf(double x) const {
+  const double z = (x - xi) / omega;
+  return normal_cdf(z) - 2.0 * owens_t(z, alpha);
+}
+
+double SkewNormal::quantile(double p) const {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::domain_error("SkewNormal::quantile: p outside (0,1)");
+  }
+  // Bracket around the normal quantile, then bisect/Newton.
+  double lo = xi - 12.0 * omega;
+  double hi = xi + 12.0 * omega;
+  double x = xi + omega * normal_quantile(p);
+  for (int it = 0; it < 200; ++it) {
+    const double f = cdf(x) - p;
+    if (std::fabs(f) < 1e-13) break;
+    if (f > 0.0) hi = x; else lo = x;
+    const double d = pdf(x);
+    double next = d > 1e-300 ? x - f / d : 0.5 * (lo + hi);
+    if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);
+    x = next;
+  }
+  return x;
+}
+
+double SkewNormal::sample(Rng& rng) const {
+  const double delta = alpha / std::sqrt(1.0 + alpha * alpha);
+  const double u0 = rng.normal();
+  const double u1 = rng.normal();
+  const double z = delta * std::fabs(u0) + std::sqrt(1.0 - delta * delta) * u1;
+  return xi + omega * z;
+}
+
+double SkewNormal::mean() const {
+  const double delta = alpha / std::sqrt(1.0 + alpha * alpha);
+  return xi + omega * delta * std::sqrt(2.0 / kPi);
+}
+
+double SkewNormal::stddev() const {
+  const double delta = alpha / std::sqrt(1.0 + alpha * alpha);
+  return omega * std::sqrt(1.0 - 2.0 * delta * delta / kPi);
+}
+
+double SkewNormal::skewness() const {
+  const double delta = alpha / std::sqrt(1.0 + alpha * alpha);
+  const double b = delta * std::sqrt(2.0 / kPi);
+  const double denom = std::pow(1.0 - b * b, 1.5);
+  return (4.0 - kPi) / 2.0 * b * b * b / denom;
+}
+
+SkewNormal SkewNormal::from_moments(const Moments& m) {
+  // Invert the skewness relation for |delta|; clamp to the attainable range.
+  constexpr double kMaxSkew = 0.99527;  // sup of SN skewness
+  const double g = std::clamp(m.gamma, -kMaxSkew, kMaxSkew);
+  const double g23 = std::pow(std::fabs(g), 2.0 / 3.0);
+  const double denom = g23 + std::pow((4.0 - kPi) / 2.0, 2.0 / 3.0);
+  double delta = std::sqrt(kPi / 2.0 * g23 / denom);
+  delta = std::copysign(std::min(delta, 0.999999), g);
+  const double alpha = delta / std::sqrt(1.0 - delta * delta);
+  const double b = delta * std::sqrt(2.0 / kPi);
+  const double omega = m.sigma / std::sqrt(std::max(1e-300, 1.0 - b * b));
+  const double xi = m.mu - omega * b;
+  return {xi, omega, alpha};
+}
+
+SkewNormal SkewNormal::fit(std::span<const double> samples) {
+  return from_moments(compute_moments(samples));
+}
+
+// --------------------------------------------------------- LogSkewNormal
+
+double LogSkewNormal::pdf(double x) const {
+  const double t = x - shift;
+  if (t <= 0.0) return 0.0;
+  return log_model.pdf(std::log(t)) / t;
+}
+
+double LogSkewNormal::cdf(double x) const {
+  const double t = x - shift;
+  if (t <= 0.0) return 0.0;
+  return log_model.cdf(std::log(t));
+}
+
+double LogSkewNormal::quantile(double p) const {
+  return shift + std::exp(log_model.quantile(p));
+}
+
+double LogSkewNormal::sample(Rng& rng) const {
+  return shift + std::exp(log_model.sample(rng));
+}
+
+LogSkewNormal LogSkewNormal::fit(std::span<const double> samples,
+                                 double shift) {
+  std::vector<double> logs;
+  logs.reserve(samples.size());
+  for (double x : samples) {
+    const double t = x - shift;
+    if (t <= 0.0) {
+      throw std::invalid_argument("LogSkewNormal::fit: sample <= shift");
+    }
+    logs.push_back(std::log(t));
+  }
+  LogSkewNormal out;
+  out.shift = shift;
+  out.log_model = SkewNormal::fit(logs);
+  return out;
+}
+
+// ----------------------------------------------------------------- BurrXII
+
+double BurrXII::pdf(double x) const {
+  const double t = (x - loc) / s;
+  if (t <= 0.0) return 0.0;
+  const double tc = std::pow(t, c);
+  return c * k / s * std::pow(t, c - 1.0) * std::pow(1.0 + tc, -k - 1.0);
+}
+
+double BurrXII::cdf(double x) const {
+  const double t = (x - loc) / s;
+  if (t <= 0.0) return 0.0;
+  return 1.0 - std::pow(1.0 + std::pow(t, c), -k);
+}
+
+double BurrXII::quantile(double p) const {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::domain_error("BurrXII::quantile: p outside (0,1)");
+  }
+  return loc + s * std::pow(std::pow(1.0 - p, -1.0 / k) - 1.0, 1.0 / c);
+}
+
+double BurrXII::sample(Rng& rng) const {
+  double u;
+  do {
+    u = rng.uniform();
+  } while (u <= 0.0 || u >= 1.0);
+  return quantile(u);
+}
+
+double BurrXII::raw_moment(int r) const {
+  if (c * k <= static_cast<double>(r)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  const double rr = static_cast<double>(r);
+  // E[(X-loc)^r] = s^r * k * B(k - r/c, 1 + r/c)
+  const double lb = std::lgamma(k - rr / c) + std::lgamma(1.0 + rr / c) -
+                    std::lgamma(k + 1.0);
+  return std::pow(s, rr) * k * std::exp(lb);
+}
+
+double BurrXII::mean() const { return loc + raw_moment(1); }
+
+double BurrXII::stddev() const {
+  const double m1 = raw_moment(1);
+  const double m2 = raw_moment(2);
+  return std::sqrt(std::max(0.0, m2 - m1 * m1));
+}
+
+BurrXII BurrXII::fit(std::span<const double> samples) {
+  const Moments sm = compute_moments(samples);
+
+  // Standardized skewness/kurtosis of a Burr(c,k) with unit scale.
+  auto shape_stats = [](double c, double k, double& skew, double& kurt) {
+    auto mom = [&](double r) {
+      if (c * k <= r) return std::numeric_limits<double>::quiet_NaN();
+      return k * std::exp(std::lgamma(k - r / c) + std::lgamma(1.0 + r / c) -
+                          std::lgamma(k + 1.0));
+    };
+    const double m1 = mom(1), m2 = mom(2), m3 = mom(3), m4 = mom(4);
+    if (!std::isfinite(m4)) {
+      skew = kurt = std::numeric_limits<double>::quiet_NaN();
+      return;
+    }
+    const double var = m2 - m1 * m1;
+    const double sd = std::sqrt(var);
+    skew = (m3 - 3.0 * m1 * var - m1 * m1 * m1) / (sd * sd * sd);
+    kurt = (m4 - 4.0 * m1 * m3 + 6.0 * m1 * m1 * m2 - 3.0 * m1 * m1 * m1 * m1) /
+               (var * var) -
+           3.0;
+  };
+
+  // Match sample skewness and excess kurtosis over (log c, log k).
+  auto objective = [&](const std::vector<double>& p) {
+    const double c = std::exp(p[0]);
+    const double k = std::exp(p[1]);
+    if (c * k <= 4.05 || c > 200.0 || k > 200.0) {
+      return std::numeric_limits<double>::infinity();
+    }
+    double skew = 0.0, kurt = 0.0;
+    shape_stats(c, k, skew, kurt);
+    if (!std::isfinite(skew) || !std::isfinite(kurt)) {
+      return std::numeric_limits<double>::infinity();
+    }
+    const double ds = skew - sm.gamma;
+    const double dk = kurt - sm.kappa;
+    return ds * ds + 0.25 * dk * dk;
+  };
+
+  NelderMeadOptions opts;
+  opts.max_iters = 4000;
+  // Multi-start over a small grid of initial shapes for robustness.
+  NelderMeadResult best;
+  best.fx = std::numeric_limits<double>::infinity();
+  for (double c0 : {1.5, 3.0, 6.0, 12.0}) {
+    for (double k0 : {1.0, 2.0, 5.0}) {
+      auto r = nelder_mead(objective, {std::log(c0), std::log(k0)}, opts);
+      if (r.fx < best.fx) best = r;
+    }
+  }
+
+  BurrXII out;
+  out.c = std::exp(best.x[0]);
+  out.k = std::exp(best.x[1]);
+  out.s = 1.0;
+  out.loc = 0.0;
+  // Rescale/shift to match sample mean and stddev.
+  const double sd_unit = out.stddev();
+  const double mean_unit = out.raw_moment(1);
+  if (sd_unit > 0.0 && std::isfinite(sd_unit)) {
+    out.s = sm.sigma / sd_unit;
+    out.loc = sm.mu - out.s * mean_unit;
+  } else {
+    out.s = sm.sigma;
+    out.loc = sm.mu;
+  }
+  return out;
+}
+
+}  // namespace nsdc

@@ -1,0 +1,96 @@
+#pragma once
+// Parametric distributions used by the library and its baseline models:
+//
+//  * Normal          — sanity baseline / Gaussian assumption (mu + n*sigma)
+//  * SkewNormal      — Azzalini's SN(xi, omega, alpha)
+//  * LogSkewNormal   — LSN cell-delay model of Balef et al. [12]
+//  * BurrXII         — Burr-distribution delay model of Moshrefi et al. [13]
+//
+// Each provides pdf / cdf / quantile / sample plus a `fit` from samples,
+// using the same estimator family as the cited papers (method of moments
+// for SN/LSN, moment-shape matching for Burr).
+
+#include <span>
+
+#include "stats/moments.hpp"
+#include "util/rng.hpp"
+
+namespace nsdc {
+
+/// Owen's T function T(h, a) — needed for the skew-normal CDF.
+double owens_t(double h, double a);
+
+struct NormalDist {
+  double mu = 0.0;
+  double sigma = 1.0;
+
+  double pdf(double x) const;
+  double cdf(double x) const;
+  double quantile(double p) const;
+  double sample(Rng& rng) const;
+  static NormalDist fit(std::span<const double> samples);
+};
+
+/// Azzalini skew-normal: location xi, scale omega > 0, shape alpha.
+struct SkewNormal {
+  double xi = 0.0;
+  double omega = 1.0;
+  double alpha = 0.0;
+
+  double pdf(double x) const;
+  double cdf(double x) const;
+  /// Inverse CDF via bracketed Newton (monotone, robust).
+  double quantile(double p) const;
+  double sample(Rng& rng) const;
+
+  double mean() const;
+  double stddev() const;
+  double skewness() const;
+
+  /// Method-of-moments fit; sample skewness is clamped to the attainable
+  /// SN range (|gamma| < 0.9953).
+  static SkewNormal fit(std::span<const double> samples);
+  /// Construct from target moments directly.
+  static SkewNormal from_moments(const Moments& m);
+};
+
+/// Log-skew-normal delay model [12]: log(T - shift) ~ SN. The shift keeps
+/// the fit stable when samples are far from zero; shift = 0 matches the
+/// plain LSN of the paper.
+struct LogSkewNormal {
+  SkewNormal log_model;
+  double shift = 0.0;
+
+  double pdf(double x) const;
+  double cdf(double x) const;
+  double quantile(double p) const;
+  double sample(Rng& rng) const;
+
+  /// Fits SN to log(samples - shift) by method of moments. All samples must
+  /// exceed `shift`.
+  static LogSkewNormal fit(std::span<const double> samples, double shift = 0.0);
+};
+
+/// Burr type-XII with scale: F(x) = 1 - (1 + (x/s)^c)^{-k}, x > loc.
+struct BurrXII {
+  double c = 2.0;    ///< first shape (> 0)
+  double k = 1.0;    ///< second shape (> 0)
+  double s = 1.0;    ///< scale (> 0)
+  double loc = 0.0;  ///< location shift
+
+  double pdf(double x) const;
+  double cdf(double x) const;
+  double quantile(double p) const;
+  double sample(Rng& rng) const;
+
+  /// r-th raw moment about loc (requires c*k > r); NaN otherwise.
+  double raw_moment(int r) const;
+  double mean() const;
+  double stddev() const;
+
+  /// Fits shapes by matching sample skewness/kurtosis (Nelder-Mead), then
+  /// scale/location from mean and stddev — the estimator style of [13].
+  static BurrXII fit(std::span<const double> samples);
+};
+
+}  // namespace nsdc

@@ -1,0 +1,57 @@
+#include "stats/grid.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nsdc {
+
+Grid2D::Grid2D(std::vector<double> xs, std::vector<double> ys,
+               std::vector<double> values)
+    : xs_(std::move(xs)), ys_(std::move(ys)), values_(std::move(values)) {
+  if (xs_.size() < 2 || ys_.size() < 2) {
+    throw std::invalid_argument("Grid2D: need at least 2 points per axis");
+  }
+  if (values_.size() != xs_.size() * ys_.size()) {
+    throw std::invalid_argument("Grid2D: value count mismatch");
+  }
+  if (!std::is_sorted(xs_.begin(), xs_.end()) ||
+      !std::is_sorted(ys_.begin(), ys_.end())) {
+    throw std::invalid_argument("Grid2D: axes must be ascending");
+  }
+}
+
+double Grid2D::at(std::size_t ix, std::size_t iy) const {
+  return values_.at(ix * ys_.size() + iy);
+}
+
+void Grid2D::set(std::size_t ix, std::size_t iy, double v) {
+  values_.at(ix * ys_.size() + iy) = v;
+}
+
+namespace {
+// Index of the lower cell edge for query q on ascending axis.
+std::size_t cell_index(const std::vector<double>& axis, double q) {
+  const auto it = std::upper_bound(axis.begin(), axis.end(), q);
+  std::size_t i = it == axis.begin()
+                      ? 0
+                      : static_cast<std::size_t>(it - axis.begin()) - 1;
+  return std::min(i, axis.size() - 2);
+}
+}  // namespace
+
+double Grid2D::lookup(double x, double y) const {
+  const std::size_t ix = cell_index(xs_, x);
+  const std::size_t iy = cell_index(ys_, y);
+  const double x0 = xs_[ix], x1 = xs_[ix + 1];
+  const double y0 = ys_[iy], y1 = ys_[iy + 1];
+  const double tx = (x - x0) / (x1 - x0);
+  const double ty = (y - y0) / (y1 - y0);
+  const double v00 = at(ix, iy);
+  const double v01 = at(ix, iy + 1);
+  const double v10 = at(ix + 1, iy);
+  const double v11 = at(ix + 1, iy + 1);
+  return v00 * (1.0 - tx) * (1.0 - ty) + v10 * tx * (1.0 - ty) +
+         v01 * (1.0 - tx) * ty + v11 * tx * ty;
+}
+
+}  // namespace nsdc

@@ -1,0 +1,32 @@
+#pragma once
+// 2-D lookup grid with bilinear interpolation / clamped extrapolation —
+// the classic NLDM-style (slew x load) table used for mean-delay and
+// output-slew lookup during STA propagation.
+
+#include <span>
+#include <vector>
+
+namespace nsdc {
+
+class Grid2D {
+ public:
+  Grid2D() = default;
+  /// xs, ys strictly ascending; values row-major with shape xs.size() x ys.size().
+  Grid2D(std::vector<double> xs, std::vector<double> ys,
+         std::vector<double> values);
+
+  bool empty() const { return values_.empty(); }
+  std::span<const double> xs() const { return xs_; }
+  std::span<const double> ys() const { return ys_; }
+  double at(std::size_t ix, std::size_t iy) const;
+  void set(std::size_t ix, std::size_t iy, double v);
+
+  /// Bilinear interpolation; outside the grid the query is clamped to the
+  /// boundary cell and extrapolated linearly (standard Liberty behaviour).
+  double lookup(double x, double y) const;
+
+ private:
+  std::vector<double> xs_, ys_, values_;
+};
+
+}  // namespace nsdc

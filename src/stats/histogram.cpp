@@ -1,0 +1,63 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace nsdc {
+
+Histogram::Histogram(std::span<const double> samples, std::size_t bins) {
+  if (samples.empty() || bins == 0) {
+    throw std::invalid_argument("Histogram: empty input");
+  }
+  auto [mn, mx] = std::minmax_element(samples.begin(), samples.end());
+  lo_ = *mn;
+  hi_ = *mx;
+  if (hi_ <= lo_) hi_ = lo_ + 1e-30;
+  counts_.assign(bins, 0);
+  const double inv_width =
+      static_cast<double>(bins) / (hi_ - lo_);
+  for (double x : samples) {
+    auto idx = static_cast<std::size_t>((x - lo_) * inv_width);
+    idx = std::min(idx, bins - 1);
+    ++counts_[idx];
+  }
+  total_ = samples.size();
+}
+
+double Histogram::bin_low(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+double Histogram::bin_high(std::size_t i) const { return bin_low(i + 1); }
+double Histogram::bin_center(std::size_t i) const {
+  return 0.5 * (bin_low(i) + bin_high(i));
+}
+
+double Histogram::density(std::size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return static_cast<double>(counts_.at(i)) /
+         (static_cast<double>(total_) * width);
+}
+
+std::string Histogram::render(std::size_t width, double unit_scale,
+                              const std::string& unit_name) const {
+  const std::size_t peak =
+      *std::max_element(counts_.begin(), counts_.end());
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double center = bin_center(i) / unit_scale;
+    const auto bar_len = peak == 0
+                             ? std::size_t{0}
+                             : counts_[i] * width / peak;
+    os << format_fixed(center, 2);
+    if (!unit_name.empty()) os << ' ' << unit_name;
+    os << " | " << std::string(bar_len, '#') << ' ' << counts_[i] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace nsdc

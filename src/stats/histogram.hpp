@@ -1,0 +1,37 @@
+#pragma once
+// Fixed-bin histogram with an ASCII renderer — used by the figure benches
+// to show distribution shapes (paper Figs. 2, 7, 8) in terminal output.
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace nsdc {
+
+class Histogram {
+ public:
+  /// Builds `bins` equal-width bins covering [min(samples), max(samples)].
+  Histogram(std::span<const double> samples, std::size_t bins);
+
+  std::size_t num_bins() const { return counts_.size(); }
+  double bin_low(std::size_t i) const;
+  double bin_high(std::size_t i) const;
+  double bin_center(std::size_t i) const;
+  std::size_t count(std::size_t i) const { return counts_.at(i); }
+  std::size_t total() const { return total_; }
+  /// Normalized density (count / (total * width)).
+  double density(std::size_t i) const;
+
+  /// Multi-line ASCII bar chart, `width` chars wide, with axis labels in
+  /// the given unit scale (e.g. 1e-12 to print picoseconds).
+  std::string render(std::size_t width = 60, double unit_scale = 1.0,
+                     const std::string& unit_name = "") const;
+
+ private:
+  double lo_ = 0.0;
+  double hi_ = 1.0;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace nsdc

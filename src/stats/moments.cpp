@@ -1,0 +1,78 @@
+#include "stats/moments.hpp"
+
+#include <cmath>
+
+namespace nsdc {
+
+void MomentAccumulator::add(double x) noexcept {
+  const double n1 = static_cast<double>(n_);
+  ++n_;
+  const double n = static_cast<double>(n_);
+  const double delta = x - mean_;
+  const double delta_n = delta / n;
+  const double delta_n2 = delta_n * delta_n;
+  const double term1 = delta * delta_n * n1;
+  mean_ += delta_n;
+  m4_ += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * m2_ -
+         4.0 * delta_n * m3_;
+  m3_ += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * m2_;
+  m2_ += term1;
+}
+
+void MomentAccumulator::merge(const MomentAccumulator& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double n = na + nb;
+  const double delta = other.mean_ - mean_;
+  const double delta2 = delta * delta;
+  const double delta3 = delta2 * delta;
+  const double delta4 = delta3 * delta;
+
+  const double m2 = m2_ + other.m2_ + delta2 * na * nb / n;
+  const double m3 = m3_ + other.m3_ +
+                    delta3 * na * nb * (na - nb) / (n * n) +
+                    3.0 * delta * (na * other.m2_ - nb * m2_) / n;
+  const double m4 =
+      m4_ + other.m4_ +
+      delta4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n) +
+      6.0 * delta2 * (na * na * other.m2_ + nb * nb * m2_) / (n * n) +
+      4.0 * delta * (na * other.m3_ - nb * m3_) / n;
+
+  mean_ += delta * nb / n;
+  m2_ = m2;
+  m3_ = m3;
+  m4_ = m4;
+  n_ = n_ + other.n_;
+}
+
+double MomentAccumulator::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+Moments MomentAccumulator::moments() const noexcept {
+  Moments m;
+  m.mu = mean_;
+  if (n_ < 2) return m;
+  const double n = static_cast<double>(n_);
+  const double var_pop = m2_ / n;
+  m.sigma = std::sqrt(m2_ / (n - 1.0));
+  if (var_pop <= 0.0) return m;
+  const double sd_pop = std::sqrt(var_pop);
+  m.gamma = (m3_ / n) / (sd_pop * sd_pop * sd_pop);
+  m.kappa = (m4_ / n) / (var_pop * var_pop) - 3.0;
+  return m;
+}
+
+Moments compute_moments(std::span<const double> samples) {
+  MomentAccumulator acc;
+  for (double x : samples) acc.add(x);
+  return acc.moments();
+}
+
+}  // namespace nsdc

@@ -1,0 +1,58 @@
+#pragma once
+// First-four-moment statistics.
+//
+// The N-sigma model (paper Sec. III) is parameterized by the moment vector
+// [mu, sigma, gamma, kappa] of a delay sample set. Convention used across
+// the library:
+//   mu     — arithmetic mean
+//   sigma  — standard deviation (unbiased, n-1)
+//   gamma  — skewness, E[(x-mu)^3]/sigma^3
+//   kappa  — EXCESS kurtosis, E[(x-mu)^4]/sigma^4 - 3
+//
+// kappa is stored as excess so that a Gaussian sample has gamma = kappa = 0
+// and every Table-I quantile expression degenerates exactly to mu + n*sigma
+// (the regression forms have no intercept, so this is the only convention
+// under which the model is unbiased for Gaussian inputs).
+
+#include <cstddef>
+#include <span>
+
+namespace nsdc {
+
+/// Moment vector of a sample set.
+struct Moments {
+  double mu = 0.0;     ///< mean
+  double sigma = 0.0;  ///< standard deviation
+  double gamma = 0.0;  ///< skewness
+  double kappa = 0.0;  ///< excess kurtosis (Gaussian = 0)
+
+  /// Coefficient of variation sigma/mu (wire-variability X in Sec. IV).
+  double variability() const { return mu != 0.0 ? sigma / mu : 0.0; }
+};
+
+/// One-pass numerically stable accumulator for the first four moments
+/// (Pebay's updating formulas — the 4th-order generalization of Welford).
+class MomentAccumulator {
+ public:
+  void add(double x) noexcept;
+  void merge(const MomentAccumulator& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  /// Finalized moments; requires count() >= 2 for sigma, >= 4 recommended.
+  Moments moments() const noexcept;
+
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept;  ///< unbiased (n-1)
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double m3_ = 0.0;
+  double m4_ = 0.0;
+};
+
+/// Batch helper: moments of a sample span.
+Moments compute_moments(std::span<const double> samples);
+
+}  // namespace nsdc

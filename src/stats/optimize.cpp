@@ -1,0 +1,87 @@
+#include "stats/optimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nsdc {
+
+NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& fn,
+    std::vector<double> x0, const NelderMeadOptions& opts) {
+  const std::size_t n = x0.size();
+  struct Vertex {
+    std::vector<double> x;
+    double f;
+  };
+  std::vector<Vertex> simplex;
+  simplex.reserve(n + 1);
+  simplex.push_back({x0, fn(x0)});
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> v = x0;
+    const double step = v[i] != 0.0 ? opts.initial_step * std::fabs(v[i])
+                                    : opts.initial_step;
+    v[i] += step;
+    simplex.push_back({v, fn(v)});
+  }
+  auto order = [&] {
+    std::sort(simplex.begin(), simplex.end(),
+              [](const Vertex& a, const Vertex& b) { return a.f < b.f; });
+  };
+  order();
+
+  constexpr double alpha = 1.0, gamma = 2.0, rho = 0.5, sigma = 0.5;
+  NelderMeadResult result;
+  std::size_t iter = 0;
+  for (; iter < opts.max_iters; ++iter) {
+    if (std::fabs(simplex.back().f - simplex.front().f) < opts.f_tol) {
+      result.converged = true;
+      break;
+    }
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t d = 0; d < n; ++d) centroid[d] += simplex[i].x[d];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    auto combine = [&](double t) {
+      std::vector<double> v(n);
+      for (std::size_t d = 0; d < n; ++d) {
+        v[d] = centroid[d] + t * (centroid[d] - simplex.back().x[d]);
+      }
+      return v;
+    };
+
+    const std::vector<double> xr = combine(alpha);
+    const double fr = fn(xr);
+    if (fr < simplex.front().f) {
+      const std::vector<double> xe = combine(gamma);
+      const double fe = fn(xe);
+      simplex.back() = fe < fr ? Vertex{xe, fe} : Vertex{xr, fr};
+    } else if (fr < simplex[n - 1].f) {
+      simplex.back() = {xr, fr};
+    } else {
+      const std::vector<double> xc = combine(-rho);
+      const double fc = fn(xc);
+      if (fc < simplex.back().f) {
+        simplex.back() = {xc, fc};
+      } else {
+        // Shrink toward best.
+        for (std::size_t i = 1; i <= n; ++i) {
+          for (std::size_t d = 0; d < n; ++d) {
+            simplex[i].x[d] =
+                simplex[0].x[d] + sigma * (simplex[i].x[d] - simplex[0].x[d]);
+          }
+          simplex[i].f = fn(simplex[i].x);
+        }
+      }
+    }
+    order();
+  }
+  result.x = simplex.front().x;
+  result.fx = simplex.front().f;
+  result.iterations = iter;
+  return result;
+}
+
+}  // namespace nsdc

@@ -1,0 +1,29 @@
+#pragma once
+// Nelder-Mead simplex minimizer for the low-dimensional distribution fits
+// (Burr XII shape parameters, skew-normal MLE refinement).
+
+#include <functional>
+#include <vector>
+
+namespace nsdc {
+
+struct NelderMeadOptions {
+  std::size_t max_iters = 2000;
+  double f_tol = 1e-12;        ///< stop when simplex f-spread falls below
+  double initial_step = 0.25;  ///< relative perturbation building the simplex
+};
+
+struct NelderMeadResult {
+  std::vector<double> x;
+  double fx = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Minimizes fn over R^n starting at x0. fn may return +inf to reject a
+/// region (used to enforce positivity constraints on shape parameters).
+NelderMeadResult nelder_mead(const std::function<double(const std::vector<double>&)>& fn,
+                             std::vector<double> x0,
+                             const NelderMeadOptions& opts = {});
+
+}  // namespace nsdc

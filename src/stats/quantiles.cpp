@@ -1,0 +1,271 @@
+#include "stats/quantiles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace nsdc {
+
+double normal_pdf(double x) {
+  return std::exp(-0.5 * x * x) / std::sqrt(2.0 * std::numbers::pi);
+}
+
+double normal_cdf(double x) {
+  return 0.5 * std::erfc(-x / std::numbers::sqrt2);
+}
+
+double normal_quantile(double p) {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::domain_error("normal_quantile: p must be in (0,1)");
+  }
+  // Acklam's algorithm.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1.0 - p_low;
+  double x = 0.0;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= p_high) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement step for ~1e-15 accuracy.
+  const double e = normal_cdf(x) - p;
+  const double u = e * std::sqrt(2.0 * std::numbers::pi) * std::exp(0.5 * x * x);
+  x = x - u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+double sigma_level_probability(double n_sigma) { return normal_cdf(n_sigma); }
+
+double quantile_sorted(std::span<const double> sorted, double p) {
+  if (sorted.empty()) throw std::invalid_argument("quantile: empty sample");
+  if (sorted.size() == 1) return sorted[0];
+  p = std::clamp(p, 0.0, 1.0);
+  const double h = p * (static_cast<double>(sorted.size()) - 1.0);
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double quantile(std::span<const double> samples, double p) {
+  const std::vector<double> s = sorted_copy(samples);
+  return quantile_sorted(s, p);
+}
+
+std::array<double, 7> sigma_quantiles(std::span<const double> samples) {
+  const std::vector<double> s = sorted_copy(samples);
+  std::array<double, 7> out{};
+  for (std::size_t i = 0; i < kSigmaLevels.size(); ++i) {
+    out[i] = quantile_sorted(s, sigma_level_probability(kSigmaLevels[i]));
+  }
+  return out;
+}
+
+namespace {
+// Continued-fraction kernel for the incomplete beta (Lentz's algorithm).
+double betacf(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kFpMin = 1e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_bt = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                       a * std::log(x) + b * std::log1p(-x);
+  const double bt = std::exp(ln_bt);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return bt * betacf(a, b, x) / a;
+  }
+  return 1.0 - bt * betacf(b, a, 1.0 - x) / b;
+}
+
+double hd_quantile_sorted(std::span<const double> sorted, double p) {
+  const std::size_t n = sorted.size();
+  if (n == 0) throw std::invalid_argument("hd_quantile: empty sample");
+  if (n == 1) return sorted[0];
+  p = std::clamp(p, 1e-12, 1.0 - 1e-12);
+  const double a = (static_cast<double>(n) + 1.0) * p;
+  const double b = (static_cast<double>(n) + 1.0) * (1.0 - p);
+  double est = 0.0;
+  double prev = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i + 1) / static_cast<double>(n);
+    const double cum = incomplete_beta(a, b, x);
+    est += (cum - prev) * sorted[i];
+    prev = cum;
+    if (prev >= 1.0 - 1e-14 && i + 1 < n) {
+      break;  // remaining weights are ~0
+    }
+  }
+  return est;
+}
+
+double hd_quantile(std::span<const double> samples, double p) {
+  const std::vector<double> s = sorted_copy(samples);
+  return hd_quantile_sorted(s, p);
+}
+
+std::array<double, 7> sigma_quantiles_hd(std::span<const double> samples) {
+  const std::vector<double> s = sorted_copy(samples);
+  std::array<double, 7> out{};
+  for (std::size_t i = 0; i < kSigmaLevels.size(); ++i) {
+    out[i] = hd_quantile_sorted(s, sigma_level_probability(kSigmaLevels[i]));
+  }
+  return out;
+}
+
+namespace {
+
+// Generalized-Pareto fit to exceedances by probability-weighted moments
+// (Hosking & Wallis): returns {xi, sigma}; ok=false when degenerate.
+struct GpdFit {
+  double xi = 0.0;
+  double sigma = 0.0;
+  bool ok = false;
+};
+
+GpdFit fit_gpd_pwm(const std::vector<double>& exceedances) {
+  GpdFit fit;
+  const std::size_t n = exceedances.size();
+  if (n < 8) return fit;
+  // exceedances must be sorted ascending.
+  double b0 = 0.0, b1 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    b0 += exceedances[i];
+    // Hosking's a1 = E[X (1 - F(X))], with plotting position
+    // F_i = (i + 0.65)/n on the ascending exceedances.
+    b1 += exceedances[i] *
+          (1.0 - (static_cast<double>(i) + 0.65) / static_cast<double>(n));
+  }
+  b0 /= static_cast<double>(n);
+  b1 /= static_cast<double>(n);
+  const double denom = b0 - 2.0 * b1;
+  if (std::fabs(denom) < 1e-300) return fit;
+  fit.xi = 2.0 - b0 / denom;
+  fit.sigma = 2.0 * b0 * b1 / denom;
+  // Guard against wild shapes; |xi| > 1 means infinite-variance fits that
+  // only amplify noise.
+  if (!(fit.sigma > 0.0) || std::fabs(fit.xi) > 1.0) return fit;
+  fit.ok = true;
+  return fit;
+}
+
+}  // namespace
+
+double pot_quantile_sorted(std::span<const double> sorted, double p,
+                           double tail_fraction) {
+  const std::size_t n = sorted.size();
+  if (n == 0) throw std::invalid_argument("pot_quantile: empty sample");
+  const bool lower = p < 0.5;
+  const double tail_p = lower ? p : 1.0 - p;
+  if (tail_p >= tail_fraction || n < 80) {
+    return quantile_sorted(sorted, p);  // not in the fitted tail
+  }
+  const auto n_tail = static_cast<std::size_t>(
+      std::floor(tail_fraction * static_cast<double>(n)));
+  // Threshold = the order statistic bounding the tail block.
+  std::vector<double> exceed;
+  exceed.reserve(n_tail);
+  double u = 0.0;
+  if (lower) {
+    u = sorted[n_tail];
+    for (std::size_t i = 0; i < n_tail; ++i) exceed.push_back(u - sorted[n_tail - 1 - i]);
+  } else {
+    u = sorted[n - 1 - n_tail];
+    for (std::size_t i = 0; i < n_tail; ++i) {
+      exceed.push_back(sorted[n - n_tail + i] - u);
+    }
+  }
+  std::sort(exceed.begin(), exceed.end());
+  const GpdFit fit = fit_gpd_pwm(exceed);
+  if (!fit.ok) return quantile_sorted(sorted, p);
+  const double pu = static_cast<double>(n_tail) / static_cast<double>(n);
+  const double ratio = tail_p / pu;  // in (0,1)
+  double y;
+  if (std::fabs(fit.xi) < 1e-8) {
+    y = -fit.sigma * std::log(ratio);
+  } else {
+    y = fit.sigma / fit.xi * (std::pow(ratio, -fit.xi) - 1.0);
+  }
+  return lower ? u - y : u + y;
+}
+
+std::array<double, 7> sigma_quantiles_smoothed(
+    std::span<const double> samples) {
+  const std::vector<double> s = sorted_copy(samples);
+  std::array<double, 7> out{};
+  for (std::size_t i = 0; i < kSigmaLevels.size(); ++i) {
+    const double p = sigma_level_probability(kSigmaLevels[i]);
+    const int lvl = kSigmaLevels[i];
+    // POT only where it wins: the heavy upper tail. The lower tail of a
+    // delay distribution is short/compressed, where the order statistic
+    // is already tight and the GPD fit adds noise.
+    out[i] = lvl >= 2 ? pot_quantile_sorted(s, p) : quantile_sorted(s, p);
+  }
+  // POT fits of the two tail levels are independent; enforce ordering.
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    out[i] = std::max(out[i], out[i - 1]);
+  }
+  return out;
+}
+
+std::vector<double> sorted_copy(std::span<const double> samples) {
+  std::vector<double> s(samples.begin(), samples.end());
+  std::sort(s.begin(), s.end());
+  return s;
+}
+
+}  // namespace nsdc

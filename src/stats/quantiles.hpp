@@ -1,0 +1,67 @@
+#pragma once
+// Empirical quantiles and the sigma-level <-> probability mapping used by
+// the N-sigma model (paper Table I: -3s..+3s correspond to the Gaussian
+// percentiles 0.14%, 2.28%, 15.87%, 50%, 84.13%, 97.72%, 99.86%).
+
+#include <array>
+#include <span>
+#include <vector>
+
+namespace nsdc {
+
+/// Standard normal CDF.
+double normal_cdf(double x);
+/// Standard normal PDF.
+double normal_pdf(double x);
+/// Inverse standard normal CDF (Acklam's rational approximation, |err|<1e-9).
+double normal_quantile(double p);
+
+/// Probability mass below the n-sigma point of a standard normal, i.e. the
+/// "percent defective" column of Table I (n = -3 -> 0.00135, n = 0 -> 0.5).
+double sigma_level_probability(double n_sigma);
+
+/// Sigma levels evaluated by the paper.
+inline constexpr std::array<int, 7> kSigmaLevels{-3, -2, -1, 0, 1, 2, 3};
+
+/// Empirical p-quantile (type-7 linear interpolation, the R/NumPy default).
+/// `sorted` must be ascending.
+double quantile_sorted(std::span<const double> sorted, double p);
+
+/// Empirical quantile of an unsorted sample (copies + sorts).
+double quantile(std::span<const double> samples, double p);
+
+/// Regularized incomplete beta function I_x(a, b) (continued fraction).
+double incomplete_beta(double a, double b, double x);
+
+/// Harrell-Davis quantile estimator: a Beta((n+1)p, (n+1)(1-p))-weighted
+/// average of ALL order statistics. At extreme probabilities (the +-3s
+/// levels with a few hundred samples) it has several times less variance
+/// than the single-order-statistic estimate, which is why library
+/// characterization uses it for its quantile labels.
+double hd_quantile_sorted(std::span<const double> sorted, double p);
+double hd_quantile(std::span<const double> samples, double p);
+
+/// All seven sigma-level quantiles of a sample, ordered -3s..+3s.
+std::array<double, 7> sigma_quantiles(std::span<const double> samples);
+
+/// Harrell-Davis version of the seven sigma-level quantiles.
+std::array<double, 7> sigma_quantiles_hd(std::span<const double> samples);
+
+/// Tail quantile via peaks-over-threshold: a generalized-Pareto fit
+/// (probability-weighted moments) to the empirical tail beyond the
+/// `tail_fraction` threshold, evaluated at probability p. Falls back to
+/// the order-statistic estimate when p is not in the fitted tail or the
+/// fit degenerates. This is the low-variance estimator characterization
+/// uses for its +-2s/+-3s labels — with a few hundred samples the raw
+/// 0.135% order statistic is essentially the sample minimum.
+double pot_quantile_sorted(std::span<const double> sorted, double p,
+                           double tail_fraction = 0.12);
+
+/// Seven sigma-level quantiles with POT-smoothed +-2s/+-3s entries and
+/// order-statistic inner levels.
+std::array<double, 7> sigma_quantiles_smoothed(std::span<const double> samples);
+
+/// Sorted copy helper.
+std::vector<double> sorted_copy(std::span<const double> samples);
+
+}  // namespace nsdc

@@ -1,0 +1,130 @@
+#include "stats/regression.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nsdc {
+
+std::vector<double> cholesky_solve(std::vector<double> a, std::size_t n,
+                                   std::vector<double> b) {
+  if (a.size() != n * n || b.size() != n) {
+    throw std::invalid_argument("cholesky_solve: shape mismatch");
+  }
+  // Numerical-singularity floor relative to the input scale.
+  double max_diag = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    max_diag = std::max(max_diag, std::fabs(a[j * n + j]));
+  }
+  const double floor = 1e-13 * max_diag;
+  // In-place lower Cholesky: A = L L^T.
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a[j * n + j];
+    for (std::size_t k = 0; k < j; ++k) diag -= a[j * n + k] * a[j * n + k];
+    if (diag <= floor) {
+      throw std::runtime_error(
+          "cholesky_solve: matrix not (numerically) positive definite");
+    }
+    const double ljj = std::sqrt(diag);
+    a[j * n + j] = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) s -= a[i * n + k] * a[j * n + k];
+      a[i * n + j] = s / ljj;
+    }
+  }
+  // Forward solve L z = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= a[i * n + k] * b[k];
+    b[i] = s / a[i * n + i];
+  }
+  // Back solve L^T x = z.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= a[k * n + ii] * b[k];
+    b[ii] = s / a[ii * n + ii];
+  }
+  return b;
+}
+
+FitResult least_squares(std::span<const double> x, std::size_t n_rows,
+                        std::size_t n_cols, std::span<const double> y,
+                        double lambda) {
+  if (x.size() != n_rows * n_cols || y.size() != n_rows) {
+    throw std::invalid_argument("least_squares: shape mismatch");
+  }
+  if (n_rows < n_cols) {
+    throw std::invalid_argument("least_squares: underdetermined system");
+  }
+  // Normal equations: (X^T X + lambda I) beta = X^T y.
+  std::vector<double> xtx(n_cols * n_cols, 0.0);
+  std::vector<double> xty(n_cols, 0.0);
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    const double* row = &x[r * n_cols];
+    for (std::size_t i = 0; i < n_cols; ++i) {
+      xty[i] += row[i] * y[r];
+      for (std::size_t j = i; j < n_cols; ++j) {
+        xtx[i * n_cols + j] += row[i] * row[j];
+      }
+    }
+  }
+  // The ridge penalty is RELATIVE to the data scale (mean diagonal of
+  // X^T X) so that callers can pass unit-free lambdas regardless of the
+  // units of the design matrix.
+  double diag_mean = 0.0;
+  for (std::size_t i = 0; i < n_cols; ++i) diag_mean += xtx[i * n_cols + i];
+  diag_mean /= static_cast<double>(n_cols);
+  const double ridge = lambda * std::max(diag_mean, 1e-300);
+  for (std::size_t i = 0; i < n_cols; ++i) {
+    xtx[i * n_cols + i] += ridge;
+    for (std::size_t j = 0; j < i; ++j) {
+      xtx[i * n_cols + j] = xtx[j * n_cols + i];
+    }
+  }
+  FitResult out;
+  out.beta = cholesky_solve(std::move(xtx), n_cols, std::move(xty));
+
+  // Goodness of fit.
+  double y_mean = 0.0;
+  for (double v : y) y_mean += v;
+  y_mean /= static_cast<double>(n_rows);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    double pred = 0.0;
+    for (std::size_t c = 0; c < n_cols; ++c) pred += x[r * n_cols + c] * out.beta[c];
+    const double res = y[r] - pred;
+    ss_res += res * res;
+    const double dev = y[r] - y_mean;
+    ss_tot += dev * dev;
+  }
+  out.rmse = std::sqrt(ss_res / static_cast<double>(n_rows));
+  out.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return out;
+}
+
+FitResult least_squares(const std::vector<std::vector<double>>& rows,
+                        std::span<const double> y, double lambda) {
+  if (rows.empty()) throw std::invalid_argument("least_squares: no rows");
+  const std::size_t n_cols = rows.front().size();
+  std::vector<double> flat;
+  flat.reserve(rows.size() * n_cols);
+  for (const auto& r : rows) {
+    if (r.size() != n_cols) {
+      throw std::invalid_argument("least_squares: ragged rows");
+    }
+    flat.insert(flat.end(), r.begin(), r.end());
+  }
+  return least_squares(flat, rows.size(), n_cols, y, lambda);
+}
+
+double predict_row(std::span<const double> row, std::span<const double> beta) {
+  if (row.size() != beta.size()) {
+    throw std::invalid_argument("predict_row: arity mismatch");
+  }
+  double s = 0.0;
+  for (std::size_t i = 0; i < row.size(); ++i) s += row[i] * beta[i];
+  return s;
+}
+
+}  // namespace nsdc

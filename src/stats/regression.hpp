@@ -1,0 +1,43 @@
+#pragma once
+// Ordinary / ridge least squares on small dense design matrices.
+//
+// Used to fit:
+//  * Table-I quantile coefficients A_ni, B_nj (moments -> sigma quantiles),
+//  * the Eq. 2/3 calibration surfaces (operating conditions -> moments),
+//  * the ML-wire baseline [9].
+
+#include <span>
+#include <vector>
+
+namespace nsdc {
+
+/// Result of a least-squares fit y ~ X * beta.
+struct FitResult {
+  std::vector<double> beta;  ///< coefficients, one per design column
+  double r_squared = 0.0;    ///< coefficient of determination
+  double rmse = 0.0;         ///< root mean squared residual
+};
+
+/// Solves min_beta ||y - X beta||^2 + lambda_rel ||beta||^2 via the normal
+/// equations with Cholesky. X is row-major, n_rows x n_cols. The ridge
+/// strength is relative: the effective penalty is lambda * mean(diag(X^T X)),
+/// making `lambda` unit-free. lambda = 0 gives plain OLS. Throws
+/// std::invalid_argument on shape mismatch and std::runtime_error if the
+/// normal matrix is singular (rank-deficient X with lambda == 0).
+FitResult least_squares(std::span<const double> x_rowmajor,
+                        std::size_t n_rows, std::size_t n_cols,
+                        std::span<const double> y, double lambda = 0.0);
+
+/// Convenience wrapper: rows as vector-of-vectors.
+FitResult least_squares(const std::vector<std::vector<double>>& rows,
+                        std::span<const double> y, double lambda = 0.0);
+
+/// Dot product of a design row with coefficients.
+double predict_row(std::span<const double> row, std::span<const double> beta);
+
+/// Symmetric positive-definite solve A x = b via Cholesky (in-place copy).
+/// A is row-major n x n. Throws std::runtime_error if not SPD.
+std::vector<double> cholesky_solve(std::vector<double> a, std::size_t n,
+                                   std::vector<double> b);
+
+}  // namespace nsdc

@@ -1,0 +1,32 @@
+#include "util/threading.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace nsdc {
+
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                  unsigned threads) {
+  if (count == 0) return;
+  unsigned n = threads != 0 ? threads : std::thread::hardware_concurrency();
+  n = std::max(1u, std::min<unsigned>(n, static_cast<unsigned>(count)));
+  if (n == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(n);
+  const std::size_t chunk = (count + n - 1) / n;
+  for (unsigned t = 0; t < n; ++t) {
+    const std::size_t begin = static_cast<std::size_t>(t) * chunk;
+    const std::size_t end = std::min(count, begin + chunk);
+    if (begin >= end) break;
+    pool.emplace_back([&fn, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace nsdc

@@ -1,0 +1,17 @@
+#pragma once
+// parallel_for: a tiny fork-join helper used by the Monte-Carlo engines.
+// Deterministic work partitioning (static block split) so that per-index
+// RNG streams make results independent of the thread count.
+
+#include <cstddef>
+#include <functional>
+
+namespace nsdc {
+
+/// Runs fn(i) for i in [0, count) across up to `threads` workers.
+/// threads == 0 picks std::thread::hardware_concurrency().
+/// fn must be safe to call concurrently for distinct i.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                  unsigned threads = 0);
+
+}  // namespace nsdc

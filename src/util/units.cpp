@@ -1,0 +1,34 @@
+#include "util/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace nsdc {
+
+std::string format_fixed(double value, int digits) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", digits, value);
+  return std::string(buf.data());
+}
+
+std::string format_time(double seconds) {
+  struct Unit {
+    double scale;
+    const char* suffix;
+  };
+  static constexpr std::array<Unit, 5> units{{{1e-12, "ps"},
+                                              {1e-9, "ns"},
+                                              {1e-6, "us"},
+                                              {1e-3, "ms"},
+                                              {1.0, "s"}}};
+  const double mag = std::fabs(seconds);
+  for (const auto& u : units) {
+    if (mag < u.scale * 1e3 || u.scale == 1.0) {
+      return format_fixed(seconds / u.scale, 3) + " " + u.suffix;
+    }
+  }
+  return format_fixed(seconds, 3) + " s";
+}
+
+}  // namespace nsdc

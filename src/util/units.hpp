@@ -1,0 +1,35 @@
+#pragma once
+// SI unit constants and pretty-printing helpers.
+//
+// The whole library computes in SI units (seconds, volts, farads, ohms,
+// metres). Benches and reports convert at the boundary with these helpers.
+
+#include <string>
+
+namespace nsdc {
+
+inline constexpr double kPico = 1e-12;
+inline constexpr double kNano = 1e-9;
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kKilo = 1e3;
+inline constexpr double kFemto = 1e-15;
+
+/// Seconds -> picoseconds.
+inline constexpr double to_ps(double seconds) { return seconds / kPico; }
+/// Picoseconds -> seconds.
+inline constexpr double from_ps(double ps) { return ps * kPico; }
+/// Seconds -> nanoseconds.
+inline constexpr double to_ns(double seconds) { return seconds / kNano; }
+/// Farads -> femtofarads.
+inline constexpr double to_ff(double farads) { return farads / kFemto; }
+/// Femtofarads -> farads.
+inline constexpr double from_ff(double ff) { return ff * kFemto; }
+
+/// Formats a double with fixed precision (no locale surprises).
+std::string format_fixed(double value, int digits);
+
+/// Formats seconds as a human-readable time with unit suffix (ps/ns/us/ms/s).
+std::string format_time(double seconds);
+
+}  // namespace nsdc

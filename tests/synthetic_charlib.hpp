@@ -1,0 +1,163 @@
+#pragma once
+// Test fixture: an analytically-constructed CharLib whose moment surfaces
+// and quantiles follow closed forms matching the model's functional family
+// exactly. Model-fitting code (Table I regression, calibration surfaces,
+// wire coefficients) must recover these synthetic truths to tight
+// tolerances — no circuit simulation involved, so the tests are fast and
+// deterministic.
+
+#include <array>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "liberty/charlib.hpp"
+#include "pdk/cells.hpp"
+
+namespace nsdc::testfix {
+
+/// Ground-truth Table-I coefficients used by the synthetic quantiles
+/// (columns: sigma*gamma, sigma*kappa, sigma*gamma*kappa), respecting the
+/// per-level active-term mask.
+inline const std::array<std::array<double, 3>, 7>& true_table1() {
+  static const std::array<std::array<double, 3>, 7> k = {{
+      {0.0, -0.35, 0.06},    // -3
+      {-0.25, -0.12, 0.04},  // -2
+      {-0.30, 0.0, 0.02},    // -1
+      {-0.16, 0.0, 0.01},    //  0
+      {0.22, 0.0, -0.02},    // +1
+      {0.45, 0.18, -0.03},   // +2
+      {0.0, 0.55, -0.05},    // +3
+  }};
+  return k;
+}
+
+/// Synthetic quantiles from moments via the ground-truth coefficients.
+inline std::array<double, 7> synthetic_quantiles(const Moments& m) {
+  std::array<double, 7> q{};
+  const auto& k = true_table1();
+  for (int lv = 0; lv < 7; ++lv) {
+    const int n = lv - 3;
+    const auto l = static_cast<std::size_t>(lv);
+    q[l] = m.mu + n * m.sigma + k[l][0] * m.sigma * m.gamma +
+           k[l][1] * m.sigma * m.kappa +
+           k[l][2] * m.sigma * m.gamma * m.kappa;
+  }
+  return q;
+}
+
+struct SyntheticArcSpec {
+  std::string cell = "INVx1";
+  bool in_rising = true;
+  double mu0 = 40e-12;
+  double sigma0 = 10e-12;
+  double gamma0 = 0.9;
+  double kappa0 = 1.4;
+};
+
+/// Moments as smooth functions of the operating condition, built exactly
+/// from the calibration functional family (bilinear mu/sigma, cubic
+/// gamma/kappa, both with a cross term) in the model's scaled coordinates
+/// (s_scale = 100 ps, c_scale = 1 fF).
+inline Moments synthetic_moments(const SyntheticArcSpec& spec, double slew,
+                                 double load, double s_ref, double c_ref) {
+  const double ds = (slew - s_ref) / 100e-12;
+  const double dc = (load - c_ref) / 1e-15;
+  Moments m;
+  m.mu = spec.mu0 + 8e-12 * ds + 3e-12 * dc + 0.5e-12 * ds * dc;
+  m.sigma = spec.sigma0 + 2e-12 * ds + 0.8e-12 * dc + 0.1e-12 * ds * dc;
+  m.gamma = spec.gamma0 + 0.05 * ds - 0.02 * dc + 0.01 * ds * ds -
+            0.004 * dc * dc + 0.002 * ds * ds * ds + 0.0008 * dc * dc * dc +
+            0.003 * ds * dc;
+  m.kappa = spec.kappa0 - 0.06 * ds + 0.03 * dc - 0.008 * ds * ds +
+            0.003 * dc * dc + 0.001 * ds * ds * ds - 0.0006 * dc * dc * dc -
+            0.002 * ds * dc;
+  return m;
+}
+
+inline ArcCharData make_arc(const SyntheticArcSpec& spec) {
+  ArcCharData arc;
+  arc.cell = spec.cell;
+  arc.pin = 0;
+  arc.in_rising = spec.in_rising;
+  arc.slews = {10e-12, 60e-12, 150e-12, 300e-12, 500e-12};
+  arc.loads = {0.4e-15, 1.6e-15, 4e-15, 7.2e-15, 12e-15};
+  for (double s : arc.slews) {
+    for (double c : arc.loads) {
+      ConditionStats cs;
+      cs.moments = synthetic_moments(spec, s, c, arc.slews.front(),
+                                     arc.loads.front());
+      cs.quantiles = synthetic_quantiles(cs.moments);
+      cs.mean_delay = cs.moments.mu;
+      cs.mean_out_slew = 0.8 * s + 20e-12 + 2e3 * c;  // smooth slew table
+      arc.grid.push_back(std::move(cs));
+    }
+  }
+  return arc;
+}
+
+/// Ground-truth wire coefficients (per function family, matching the
+/// model's identifiable parameterization) plus the intrinsic intercept.
+inline double true_x_intrinsic() { return 0.045; }
+inline double true_x_drive(const std::string& cell) {
+  if (cell.find("INV") != std::string::npos) return 0.9;
+  return cell.find("NAND") != std::string::npos ? 0.7 : 0.6;
+}
+inline double true_x_load(const std::string& cell) {
+  if (cell.find("INV") != std::string::npos) return 0.35;
+  return cell.find("NAND") != std::string::npos ? 0.45 : 0.5;
+}
+
+/// A full synthetic library over a handful of cells, with wire
+/// observations generated from Eq. 7 using the arcs' variabilities.
+inline CharLib make_charlib() {
+  CharLib lib;
+  lib.set_tech(TechParams::nominal28());
+
+  // Per-cell base moments: variability shrinks with strength (Pelgrom).
+  const std::vector<std::string> cells = {"INVx1", "INVx2", "INVx4", "INVx8",
+                                          "NAND2x1", "NAND2x2", "NOR2x2"};
+  for (const auto& name : cells) {
+    const auto xpos = name.rfind('x');
+    const double strength = std::stod(name.substr(xpos + 1));
+    for (bool rising : {true, false}) {
+      SyntheticArcSpec spec;
+      spec.cell = name;
+      spec.in_rising = rising;
+      spec.mu0 = (name.find("INV") == 0 ? 35e-12 : 55e-12) * (rising ? 1.0 : 1.1);
+      spec.sigma0 = spec.mu0 * 0.30 / std::sqrt(strength);
+      spec.gamma0 = 0.8 + 0.1 * (rising ? 1.0 : -1.0);
+      spec.kappa0 = 1.2;
+      lib.add_arc(make_arc(spec));
+    }
+  }
+
+  // Wire observations: X_w = XFI(d) * V(d) + XFO(l) * V(l) exactly.
+  const std::vector<std::string> drivers = {"INVx1", "INVx2", "INVx4",
+                                            "INVx8", "NAND2x2", "NOR2x2"};
+  const std::vector<std::string> loads = {"INVx1", "INVx2", "INVx4",
+                                          "NAND2x2"};
+  int tree_id = 0;
+  for (const auto& d : drivers) {
+    for (const auto& l : loads) {
+      WireObservation obs;
+      obs.driver_cell = d;
+      obs.load_cell = l;
+      obs.tree_id = tree_id++ % 2;
+      obs.elmore = 15e-12;
+      const double xw = true_x_intrinsic() +
+                        true_x_drive(d) * lib.cell_variability(d) +
+                        true_x_load(l) * lib.cell_variability(l);
+      obs.wire_moments.mu = obs.elmore;
+      obs.wire_moments.sigma = xw * obs.elmore;
+      for (int lv = 0; lv < 7; ++lv) {
+        obs.quantiles[static_cast<std::size_t>(lv)] =
+            (1.0 + (lv - 3) * xw) * obs.elmore;
+      }
+      lib.add_wire_observation(std::move(obs));
+    }
+  }
+  return lib;
+}
+
+}  // namespace nsdc::testfix

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/cellmodels.hpp"
+#include "baselines/corner_sta.hpp"
+#include "baselines/correction.hpp"
+#include "baselines/ml_wire.hpp"
+#include "stats/quantiles.hpp"
+#include "synthetic_charlib.hpp"
+#include "util/rng.hpp"
+
+namespace nsdc {
+namespace {
+
+using testfix::make_charlib;
+
+std::vector<double> skewed_samples(int n, std::uint64_t seed) {
+  // Lognormal-ish, the shape near-threshold delay takes.
+  Rng rng(seed);
+  std::vector<double> xs;
+  for (int i = 0; i < n; ++i) {
+    xs.push_back(20e-12 * std::exp(rng.normal(0.0, 0.35)));
+  }
+  return xs;
+}
+
+TEST(CellModels, GaussianFitsGaussianData) {
+  Rng rng(1);
+  std::vector<double> xs;
+  for (int i = 0; i < 100000; ++i) xs.push_back(rng.normal(50e-12, 5e-12));
+  GaussianDelayModel m;
+  m.fit(xs);
+  const auto q = m.sigma_level_quantiles();
+  EXPECT_NEAR(q[3], 50e-12, 0.2e-12);
+  EXPECT_NEAR(q[6], 65e-12, 0.5e-12);
+}
+
+TEST(CellModels, LsnBeatsGaussianOnSkewedTail) {
+  const auto xs = skewed_samples(120000, 2);
+  const auto truth = sigma_quantiles(xs);
+  LsnDelayModel lsn;
+  GaussianDelayModel gauss;
+  lsn.fit(xs);
+  gauss.fit(xs);
+  const double e_lsn = std::fabs(lsn.sigma_level_quantiles()[6] - truth[6]);
+  const double e_gauss = std::fabs(gauss.sigma_level_quantiles()[6] - truth[6]);
+  EXPECT_LT(e_lsn, e_gauss);
+  EXPECT_LT(e_lsn / truth[6], 0.05);  // LSN is a good model for lognormal
+}
+
+TEST(CellModels, BurrFitsItsOwnFamily) {
+  BurrXII truth{3.0, 2.0, 30e-12, 10e-12};
+  Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 100000; ++i) xs.push_back(truth.sample(rng));
+  BurrDelayModel m;
+  m.fit(xs);
+  const auto emp = sigma_quantiles(xs);
+  const auto q = m.sigma_level_quantiles();
+  EXPECT_NEAR(q[3], emp[3], 0.05 * emp[3]);
+  EXPECT_NEAR(q[5], emp[5], 0.10 * emp[5]);
+}
+
+TEST(CellModels, NamesAreStable) {
+  EXPECT_EQ(GaussianDelayModel().name(), "Gaussian");
+  EXPECT_EQ(LsnDelayModel().name(), "LSN");
+  EXPECT_EQ(BurrDelayModel().name(), "Burr");
+}
+
+class BaselinePathTest : public ::testing::Test {
+ protected:
+  BaselinePathTest()
+      : charlib(make_charlib()),
+        cells(CellLibrary::standard()),
+        cell_model(NSigmaCellModel::fit(charlib)) {
+    for (int i = 0; i < 4; ++i) {
+      PathStage st;
+      st.cell = &cells.by_name("INVx2");
+      st.pin = 0;
+      st.in_rising = true;
+      st.input_slew = 60e-12;
+      st.output_load = 2e-15;
+      const int sink = st.wire.add_node(0, 300.0, 3e-15);
+      st.wire.mark_sink(sink, "n:0");
+      st.sink_node = sink;
+      st.load_cell = "INVx2";
+      path.stages.push_back(std::move(st));
+    }
+  }
+
+  CharLib charlib;
+  CellLibrary cells;
+  NSigmaCellModel cell_model;
+  PathDescription path;
+};
+
+TEST_F(BaselinePathTest, CornerStaIsPessimisticAtPlus3) {
+  CornerSta pt(cell_model);
+  const auto q = pt.path_quantiles(path);
+  // Late corner above the statistical median by construction.
+  EXPECT_GT(q[6], q[3]);
+  EXPECT_LT(q[0], q[3]);
+  // Derated corner sum exceeds the plain mu+3sigma sum.
+  CornerStaConfig no_derate;
+  no_derate.cell_derate_late = 1.0;
+  no_derate.wire_derate_late = 1.0;
+  CornerSta plain(cell_model, no_derate);
+  EXPECT_GT(q[6], plain.path_quantiles(path)[6]);
+}
+
+TEST_F(BaselinePathTest, CornerStaLevelBounds) {
+  CornerSta pt(cell_model);
+  EXPECT_THROW(pt.path_delay(path, -1), std::out_of_range);
+  EXPECT_THROW(pt.path_delay(path, 7), std::out_of_range);
+}
+
+TEST_F(BaselinePathTest, CorrectionFactorRange) {
+  // D2M <= Elmore on RC trees, so rho lands in (0.3, 1.0].
+  const double rho =
+      CorrectionMethod::correction_factor(path.stages[0].wire, 1);
+  EXPECT_GT(rho, 0.3);
+  EXPECT_LE(rho, 1.0);
+}
+
+TEST_F(BaselinePathTest, CorrectionUsesGlobalVariability) {
+  CorrectionMethod corr(cell_model, charlib);
+  EXPECT_GT(corr.global_wire_variability(), 0.0);
+  const auto q = corr.path_quantiles(path);
+  EXPECT_GT(q[6], q[3]);
+  EXPECT_GT(q[3], 0.0);
+}
+
+TEST_F(BaselinePathTest, MlWireSerializationRoundTrip) {
+  // Hand-build a deterministic model via deserialize, then round-trip.
+  std::string text = "nsdc_mlwire 1\n";
+  for (int lv = 0; lv < 7; ++lv) {
+    for (int i = 0; i < 10; ++i) text += (i ? " " : "") + std::to_string(lv + i);
+    text += "\n";
+  }
+  const auto model = MlWireModel::deserialize(text);
+  ASSERT_TRUE(model.has_value());
+  const auto back = MlWireModel::deserialize(model->serialize());
+  ASSERT_TRUE(back.has_value());
+  const double p1 = model->predict(path.stages[0].wire, 1, "INVx2", "INVx2", 6);
+  const double p2 = back->predict(path.stages[0].wire, 1, "INVx2", "INVx2", 6);
+  EXPECT_DOUBLE_EQ(p1, p2);
+  EXPECT_FALSE(MlWireModel::deserialize("garbage").has_value());
+}
+
+TEST_F(BaselinePathTest, MlFeaturesWellFormed) {
+  const auto f = MlWireModel::features(path.stages[0].wire, 1, "INVx4",
+                                       "NAND2x2");
+  ASSERT_EQ(f.size(), 10u);
+  EXPECT_DOUBLE_EQ(f[0], 1.0);            // intercept
+  EXPECT_GT(f[1], 0.0);                   // Elmore in ps
+  EXPECT_DOUBLE_EQ(f[7], 4.0);            // driver strength
+  EXPECT_NEAR(f[8], 0.5, 1e-12);          // 1/sqrt(strength)
+  EXPECT_DOUBLE_EQ(f[9], 2.0);            // load strength
+}
+
+TEST_F(BaselinePathTest, PathMlComposesCellAndWire) {
+  std::string text = "nsdc_mlwire 1\n";
+  for (int lv = 0; lv < 7; ++lv) {
+    // Predict exactly 1 ps per wire regardless of features.
+    text += "1 0 0 0 0 0 0 0 0 0\n";
+  }
+  const auto ml = MlWireModel::deserialize(text);
+  ASSERT_TRUE(ml.has_value());
+  PathMlCalculator calc(cell_model, *ml);
+  const auto q = calc.path_quantiles(path);
+  // Gaussian LUT part: sum of mu + n*sigma; wires add 4 x 1 ps.
+  double expect_med = 0.0;
+  for (const auto& st : path.stages) {
+    expect_med += cell_model
+                      .moments(st.cell->name(), st.pin, st.in_rising,
+                               st.input_slew, st.output_load)
+                      .mu;
+  }
+  EXPECT_NEAR(q[3], expect_med + 4e-12, 1e-18);
+}
+
+}  // namespace
+}  // namespace nsdc

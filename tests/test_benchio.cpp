@@ -1,0 +1,149 @@
+#include "netlist/benchio.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nsdc {
+namespace {
+
+class BenchIoTest : public ::testing::Test {
+ protected:
+  CellLibrary lib = CellLibrary::standard();
+};
+
+TEST_F(BenchIoTest, ParseC17) {
+  // The classic ISCAS85 C17 benchmark, verbatim.
+  const std::string c17 = R"(
+# c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+  const GateNetlist nl = parse_bench(c17, lib, "c17");
+  EXPECT_EQ(nl.num_cells(), 6u);
+  EXPECT_EQ(nl.primary_inputs().size(), 5u);
+  EXPECT_EQ(nl.primary_outputs().size(), 2u);
+  EXPECT_EQ(nl.depth(), 3);
+  for (const auto& cell : nl.cells()) {
+    EXPECT_EQ(cell.type->name(), "NAND2x1");
+  }
+}
+
+TEST_F(BenchIoTest, NotAndBuffMap) {
+  const std::string text =
+      "INPUT(a)\nOUTPUT(c)\nb = NOT(a)\nc = BUFF(b)\n";
+  const GateNetlist nl = parse_bench(text, lib, "t");
+  ASSERT_EQ(nl.num_cells(), 2u);
+  EXPECT_EQ(nl.cell(0).type->func(), CellFunc::kInv);
+  EXPECT_EQ(nl.cell(1).type->func(), CellFunc::kBuf);
+}
+
+TEST_F(BenchIoTest, AndGainsOutputInverter) {
+  const std::string text = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n";
+  const GateNetlist nl = parse_bench(text, lib, "t");
+  EXPECT_EQ(nl.num_cells(), 2u);  // NAND2 + INV
+}
+
+TEST_F(BenchIoTest, MultiInputNandDecomposes) {
+  const std::string text =
+      "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y)\ny = NAND(a, b, c, d)\n";
+  const GateNetlist nl = parse_bench(text, lib, "t");
+  // Two pair-reduction NAND+INV plus the final NAND2: 5 cells.
+  EXPECT_EQ(nl.num_cells(), 5u);
+  EXPECT_EQ(nl.primary_outputs().size(), 1u);
+}
+
+TEST_F(BenchIoTest, XorExpandsToFourNands) {
+  const std::string text = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n";
+  const GateNetlist nl = parse_bench(text, lib, "t");
+  EXPECT_EQ(nl.num_cells(), 4u);
+}
+
+TEST_F(BenchIoTest, XnorAddsInverter) {
+  const std::string text = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XNOR(a, b)\n";
+  const GateNetlist nl = parse_bench(text, lib, "t");
+  EXPECT_EQ(nl.num_cells(), 5u);
+}
+
+TEST_F(BenchIoTest, ExtendedCellNames) {
+  const std::string text =
+      "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\ny = AOI21x4(a, b, c)\n";
+  const GateNetlist nl = parse_bench(text, lib, "t");
+  ASSERT_EQ(nl.num_cells(), 1u);
+  EXPECT_EQ(nl.cell(0).type->name(), "AOI21x4");
+}
+
+TEST_F(BenchIoTest, OutOfOrderDefinitions) {
+  const std::string text =
+      "INPUT(a)\nOUTPUT(y)\ny = NOT(m)\nm = NOT(a)\n";
+  const GateNetlist nl = parse_bench(text, lib, "t");
+  EXPECT_EQ(nl.num_cells(), 2u);
+  EXPECT_EQ(nl.depth(), 2);
+}
+
+TEST_F(BenchIoTest, RoundTripPreservesStructure) {
+  const std::string text = R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+OUTPUT(z)
+m = NAND2x2(a, b)
+y = OAI21x1(a, m, c)
+z = INVx8(m)
+)";
+  const GateNetlist nl = parse_bench(text, lib, "t");
+  const std::string emitted = write_bench(nl);
+  const GateNetlist back = parse_bench(emitted, lib, "t2");
+  EXPECT_EQ(back.num_cells(), nl.num_cells());
+  EXPECT_EQ(back.num_nets(), nl.num_nets());
+  EXPECT_EQ(back.depth(), nl.depth());
+  EXPECT_EQ(back.primary_outputs().size(), nl.primary_outputs().size());
+}
+
+TEST_F(BenchIoTest, ErrorsAreDescriptive) {
+  EXPECT_THROW(parse_bench("y = NAND(a)\n", lib, "t"), std::runtime_error);
+  EXPECT_THROW(parse_bench("INPUT(a)\ny = FROB(a)\nOUTPUT(y)\n", lib, "t"),
+               std::runtime_error);
+  // Undefined signal.
+  EXPECT_THROW(parse_bench("OUTPUT(y)\ny = NOT(ghost)\n", lib, "t"),
+               std::runtime_error);
+  // Duplicate definition.
+  EXPECT_THROW(
+      parse_bench("INPUT(a)\ny = NOT(a)\ny = BUFF(a)\nOUTPUT(y)\n", lib, "t"),
+      std::runtime_error);
+  // Combinational cycle.
+  EXPECT_THROW(
+      parse_bench("INPUT(a)\nx = NOT(y)\ny = NOT(x)\nOUTPUT(y)\n", lib, "t"),
+      std::runtime_error);
+}
+
+TEST_F(BenchIoTest, CommentsAndBlanksIgnored) {
+  const std::string text =
+      "# header\n\nINPUT(a)  # trailing comment\n\nOUTPUT(y)\ny = NOT(a)\n";
+  const GateNetlist nl = parse_bench(text, lib, "t");
+  EXPECT_EQ(nl.num_cells(), 1u);
+}
+
+TEST_F(BenchIoTest, SaveAndLoadFile) {
+  const std::string text = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n";
+  const GateNetlist nl = parse_bench(text, lib, "t");
+  const std::string path = ::testing::TempDir() + "nsdc_bench_test.bench";
+  ASSERT_TRUE(save_bench(nl, path));
+  const GateNetlist back = load_bench(path, lib);
+  EXPECT_EQ(back.num_cells(), 1u);
+  EXPECT_EQ(back.name(), "nsdc_bench_test");
+  EXPECT_THROW(load_bench("/nonexistent/x.bench", lib), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace nsdc

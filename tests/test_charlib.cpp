@@ -1,0 +1,94 @@
+#include "liberty/charlib.hpp"
+
+#include <gtest/gtest.h>
+
+#include "synthetic_charlib.hpp"
+
+namespace nsdc {
+namespace {
+
+using testfix::make_charlib;
+
+TEST(CharLib, SerializeRoundTrip) {
+  const CharLib lib = make_charlib();
+  const CharLib back = CharLib::deserialize(lib.serialize());
+  EXPECT_EQ(back.arcs().size(), lib.arcs().size());
+  EXPECT_EQ(back.wire_observations().size(), lib.wire_observations().size());
+  const auto& a0 = lib.arcs().front();
+  const auto& b0 = back.arcs().front();
+  EXPECT_EQ(b0.cell, a0.cell);
+  EXPECT_EQ(b0.in_rising, a0.in_rising);
+  ASSERT_EQ(b0.grid.size(), a0.grid.size());
+  for (std::size_t i = 0; i < a0.grid.size(); ++i) {
+    EXPECT_NEAR(b0.grid[i].moments.mu, a0.grid[i].moments.mu,
+                1e-9 * a0.grid[i].moments.mu);
+    EXPECT_NEAR(b0.grid[i].moments.kappa, a0.grid[i].moments.kappa, 1e-9);
+    for (int lv = 0; lv < 7; ++lv) {
+      EXPECT_NEAR(b0.grid[i].quantiles[static_cast<std::size_t>(lv)],
+                  a0.grid[i].quantiles[static_cast<std::size_t>(lv)], 1e-24);
+    }
+  }
+  const auto& w0 = lib.wire_observations().front();
+  const auto& wb = back.wire_observations().front();
+  EXPECT_EQ(wb.driver_cell, w0.driver_cell);
+  EXPECT_NEAR(wb.variability(), w0.variability(), 1e-12);
+}
+
+TEST(CharLib, DeserializeRejectsGarbage) {
+  EXPECT_THROW(CharLib::deserialize("not a charlib"), std::runtime_error);
+  EXPECT_THROW(CharLib::deserialize("nsdc_charlib 1\narc A 0 R\n"),
+               std::runtime_error);
+}
+
+TEST(CharLib, ArcLookup) {
+  const CharLib lib = make_charlib();
+  EXPECT_TRUE(lib.has_arc("INVx1", 0, true));
+  EXPECT_FALSE(lib.has_arc("INVx1", 1, true));  // only pin 0 characterized
+  EXPECT_NO_THROW(lib.arc("INVx1", 0, false));
+  EXPECT_THROW(lib.arc("GHOSTx1", 0, true), std::out_of_range);
+}
+
+TEST(CharLib, CellVariabilityAveragesDirections) {
+  const CharLib lib = make_charlib();
+  const double v = lib.cell_variability("INVx1");
+  const double vr = lib.arc("INVx1", 0, true).ref().moments.variability();
+  const double vf = lib.arc("INVx1", 0, false).ref().moments.variability();
+  EXPECT_NEAR(v, 0.5 * (vr + vf), 1e-12);
+  EXPECT_THROW(lib.cell_variability("GHOSTx1"), std::out_of_range);
+}
+
+TEST(CharLib, SaveLoadFile) {
+  const CharLib lib = make_charlib();
+  const std::string path = ::testing::TempDir() + "nsdc_charlib_test.txt";
+  ASSERT_TRUE(lib.save(path));
+  const auto back = CharLib::load(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->arcs().size(), lib.arcs().size());
+  EXPECT_FALSE(CharLib::load("/nonexistent/charlib.txt").has_value());
+}
+
+TEST(CharLib, ArcKeyFormat) {
+  EXPECT_EQ(ArcCharData::arc_key("INVx1", 0, true), "INVx1/0/R");
+  EXPECT_EQ(ArcCharData::arc_key("NAND2x4", 1, false), "NAND2x4/1/F");
+}
+
+TEST(CharConfig, Validation) {
+  const TechParams tech = TechParams::nominal28();
+  CharConfig bad;
+  bad.load_grid_rel = {2.0, 4.0};  // must start at 1.0
+  EXPECT_THROW(CellCharacterizer(tech, bad), std::invalid_argument);
+  CharConfig tiny;
+  tiny.slew_grid = {10e-12};
+  EXPECT_THROW(CellCharacterizer(tech, tiny), std::invalid_argument);
+}
+
+TEST(CharConfig, CRefScalesWithStrength) {
+  const TechParams tech = TechParams::nominal28();
+  const CellCharacterizer ch(tech, CharConfig{});
+  const CellLibrary lib = CellLibrary::standard();
+  EXPECT_NEAR(ch.c_ref(lib.by_name("INVx1")), 0.4e-15, 1e-21);
+  EXPECT_NEAR(ch.c_ref(lib.by_name("INVx8")), 3.2e-15, 1e-21);
+}
+
+}  // namespace
+}  // namespace nsdc

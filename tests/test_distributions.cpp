@@ -1,0 +1,238 @@
+#include "stats/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "stats/quantiles.hpp"
+#include "util/rng.hpp"
+
+namespace nsdc {
+namespace {
+
+// ------------------------------------------------------------- Owen's T
+
+TEST(OwensT, ZeroShape) { EXPECT_DOUBLE_EQ(owens_t(1.3, 0.0), 0.0); }
+
+TEST(OwensT, ZeroH) {
+  EXPECT_NEAR(owens_t(0.0, 1.0), std::atan(1.0) / (2.0 * std::numbers::pi),
+              1e-12);
+  EXPECT_NEAR(owens_t(0.0, -2.0), std::atan(-2.0) / (2.0 * std::numbers::pi),
+              1e-12);
+}
+
+TEST(OwensT, KnownValue) {
+  // T(h, 1) = Phi(h) * (1 - Phi(h)) / 2.
+  for (double h : {0.1, 0.5, 1.0, 2.0}) {
+    const double phi = normal_cdf(h);
+    EXPECT_NEAR(owens_t(h, 1.0), 0.5 * phi * (1.0 - phi), 1e-10) << h;
+  }
+}
+
+TEST(OwensT, OddInA) {
+  EXPECT_NEAR(owens_t(0.7, 0.6), -owens_t(0.7, -0.6), 1e-13);
+}
+
+TEST(OwensT, LargeAReflection) {
+  // Check |a| > 1 path against numerically-integrated small-a identity.
+  const double t = owens_t(0.5, 3.0);
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(t, 0.25);
+}
+
+// --------------------------------------------------------------- Normal
+
+TEST(NormalDist, Basics) {
+  NormalDist d{2.0, 3.0};
+  EXPECT_NEAR(d.cdf(2.0), 0.5, 1e-12);
+  EXPECT_NEAR(d.quantile(0.5), 2.0, 1e-9);
+  EXPECT_NEAR(d.quantile(normal_cdf(1.0)), 5.0, 1e-6);
+  EXPECT_NEAR(d.pdf(2.0), 1.0 / (3.0 * std::sqrt(2.0 * std::numbers::pi)),
+              1e-12);
+}
+
+TEST(NormalDist, FitRecovers) {
+  Rng rng(1);
+  std::vector<double> xs;
+  for (int i = 0; i < 100000; ++i) xs.push_back(rng.normal(-4.0, 0.5));
+  const NormalDist d = NormalDist::fit(xs);
+  EXPECT_NEAR(d.mu, -4.0, 0.01);
+  EXPECT_NEAR(d.sigma, 0.5, 0.01);
+}
+
+// ------------------------------------------------------------ SkewNormal
+
+TEST(SkewNormal, ReducesToNormalAtAlphaZero) {
+  SkewNormal sn{1.0, 2.0, 0.0};
+  NormalDist n{1.0, 2.0};
+  for (double x : {-3.0, 0.0, 1.0, 4.0}) {
+    EXPECT_NEAR(sn.pdf(x), n.pdf(x), 1e-12);
+    EXPECT_NEAR(sn.cdf(x), n.cdf(x), 1e-10);
+  }
+}
+
+TEST(SkewNormal, CdfMonotoneAndBounded) {
+  SkewNormal sn{0.0, 1.0, 3.0};
+  double prev = 0.0;
+  for (double x = -5.0; x <= 5.0; x += 0.25) {
+    const double c = sn.cdf(x);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+}
+
+TEST(SkewNormal, QuantileInvertsCdf) {
+  SkewNormal sn{2.0, 1.5, -2.0};
+  for (double p : {0.01, 0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(sn.cdf(sn.quantile(p)), p, 1e-8) << p;
+  }
+}
+
+TEST(SkewNormal, MomentFormulasMatchSamples) {
+  SkewNormal sn{1.0, 2.0, 4.0};
+  Rng rng(3);
+  MomentAccumulator acc;
+  for (int i = 0; i < 300000; ++i) acc.add(sn.sample(rng));
+  const Moments m = acc.moments();
+  EXPECT_NEAR(m.mu, sn.mean(), 0.01);
+  EXPECT_NEAR(m.sigma, sn.stddev(), 0.01);
+  EXPECT_NEAR(m.gamma, sn.skewness(), 0.03);
+}
+
+TEST(SkewNormal, FitRecoversShape) {
+  SkewNormal truth{5.0, 3.0, 3.0};
+  Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 200000; ++i) xs.push_back(truth.sample(rng));
+  const SkewNormal fit = SkewNormal::fit(xs);
+  EXPECT_NEAR(fit.mean(), truth.mean(), 0.05);
+  EXPECT_NEAR(fit.stddev(), truth.stddev(), 0.05);
+  // Quantiles are the behaviourally relevant output.
+  for (double p : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(fit.quantile(p), truth.quantile(p), 0.1) << p;
+  }
+}
+
+TEST(SkewNormal, FromMomentsClampsExtremeSkew) {
+  Moments m;
+  m.mu = 0.0;
+  m.sigma = 1.0;
+  m.gamma = 5.0;  // beyond the SN-attainable range
+  const SkewNormal sn = SkewNormal::from_moments(m);
+  EXPECT_TRUE(std::isfinite(sn.alpha));
+  EXPECT_GT(sn.omega, 0.0);
+}
+
+// --------------------------------------------------------- LogSkewNormal
+
+TEST(LogSkewNormal, QuantileInvertsCdf) {
+  LogSkewNormal lsn;
+  lsn.log_model = {0.0, 0.5, 2.0};
+  for (double p : {0.01, 0.3, 0.5, 0.97}) {
+    EXPECT_NEAR(lsn.cdf(lsn.quantile(p)), p, 1e-8);
+  }
+}
+
+TEST(LogSkewNormal, SupportIsPositive) {
+  LogSkewNormal lsn;
+  lsn.log_model = {0.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(lsn.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(lsn.pdf(-1.0), 0.0);
+  EXPECT_GT(lsn.quantile(0.5), 0.0);
+}
+
+TEST(LogSkewNormal, FitLogNormalData) {
+  // Lognormal samples: LSN with alpha ~ 0 should fit well.
+  Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 100000; ++i) xs.push_back(std::exp(rng.normal(1.0, 0.4)));
+  const LogSkewNormal fit = LogSkewNormal::fit(xs);
+  const auto q = sigma_quantiles(xs);
+  EXPECT_NEAR(fit.quantile(0.5), q[3], 0.05 * q[3]);
+  EXPECT_NEAR(fit.quantile(sigma_level_probability(2)), q[5], 0.05 * q[5]);
+}
+
+TEST(LogSkewNormal, FitRejectsNonpositive) {
+  const std::vector<double> xs{1.0, -0.5, 2.0};
+  EXPECT_THROW(LogSkewNormal::fit(xs), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- Burr
+
+TEST(BurrXII, CdfQuantileRoundTrip) {
+  BurrXII b{2.5, 1.5, 3.0, 1.0};
+  for (double p : {0.001, 0.1, 0.5, 0.9, 0.999}) {
+    EXPECT_NEAR(b.cdf(b.quantile(p)), p, 1e-10) << p;
+  }
+}
+
+TEST(BurrXII, PdfIntegratesToCdf) {
+  BurrXII b{3.0, 2.0, 1.0, 0.0};
+  // Trapezoidal integration of the pdf vs cdf.
+  double acc = 0.0;
+  const double dx = 1e-3;
+  for (double x = 0.0; x < 4.0; x += dx) {
+    acc += 0.5 * (b.pdf(x) + b.pdf(x + dx)) * dx;
+  }
+  EXPECT_NEAR(acc, b.cdf(4.0), 1e-3);
+}
+
+TEST(BurrXII, RawMomentsAgainstSampling) {
+  BurrXII b{4.0, 3.0, 2.0, 0.0};
+  Rng rng(11);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    const double x = b.sample(rng);
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, b.raw_moment(1), 0.01);
+  EXPECT_NEAR(sum2 / n, b.raw_moment(2), 0.05);
+}
+
+TEST(BurrXII, MomentExistenceBoundary) {
+  BurrXII b{1.0, 1.5, 1.0, 0.0};  // c*k = 1.5: only the sub-1.5 moments exist
+  EXPECT_TRUE(std::isfinite(b.raw_moment(1)));
+  EXPECT_TRUE(std::isnan(b.raw_moment(2)));
+}
+
+TEST(BurrXII, FitRecoversQuantilesOfBurrData) {
+  BurrXII truth{3.5, 2.0, 5.0, 10.0};
+  Rng rng(13);
+  std::vector<double> xs;
+  for (int i = 0; i < 150000; ++i) xs.push_back(truth.sample(rng));
+  const BurrXII fit = BurrXII::fit(xs);
+  const auto q = sigma_quantiles(xs);
+  EXPECT_NEAR(fit.quantile(0.5), q[3], 0.05 * q[3]);
+  EXPECT_NEAR(fit.quantile(sigma_level_probability(2)), q[5], 0.10 * q[5]);
+}
+
+TEST(BurrXII, QuantileDomainErrors) {
+  BurrXII b;
+  EXPECT_THROW(b.quantile(0.0), std::domain_error);
+  EXPECT_THROW(b.quantile(1.0), std::domain_error);
+}
+
+class SkewNormalAlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SkewNormalAlphaSweep, SamplingMatchesCdf) {
+  const double alpha = GetParam();
+  SkewNormal sn{0.0, 1.0, alpha};
+  Rng rng(17);
+  int below_median = 0;
+  const int n = 40000;
+  const double med = sn.quantile(0.5);
+  for (int i = 0; i < n; ++i) below_median += sn.sample(rng) < med;
+  EXPECT_NEAR(static_cast<double>(below_median) / n, 0.5, 0.015);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, SkewNormalAlphaSweep,
+                         ::testing::Values(-5.0, -1.0, 0.0, 0.5, 2.0, 8.0));
+
+}  // namespace
+}  // namespace nsdc

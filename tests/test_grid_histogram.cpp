@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/grid.hpp"
+#include "stats/histogram.hpp"
+
+namespace nsdc {
+namespace {
+
+Grid2D make_plane() {
+  // f(x, y) = 2x + 3y + 1 sampled on a 3x3 grid — bilinear interpolation
+  // must be exact everywhere inside.
+  std::vector<double> xs{0.0, 1.0, 2.0};
+  std::vector<double> ys{0.0, 10.0, 20.0};
+  std::vector<double> vals;
+  for (double x : xs) {
+    for (double y : ys) vals.push_back(2.0 * x + 3.0 * y + 1.0);
+  }
+  return Grid2D(xs, ys, vals);
+}
+
+TEST(Grid2D, ExactAtNodes) {
+  const Grid2D g = make_plane();
+  EXPECT_DOUBLE_EQ(g.lookup(1.0, 10.0), 2.0 + 30.0 + 1.0);
+  EXPECT_DOUBLE_EQ(g.lookup(0.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(g.lookup(2.0, 20.0), 4.0 + 60.0 + 1.0);
+}
+
+TEST(Grid2D, ExactInsideCells) {
+  const Grid2D g = make_plane();
+  EXPECT_NEAR(g.lookup(0.5, 5.0), 2.0 * 0.5 + 3.0 * 5.0 + 1.0, 1e-12);
+  EXPECT_NEAR(g.lookup(1.7, 13.0), 2.0 * 1.7 + 3.0 * 13.0 + 1.0, 1e-12);
+}
+
+TEST(Grid2D, LinearExtrapolationBeyondEdges) {
+  const Grid2D g = make_plane();
+  // A plane extrapolates exactly under bilinear continuation.
+  EXPECT_NEAR(g.lookup(3.0, 25.0), 2.0 * 3.0 + 3.0 * 25.0 + 1.0, 1e-12);
+  EXPECT_NEAR(g.lookup(-1.0, -5.0), 2.0 * -1.0 + 3.0 * -5.0 + 1.0, 1e-12);
+}
+
+TEST(Grid2D, ValidatesInput) {
+  EXPECT_THROW(Grid2D({0.0}, {0.0, 1.0}, {1, 2}), std::invalid_argument);
+  EXPECT_THROW(Grid2D({0.0, 1.0}, {0.0, 1.0}, {1, 2, 3}),
+               std::invalid_argument);
+  EXPECT_THROW(Grid2D({1.0, 0.0}, {0.0, 1.0}, {1, 2, 3, 4}),
+               std::invalid_argument);
+}
+
+TEST(Grid2D, SetAndAt) {
+  Grid2D g({0.0, 1.0}, {0.0, 1.0}, {0, 0, 0, 0});
+  g.set(1, 0, 5.0);
+  EXPECT_DOUBLE_EQ(g.at(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(g.lookup(1.0, 0.0), 5.0);
+}
+
+TEST(Histogram, CountsAndTotal) {
+  const std::vector<double> xs{0.0, 0.1, 0.2, 0.9, 1.0};
+  Histogram h(xs, 2);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 3u);  // 0.0, 0.1, 0.2
+  EXPECT_EQ(h.count(1), 2u);  // 0.9, 1.0 (max lands in last bin)
+}
+
+TEST(Histogram, BinGeometry) {
+  const std::vector<double> xs{0.0, 4.0};
+  Histogram h(xs, 4);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(2), 2.5);
+}
+
+TEST(Histogram, DensityNormalizes) {
+  const std::vector<double> xs{0.0, 0.5, 1.0, 1.5, 2.0};
+  Histogram h(xs, 4);
+  double integral = 0.0;
+  const double width = 2.0 / 4.0;
+  for (std::size_t i = 0; i < h.num_bins(); ++i) integral += h.density(i) * width;
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(Histogram, EmptyThrows) {
+  const std::vector<double> xs;
+  EXPECT_THROW(Histogram(xs, 4), std::invalid_argument);
+}
+
+TEST(Histogram, RenderContainsBars) {
+  const std::vector<double> xs{1.0, 1.0, 1.0, 2.0};
+  Histogram h(xs, 2);
+  const std::string s = h.render(10, 1.0, "u");
+  EXPECT_NE(s.find('#'), std::string::npos);
+  EXPECT_NE(s.find('u'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nsdc

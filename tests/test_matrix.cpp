@@ -1,0 +1,85 @@
+#include "spice/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nsdc {
+namespace {
+
+TEST(DenseMatrix, Solve2x2) {
+  DenseMatrix a(2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 3.0;
+  ASSERT_TRUE(a.lu_factor());
+  std::vector<double> b{5.0, 10.0};
+  a.lu_solve(b);
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+TEST(DenseMatrix, PivotingRequired) {
+  // Zero on the diagonal forces a row swap.
+  DenseMatrix a(2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  ASSERT_TRUE(a.lu_factor());
+  std::vector<double> b{2.0, 3.0};
+  a.lu_solve(b);
+  EXPECT_NEAR(b[0], 3.0, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+}
+
+TEST(DenseMatrix, SingularDetected) {
+  DenseMatrix a(2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  EXPECT_FALSE(a.lu_factor());
+}
+
+TEST(DenseMatrix, SetZero) {
+  DenseMatrix a(2);
+  a(0, 0) = 5.0;
+  a.set_zero();
+  EXPECT_DOUBLE_EQ(a(0, 0), 0.0);
+}
+
+class RandomSystemSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RandomSystemSweep, ResidualIsTiny) {
+  const std::size_t n = GetParam();
+  Rng rng(100 + n);
+  DenseMatrix a(n);
+  std::vector<double> a_copy(n * n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      const double v = rng.uniform(-1, 1) + (r == c ? 2.0 : 0.0);
+      a(r, c) = v;
+      a_copy[r * n + c] = v;
+    }
+  }
+  std::vector<double> x_true(n);
+  for (auto& v : x_true) v = rng.uniform(-5, 5);
+  std::vector<double> b(n, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) b[r] += a_copy[r * n + c] * x_true[c];
+  }
+  ASSERT_TRUE(a.lu_factor());
+  a.lu_solve(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(b[i], x_true[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomSystemSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 32));
+
+}  // namespace
+}  // namespace nsdc

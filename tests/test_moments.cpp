@@ -1,0 +1,151 @@
+#include "stats/moments.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nsdc {
+namespace {
+
+TEST(Moments, KnownSmallDataset) {
+  // {1,2,3,4,5}: mean 3, sample sd sqrt(2.5), symmetric.
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const Moments m = compute_moments(xs);
+  EXPECT_DOUBLE_EQ(m.mu, 3.0);
+  EXPECT_NEAR(m.sigma, std::sqrt(2.5), 1e-12);
+  EXPECT_NEAR(m.gamma, 0.0, 1e-12);
+}
+
+TEST(Moments, ConstantData) {
+  const std::vector<double> xs{7, 7, 7, 7};
+  const Moments m = compute_moments(xs);
+  EXPECT_DOUBLE_EQ(m.mu, 7.0);
+  EXPECT_DOUBLE_EQ(m.sigma, 0.0);
+  EXPECT_DOUBLE_EQ(m.gamma, 0.0);
+  EXPECT_DOUBLE_EQ(m.kappa, 0.0);
+}
+
+TEST(Moments, GaussianSampleHasZeroExcessKurtosis) {
+  Rng rng(3);
+  MomentAccumulator acc;
+  for (int i = 0; i < 400000; ++i) acc.add(rng.normal(5.0, 2.0));
+  const Moments m = acc.moments();
+  EXPECT_NEAR(m.mu, 5.0, 0.02);
+  EXPECT_NEAR(m.sigma, 2.0, 0.02);
+  EXPECT_NEAR(m.gamma, 0.0, 0.02);
+  // kappa is EXCESS kurtosis: Gaussian => 0, not 3.
+  EXPECT_NEAR(m.kappa, 0.0, 0.05);
+}
+
+TEST(Moments, ExponentialSkewAndKurtosis) {
+  // Exponential distribution: skewness 2, excess kurtosis 6.
+  Rng rng(5);
+  MomentAccumulator acc;
+  for (int i = 0; i < 1000000; ++i) {
+    acc.add(-std::log(1.0 - rng.uniform()));
+  }
+  const Moments m = acc.moments();
+  EXPECT_NEAR(m.mu, 1.0, 0.01);
+  EXPECT_NEAR(m.sigma, 1.0, 0.01);
+  EXPECT_NEAR(m.gamma, 2.0, 0.1);
+  EXPECT_NEAR(m.kappa, 6.0, 0.5);
+}
+
+TEST(Moments, MergeEqualsBatch) {
+  Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(rng.normal(1.0, 3.0) + 0.2 * i);
+  MomentAccumulator whole;
+  for (double x : xs) whole.add(x);
+  MomentAccumulator a, b;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    (i < 1700 ? a : b).add(xs[i]);
+  }
+  a.merge(b);
+  const Moments mw = whole.moments();
+  const Moments mm = a.moments();
+  EXPECT_EQ(whole.count(), a.count());
+  EXPECT_NEAR(mm.mu, mw.mu, 1e-9 * std::fabs(mw.mu));
+  EXPECT_NEAR(mm.sigma, mw.sigma, 1e-9 * mw.sigma);
+  EXPECT_NEAR(mm.gamma, mw.gamma, 1e-8);
+  EXPECT_NEAR(mm.kappa, mw.kappa, 1e-8);
+}
+
+TEST(Moments, MergeWithEmpty) {
+  MomentAccumulator a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const Moments before = a.moments();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.moments().mu, before.mu);
+
+  MomentAccumulator e2;
+  e2.merge(a);
+  EXPECT_DOUBLE_EQ(e2.moments().mu, before.mu);
+  EXPECT_EQ(e2.count(), 2u);
+}
+
+TEST(Moments, NumericalStabilityLargeOffset) {
+  // One-pass accumulators must survive a large common offset.
+  MomentAccumulator acc;
+  Rng rng(11);
+  for (int i = 0; i < 20000; ++i) acc.add(1e9 + rng.normal(0.0, 1.0));
+  const Moments m = acc.moments();
+  EXPECT_NEAR(m.sigma, 1.0, 0.05);
+  EXPECT_NEAR(m.gamma, 0.0, 0.2);
+}
+
+TEST(Moments, VariabilityRatio) {
+  Moments m;
+  m.mu = 10.0;
+  m.sigma = 2.5;
+  EXPECT_DOUBLE_EQ(m.variability(), 0.25);
+  m.mu = 0.0;
+  EXPECT_DOUBLE_EQ(m.variability(), 0.0);
+}
+
+TEST(Moments, VarianceUnbiased) {
+  MomentAccumulator acc;
+  acc.add(1.0);
+  acc.add(3.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 2.0);  // n-1 denominator
+}
+
+TEST(Moments, SingleSample) {
+  MomentAccumulator acc;
+  acc.add(4.2);
+  const Moments m = acc.moments();
+  EXPECT_DOUBLE_EQ(m.mu, 4.2);
+  EXPECT_DOUBLE_EQ(m.sigma, 0.0);
+}
+
+class MomentsScaleSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MomentsScaleSweep, ShapeInvariantUnderScaling) {
+  // Skewness and kurtosis are scale/shift invariant.
+  const double scale = GetParam();
+  Rng rng(13);
+  std::vector<double> base;
+  for (int i = 0; i < 30000; ++i) {
+    const double u = rng.uniform();
+    base.push_back(u * u);  // skewed
+  }
+  // Shift proportional to scale keeps the test about shape invariance
+  // rather than about catastrophic cancellation at extreme offsets.
+  std::vector<double> scaled;
+  for (double x : base) scaled.push_back(scale * (3.0 + x));
+  const Moments mb = compute_moments(base);
+  const Moments ms = compute_moments(scaled);
+  EXPECT_NEAR(ms.gamma, mb.gamma, 1e-9);
+  EXPECT_NEAR(ms.kappa, mb.kappa, 1e-8);
+  EXPECT_NEAR(ms.sigma, scale * mb.sigma, 1e-9 * scale * mb.sigma);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, MomentsScaleSweep,
+                         ::testing::Values(1e-12, 1e-6, 1.0, 1e6));
+
+}  // namespace
+}  // namespace nsdc

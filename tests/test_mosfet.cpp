@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/circuit.hpp"
+
+namespace nsdc {
+namespace {
+
+MosParams nmos() {
+  MosParams p;
+  p.nmos = true;
+  p.w = 100e-9;
+  p.l = 30e-9;
+  p.vth = 0.40;
+  p.n_slope = 1.35;
+  p.kp = 3e-4;
+  p.lambda = 0.08;
+  p.vt_thermal = 0.0257;
+  return p;
+}
+
+MosParams pmos(double vdd = 0.6) {
+  MosParams p;
+  p.nmos = false;
+  p.w = 160e-9;
+  p.l = 30e-9;
+  p.vth = 0.42;
+  p.n_slope = 1.40;
+  p.kp = 1.5e-4;
+  p.lambda = 0.10;
+  p.vt_thermal = 0.0257;
+  p.rail = vdd;
+  return p;
+}
+
+TEST(MosEval, NmosOffWhenGateLow) {
+  const MosEval e = mos_eval(nmos(), 0.6, 0.0, 0.0);
+  EXPECT_LT(e.ids, 1e-9);  // deep subthreshold leakage only
+  EXPECT_GT(e.ids, 0.0);   // but not exactly zero (smooth model)
+}
+
+TEST(MosEval, NmosOnCurrentMagnitude) {
+  const MosEval e = mos_eval(nmos(), 0.6, 0.6, 0.0);
+  // Near-threshold on-current: microamp scale for a minimum device.
+  EXPECT_GT(e.ids, 1e-6);
+  EXPECT_LT(e.ids, 1e-4);
+}
+
+TEST(MosEval, NmosCurrentIncreasesWithGate) {
+  double prev = 0.0;
+  for (double vg = 0.0; vg <= 0.8; vg += 0.05) {
+    const MosEval e = mos_eval(nmos(), 0.6, vg, 0.0);
+    EXPECT_GT(e.ids, prev);
+    prev = e.ids;
+  }
+}
+
+TEST(MosEval, NmosZeroVdsZeroCurrent) {
+  const MosEval e = mos_eval(nmos(), 0.0, 0.6, 0.0);
+  EXPECT_NEAR(e.ids, 0.0, 1e-15);
+}
+
+TEST(MosEval, NmosSubthresholdSlope) {
+  // In weak inversion the current must scale ~ exp(vgs / (n Vt)).
+  const MosParams p = nmos();
+  const double i1 = mos_eval(p, 0.6, 0.20, 0.0).ids;
+  const double i2 = mos_eval(p, 0.6, 0.26, 0.0).ids;  // +60 mV
+  const double decade = std::log10(i2 / i1);
+  // 60 mV / (n Vt ln10) decades expected.
+  const double expected = 0.06 / (p.n_slope * p.vt_thermal * std::log(10.0));
+  EXPECT_NEAR(decade, expected, 0.12 * expected);
+}
+
+TEST(MosEval, PmosOffWhenGateHigh) {
+  const MosEval e = mos_eval(pmos(), 0.0, 0.6, 0.6);
+  EXPECT_NEAR(e.ids, 0.0, 1e-9);
+}
+
+TEST(MosEval, PmosOnPullsUp) {
+  // Source at VDD, gate at 0, drain at 0: current flows INTO the drain
+  // node, i.e. drain->source current is negative.
+  const MosEval e = mos_eval(pmos(), 0.0, 0.0, 0.6);
+  EXPECT_LT(e.ids, -1e-6);
+}
+
+TEST(MosEval, PmosBulkReference) {
+  // The PMOS must reflect about its rail: with rail=0.6, gate at 0.6 is
+  // OFF regardless of the absolute numbers involved.
+  const MosEval off = mos_eval(pmos(0.6), 0.3, 0.6, 0.6);
+  const MosEval on = mos_eval(pmos(0.6), 0.3, 0.0, 0.6);
+  EXPECT_LT(std::fabs(off.ids), 1e-9);
+  EXPECT_GT(std::fabs(on.ids), 1e-6);
+}
+
+TEST(MosEval, PmosWeakerThanNmosAtSameBias) {
+  // With these parameters the PMOS on-current is below the NMOS one —
+  // the P/N asymmetry the tech's w_min_p partially compensates.
+  const double i_n = mos_eval(nmos(), 0.6, 0.6, 0.0).ids;
+  const double i_p = std::fabs(mos_eval(pmos(), 0.0, 0.0, 0.6).ids);
+  EXPECT_GT(i_n, 0.5 * i_p);
+  EXPECT_LT(i_p, 2.0 * i_n);
+}
+
+TEST(MosEval, ThresholdShiftReducesCurrent) {
+  MosParams p = nmos();
+  const double i0 = mos_eval(p, 0.6, 0.6, 0.0).ids;
+  p.vth += 0.03;
+  const double i1 = mos_eval(p, 0.6, 0.6, 0.0).ids;
+  EXPECT_LT(i1, i0);
+  // Near threshold the sensitivity is strong: 30 mV should cost >10%.
+  EXPECT_LT(i1 / i0, 0.9);
+}
+
+TEST(MosEval, WidthScalesCurrent) {
+  MosParams p = nmos();
+  const double i1 = mos_eval(p, 0.6, 0.6, 0.0).ids;
+  p.w *= 4.0;
+  const double i4 = mos_eval(p, 0.6, 0.6, 0.0).ids;
+  EXPECT_NEAR(i4 / i1, 4.0, 0.01);
+}
+
+struct Bias {
+  double vd, vg, vs;
+};
+
+class MosDerivativeSweep : public ::testing::TestWithParam<Bias> {};
+
+TEST_P(MosDerivativeSweep, AnalyticMatchesFiniteDifference) {
+  const Bias b = GetParam();
+  for (const MosParams& p : {nmos(), pmos()}) {
+    const MosEval e = mos_eval(p, b.vd, b.vg, b.vs);
+    const double h = 1e-7;
+    const double gd_fd =
+        (mos_eval(p, b.vd + h, b.vg, b.vs).ids - mos_eval(p, b.vd - h, b.vg, b.vs).ids) /
+        (2 * h);
+    const double gm_fd =
+        (mos_eval(p, b.vd, b.vg + h, b.vs).ids - mos_eval(p, b.vd, b.vg - h, b.vs).ids) /
+        (2 * h);
+    const double gs_fd =
+        (mos_eval(p, b.vd, b.vg, b.vs + h).ids - mos_eval(p, b.vd, b.vg, b.vs - h).ids) /
+        (2 * h);
+    const double scale = std::max({std::fabs(gd_fd), std::fabs(gm_fd),
+                                   std::fabs(gs_fd), 1e-12});
+    EXPECT_NEAR(e.gds, gd_fd, 1e-4 * scale) << (p.nmos ? "nmos" : "pmos");
+    EXPECT_NEAR(e.gm, gm_fd, 1e-4 * scale) << (p.nmos ? "nmos" : "pmos");
+    EXPECT_NEAR(e.gs, gs_fd, 1e-4 * scale) << (p.nmos ? "nmos" : "pmos");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BiasPoints, MosDerivativeSweep,
+    ::testing::Values(Bias{0.6, 0.6, 0.0}, Bias{0.3, 0.6, 0.0},
+                      Bias{0.05, 0.45, 0.0}, Bias{0.6, 0.3, 0.1},
+                      Bias{0.0, 0.0, 0.6}, Bias{0.2, 0.0, 0.6},
+                      Bias{0.45, 0.2, 0.55}));
+
+TEST(MosParams, SpecificCurrentFormula) {
+  const MosParams p = nmos();
+  const double expected = 2.0 * p.n_slope * p.kp * (p.w / p.l) *
+                          p.vt_thermal * p.vt_thermal;
+  EXPECT_DOUBLE_EQ(p.specific_current(), expected);
+}
+
+}  // namespace
+}  // namespace nsdc

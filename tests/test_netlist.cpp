@@ -1,0 +1,118 @@
+#include "netlist/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nsdc {
+namespace {
+
+class NetlistTest : public ::testing::Test {
+ protected:
+  CellLibrary lib = CellLibrary::standard();
+  TechParams tech = TechParams::nominal28();
+};
+
+TEST_F(NetlistTest, BuildSmallChain) {
+  GateNetlist nl("chain");
+  const int a = nl.add_primary_input("a");
+  const int g1 = nl.add_cell("u1", lib.by_name("INVx1"), {a}, "w1");
+  const int g2 = nl.add_cell("u2", lib.by_name("INVx2"),
+                             {nl.cell(g1).out_net}, "w2");
+  nl.mark_primary_output(nl.cell(g2).out_net);
+  EXPECT_EQ(nl.num_cells(), 2u);
+  EXPECT_EQ(nl.num_nets(), 3u);
+  EXPECT_EQ(nl.primary_inputs().size(), 1u);
+  EXPECT_EQ(nl.primary_outputs().size(), 1u);
+  EXPECT_EQ(nl.depth(), 2);
+}
+
+TEST_F(NetlistTest, TopologicalOrderRespectsDeps) {
+  GateNetlist nl("d");
+  const int a = nl.add_primary_input("a");
+  const int b = nl.add_primary_input("b");
+  const int g1 = nl.add_cell("u1", lib.by_name("NAND2x1"), {a, b}, "w1");
+  const int g2 = nl.add_cell("u2", lib.by_name("INVx1"),
+                             {nl.cell(g1).out_net}, "w2");
+  const int g3 = nl.add_cell("u3", lib.by_name("NAND2x1"),
+                             {nl.cell(g1).out_net, nl.cell(g2).out_net}, "w3");
+  const auto order = nl.topological_order();
+  ASSERT_EQ(order.size(), 3u);
+  std::vector<int> pos(3);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    pos[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  EXPECT_LT(pos[static_cast<std::size_t>(g1)], pos[static_cast<std::size_t>(g2)]);
+  EXPECT_LT(pos[static_cast<std::size_t>(g2)], pos[static_cast<std::size_t>(g3)]);
+}
+
+TEST_F(NetlistTest, ArityMismatchThrows) {
+  GateNetlist nl("d");
+  const int a = nl.add_primary_input("a");
+  EXPECT_THROW(nl.add_cell("u1", lib.by_name("NAND2x1"), {a}, "w1"),
+               std::invalid_argument);
+}
+
+TEST_F(NetlistTest, BadFaninThrows) {
+  GateNetlist nl("d");
+  EXPECT_THROW(nl.add_cell("u1", lib.by_name("INVx1"), {42}, "w1"),
+               std::out_of_range);
+}
+
+TEST_F(NetlistTest, NetPinCapSumsSinks) {
+  GateNetlist nl("d");
+  const int a = nl.add_primary_input("a");
+  nl.add_cell("u1", lib.by_name("INVx1"), {a}, "w1");
+  nl.add_cell("u2", lib.by_name("INVx4"), {a}, "w2");
+  const double expected = lib.by_name("INVx1").input_cap(tech, 0) +
+                          lib.by_name("INVx4").input_cap(tech, 0);
+  EXPECT_NEAR(nl.net_pin_cap(a, tech), expected, 1e-21);
+}
+
+TEST_F(NetlistTest, FindNetByName) {
+  GateNetlist nl("d");
+  nl.add_primary_input("alpha");
+  EXPECT_EQ(nl.find_net("alpha"), 0);
+  EXPECT_EQ(nl.find_net("nope"), -1);
+}
+
+TEST_F(NetlistTest, SetCellTypeResizes) {
+  GateNetlist nl("d");
+  const int a = nl.add_primary_input("a");
+  const int g = nl.add_cell("u1", lib.by_name("INVx1"), {a}, "w");
+  nl.set_cell_type(g, lib.by_name("INVx8"));
+  EXPECT_EQ(nl.cell(g).type->strength(), 8);
+  EXPECT_THROW(nl.set_cell_type(g, lib.by_name("NAND2x1")),
+               std::invalid_argument);
+}
+
+TEST_F(NetlistTest, DanglingNetsHaveNoSinks) {
+  GateNetlist nl("d");
+  const int a = nl.add_primary_input("a");
+  const int g = nl.add_cell("u1", lib.by_name("INVx1"), {a}, "w");
+  EXPECT_TRUE(nl.net(nl.cell(g).out_net).sinks.empty());
+  EXPECT_EQ(nl.net(a).sinks.size(), 1u);
+  EXPECT_EQ(nl.net(a).sinks[0].cell, g);
+  EXPECT_EQ(nl.net(a).sinks[0].pin, 0);
+}
+
+TEST_F(NetlistTest, MultiSinkFanout) {
+  GateNetlist nl("d");
+  const int a = nl.add_primary_input("a");
+  for (int i = 0; i < 5; ++i) {
+    nl.add_cell("u" + std::to_string(i), lib.by_name("INVx1"), {a},
+                "w" + std::to_string(i));
+  }
+  EXPECT_EQ(nl.net(a).sinks.size(), 5u);
+}
+
+TEST_F(NetlistTest, DepthOfParallelStructure) {
+  GateNetlist nl("d");
+  const int a = nl.add_primary_input("a");
+  const int g1 = nl.add_cell("u1", lib.by_name("INVx1"), {a}, "w1");
+  const int g2 = nl.add_cell("u2", lib.by_name("INVx1"), {a}, "w2");
+  nl.add_cell("u3", lib.by_name("NAND2x1"),
+              {nl.cell(g1).out_net, nl.cell(g2).out_net}, "w3");
+  EXPECT_EQ(nl.depth(), 2);
+}
+
+}  // namespace
+}  // namespace nsdc

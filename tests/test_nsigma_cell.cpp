@@ -1,0 +1,211 @@
+#include "core/nsigma_cell.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "synthetic_charlib.hpp"
+
+namespace nsdc {
+namespace {
+
+using testfix::make_arc;
+using testfix::make_charlib;
+using testfix::synthetic_moments;
+using testfix::synthetic_quantiles;
+using testfix::true_table1;
+
+TEST(TableICoefficients, ActiveTermsStructure) {
+  // Paper Table I structure plus our documented extension: sigma*gamma is
+  // active on EVERY row (the paper omits it at +-3s), sigma*kappa only on
+  // +-2s/+-3s, the cross term everywhere.
+  const auto& mask = TableICoefficients::active_terms();
+  EXPECT_TRUE(mask[0][0]);   // -3: sigma*gamma (extension)
+  EXPECT_TRUE(mask[0][1]);   // -3: sigma*kappa
+  EXPECT_TRUE(mask[3][0]);   //  0: sigma*gamma
+  EXPECT_FALSE(mask[3][1]);  //  0: no sigma*kappa
+  EXPECT_FALSE(mask[2][1]);  // -1: no sigma*kappa
+  EXPECT_TRUE(mask[6][0]);   // +3: sigma*gamma (extension)
+  EXPECT_TRUE(mask[6][1]);   // +3: sigma*kappa
+  for (int lv = 0; lv < 7; ++lv) {
+    EXPECT_TRUE(mask[static_cast<std::size_t>(lv)][2]);  // cross everywhere
+  }
+}
+
+TEST(TableICoefficients, GaussianReducesToMuPlusNSigma) {
+  const CharLib lib = make_charlib();
+  const NSigmaCellModel model = NSigmaCellModel::fit(lib);
+  Moments gaussian;
+  gaussian.mu = 100e-12;
+  gaussian.sigma = 10e-12;
+  gaussian.gamma = 0.0;
+  gaussian.kappa = 0.0;
+  const auto q = model.table1().quantiles(gaussian);
+  for (int lv = 0; lv < 7; ++lv) {
+    EXPECT_NEAR(q[static_cast<std::size_t>(lv)],
+                100e-12 + (lv - 3) * 10e-12, 1e-20);
+  }
+}
+
+TEST(TableICoefficients, RecoversSyntheticTruth) {
+  // Quantiles generated exactly from the ground-truth coefficient matrix
+  // must be recovered by the regression.
+  const CharLib lib = make_charlib();
+  TableICoefficients::FitStats stats;
+  std::vector<Moments> ms;
+  std::vector<std::array<double, 7>> qs;
+  for (const auto& arc : lib.arcs()) {
+    for (const auto& g : arc.grid) {
+      ms.push_back(g.moments);
+      qs.push_back(g.quantiles);
+    }
+  }
+  const TableICoefficients fit =
+      TableICoefficients::fit(ms, qs, /*scaled_cross=*/true, &stats);
+  const auto& truth = true_table1();
+  for (int lv = 0; lv < 7; ++lv) {
+    for (int t = 0; t < 3; ++t) {
+      if (!TableICoefficients::active_terms()[static_cast<std::size_t>(lv)]
+                                             [static_cast<std::size_t>(t)]) {
+        continue;
+      }
+      EXPECT_NEAR(fit.coefficient(lv, t),
+                  truth[static_cast<std::size_t>(lv)][static_cast<std::size_t>(t)],
+                  1e-6)
+          << "level " << lv - 3 << " term " << t;
+    }
+    EXPECT_GT(stats.r_squared[static_cast<std::size_t>(lv)], 0.999);
+  }
+}
+
+TEST(TableICoefficients, FitValidatesInput) {
+  std::vector<Moments> ms(3);
+  std::vector<std::array<double, 7>> qs(2);
+  EXPECT_THROW(TableICoefficients::fit(ms, qs), std::invalid_argument);
+}
+
+TEST(TableICoefficients, QuantileLevelBounds) {
+  const CharLib lib = make_charlib();
+  const NSigmaCellModel model = NSigmaCellModel::fit(lib);
+  Moments m;
+  m.mu = 1e-10;
+  m.sigma = 1e-11;
+  EXPECT_THROW(model.table1().quantile(m, -1), std::out_of_range);
+  EXPECT_THROW(model.table1().quantile(m, 7), std::out_of_range);
+}
+
+TEST(CalibrationSurface, ExactRecoveryOfSyntheticSurface) {
+  testfix::SyntheticArcSpec spec;
+  const ArcCharData arc = make_arc(spec);
+  const CalibrationSurface surf = CalibrationSurface::fit(arc);
+  // Reference point.
+  EXPECT_NEAR(surf.ref.mu, spec.mu0, 1e-18);
+  EXPECT_NEAR(surf.ref.gamma, spec.gamma0, 1e-9);
+  // Interior points, including off-grid coordinates.
+  for (double s : {25e-12, 110e-12, 420e-12}) {
+    for (double c : {0.7e-15, 3e-15, 9e-15}) {
+      const Moments truth =
+          synthetic_moments(spec, s, c, arc.slews.front(), arc.loads.front());
+      const Moments got = surf.moments_at(s, c);
+      EXPECT_NEAR(got.mu, truth.mu, 1e-16) << s << " " << c;
+      EXPECT_NEAR(got.sigma, truth.sigma, 1e-16);
+      EXPECT_NEAR(got.gamma, truth.gamma, 2e-5);
+      EXPECT_NEAR(got.kappa, truth.kappa, 2e-5);
+    }
+  }
+}
+
+TEST(CalibrationSurface, MuSigmaExtrapolateBeyondGrid) {
+  testfix::SyntheticArcSpec spec;
+  const ArcCharData arc = make_arc(spec);
+  const CalibrationSurface surf = CalibrationSurface::fit(arc);
+  // Bilinear truth extends beyond the grid for mu/sigma.
+  const double s = 700e-12, c = 20e-15;  // outside the grid box
+  const Moments truth =
+      synthetic_moments(spec, s, c, arc.slews.front(), arc.loads.front());
+  const Moments got = surf.moments_at(s, c);
+  EXPECT_NEAR(got.mu, truth.mu, 1e-15);
+  EXPECT_NEAR(got.sigma, truth.sigma, 1e-15);
+}
+
+TEST(CalibrationSurface, GammaKappaClampedOutsideGrid) {
+  testfix::SyntheticArcSpec spec;
+  const ArcCharData arc = make_arc(spec);
+  const CalibrationSurface surf = CalibrationSurface::fit(arc);
+  // Far outside, gamma/kappa equal their clamped boundary evaluation, not
+  // the runaway cubic extrapolation.
+  const Moments at_edge = surf.moments_at(500e-12, 12e-15);
+  const Moments beyond = surf.moments_at(5000e-12, 120e-15);
+  EXPECT_NEAR(beyond.gamma, at_edge.gamma, 1e-9);
+  EXPECT_NEAR(beyond.kappa, at_edge.kappa, 1e-9);
+}
+
+TEST(CalibrationSurface, SigmaFloorGuard) {
+  testfix::SyntheticArcSpec spec;
+  spec.sigma0 = 1e-12;
+  const ArcCharData arc = make_arc(spec);
+  const CalibrationSurface surf = CalibrationSurface::fit(arc);
+  // Extrapolating to absurd negative deltas cannot push sigma <= 0.
+  const Moments m = surf.moments_at(-4e-9, -40e-15);
+  EXPECT_GT(m.sigma, 0.0);
+}
+
+TEST(NSigmaCellModel, QuantilesMatchSyntheticEndToEnd) {
+  const CharLib lib = make_charlib();
+  const NSigmaCellModel model = NSigmaCellModel::fit(lib);
+  testfix::SyntheticArcSpec spec;
+  spec.cell = "INVx2";
+  spec.mu0 = 35e-12;
+  spec.sigma0 = 35e-12 * 0.30 / std::sqrt(2.0);
+  spec.gamma0 = 0.9;
+  spec.kappa0 = 1.2;
+  const double s = 80e-12, c = 2e-15;
+  const Moments truth_m = synthetic_moments(spec, s, c, 10e-12, 0.4e-15);
+  const auto truth_q = synthetic_quantiles(truth_m);
+  const auto got = model.quantiles("INVx2", 0, true, s, c);
+  for (int lv = 0; lv < 7; ++lv) {
+    EXPECT_NEAR(got[static_cast<std::size_t>(lv)],
+                truth_q[static_cast<std::size_t>(lv)],
+                2e-4 * truth_q[static_cast<std::size_t>(lv)])
+        << "level " << lv - 3;
+  }
+}
+
+TEST(NSigmaCellModel, MeanTablesLookup) {
+  const CharLib lib = make_charlib();
+  const NSigmaCellModel model = NSigmaCellModel::fit(lib);
+  const double d = model.mean_delay("INVx1", 0, true, 10e-12, 0.4e-15);
+  EXPECT_NEAR(d, 35e-12, 1e-15);  // ref grid point
+  const double slew = model.mean_out_slew("INVx1", 0, true, 10e-12, 0.4e-15);
+  EXPECT_GT(slew, 0.0);
+}
+
+TEST(NSigmaCellModel, UnknownCellThrows) {
+  const CharLib lib = make_charlib();
+  const NSigmaCellModel model = NSigmaCellModel::fit(lib);
+  EXPECT_THROW(model.arc("XYZx1", 0, true), std::out_of_range);
+}
+
+TEST(NSigmaCellModel, PinsShareArcModel) {
+  const CharLib lib = make_charlib();
+  const NSigmaCellModel model = NSigmaCellModel::fit(lib);
+  const auto q0 = model.quantiles("NAND2x1", 0, true, 50e-12, 2e-15);
+  const auto q1 = model.quantiles("NAND2x1", 1, true, 50e-12, 2e-15);
+  for (int lv = 0; lv < 7; ++lv) {
+    EXPECT_DOUBLE_EQ(q0[static_cast<std::size_t>(lv)],
+                     q1[static_cast<std::size_t>(lv)]);
+  }
+}
+
+TEST(NSigmaCellModel, QuantilesOrderedAtModerateShape) {
+  const CharLib lib = make_charlib();
+  const NSigmaCellModel model = NSigmaCellModel::fit(lib);
+  const auto q = model.quantiles("NOR2x2", 0, false, 120e-12, 3e-15);
+  for (int lv = 1; lv < 7; ++lv) {
+    EXPECT_LT(q[static_cast<std::size_t>(lv - 1)],
+              q[static_cast<std::size_t>(lv)]);
+  }
+}
+
+}  // namespace
+}  // namespace nsdc

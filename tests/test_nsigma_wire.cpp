@@ -1,0 +1,91 @@
+#include "core/nsigma_wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "synthetic_charlib.hpp"
+
+namespace nsdc {
+namespace {
+
+using testfix::make_charlib;
+using testfix::true_x_drive;
+using testfix::true_x_load;
+
+class NSigmaWireTest : public ::testing::Test {
+ protected:
+  CharLib charlib = make_charlib();
+  CellLibrary cells = CellLibrary::standard();
+  NSigmaWireModel model = NSigmaWireModel::fit(charlib, cells);
+};
+
+TEST_F(NSigmaWireTest, RecoversTrueCoefficients) {
+  EXPECT_NEAR(model.intrinsic_variability(), testfix::true_x_intrinsic(), 1e-6);
+  for (const auto& name : {"INVx1", "INVx4", "NAND2x2", "NOR2x2"}) {
+    EXPECT_NEAR(model.x_drive(name), true_x_drive(name), 1e-5) << name;
+  }
+  for (const auto& name : {"INVx1", "INVx4", "NAND2x2"}) {
+    EXPECT_NEAR(model.x_load(name), true_x_load(name), 1e-5) << name;
+  }
+}
+
+TEST_F(NSigmaWireTest, Fo4VariabilityFromCharlib) {
+  EXPECT_NEAR(model.fo4_variability(), charlib.cell_variability("INVx4"),
+              1e-12);
+}
+
+TEST_F(NSigmaWireTest, XwEquation7) {
+  const double xw = model.xw("INVx1", "NAND2x2");
+  const double expected =
+      testfix::true_x_intrinsic() +
+      true_x_drive("INVx1") * charlib.cell_variability("INVx1") +
+      true_x_load("NAND2x2") * charlib.cell_variability("NAND2x2");
+  EXPECT_NEAR(xw, expected, 1e-7);
+}
+
+TEST_F(NSigmaWireTest, SigmaWEquation8) {
+  EXPECT_DOUBLE_EQ(model.sigma_w(20e-12, 0.15), 3e-12);
+}
+
+TEST_F(NSigmaWireTest, QuantilesEquation9) {
+  const double elmore = 10e-12;
+  const double xw = 0.2;
+  const auto q = model.quantiles(elmore, xw);
+  for (int lv = 0; lv < 7; ++lv) {
+    EXPECT_NEAR(q[static_cast<std::size_t>(lv)],
+                (1.0 + (lv - 3) * xw) * elmore, 1e-24);
+  }
+  EXPECT_DOUBLE_EQ(q[3], elmore);  // median == Elmore
+  EXPECT_THROW(model.quantile(elmore, xw, 9), std::out_of_range);
+}
+
+TEST_F(NSigmaWireTest, VariabilityFallsWithStrength) {
+  // The Pelgrom trend baked into the synthetic library must survive.
+  EXPECT_GT(model.cell_variability("INVx1"), model.cell_variability("INVx4"));
+  EXPECT_GT(model.cell_variability("INVx4"), model.cell_variability("INVx8"));
+}
+
+TEST_F(NSigmaWireTest, FamilyFallbackForUnfittedCell) {
+  // NOR2x8 never appears in the observations; it inherits the NOR2 family
+  // coefficient rather than throwing.
+  const double x = model.x_drive("NOR2x8");
+  EXPECT_NEAR(x, true_x_drive("NOR2x2"), 1e-5);
+  // A family absent from every observation falls back to the global mean.
+  EXPECT_NO_THROW(model.x_drive("OAI21x2"));
+}
+
+TEST_F(NSigmaWireTest, ReportMatchesObservations) {
+  const auto& report = model.report();
+  EXPECT_EQ(report.size(), charlib.wire_observations().size());
+  for (const auto& r : report) {
+    EXPECT_NEAR(r.predicted_xw, r.measured_xw, 1e-6 + 0.01 * r.measured_xw);
+  }
+}
+
+TEST(NSigmaWireModelErrors, MissingFo4Throws) {
+  CharLib empty;
+  CellLibrary cells = CellLibrary::standard();
+  EXPECT_THROW(NSigmaWireModel::fit(empty, cells), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace nsdc

@@ -1,0 +1,75 @@
+#include "stats/optimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace nsdc {
+namespace {
+
+TEST(NelderMead, Quadratic1D) {
+  auto fn = [](const std::vector<double>& x) {
+    return (x[0] - 3.0) * (x[0] - 3.0);
+  };
+  const auto res = nelder_mead(fn, {0.0});
+  EXPECT_NEAR(res.x[0], 3.0, 1e-4);
+  EXPECT_LT(res.fx, 1e-8);
+}
+
+TEST(NelderMead, Quadratic3D) {
+  auto fn = [](const std::vector<double>& x) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double d = x[i] - static_cast<double>(i);
+      s += (1.0 + static_cast<double>(i)) * d * d;
+    }
+    return s;
+  };
+  const auto res = nelder_mead(fn, {5.0, 5.0, 5.0});
+  EXPECT_NEAR(res.x[0], 0.0, 1e-3);
+  EXPECT_NEAR(res.x[1], 1.0, 1e-3);
+  EXPECT_NEAR(res.x[2], 2.0, 1e-3);
+}
+
+TEST(NelderMead, Rosenbrock) {
+  auto fn = [](const std::vector<double>& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  NelderMeadOptions opts;
+  opts.max_iters = 20000;
+  const auto res = nelder_mead(fn, {-1.2, 1.0}, opts);
+  EXPECT_NEAR(res.x[0], 1.0, 1e-2);
+  EXPECT_NEAR(res.x[1], 1.0, 2e-2);
+}
+
+TEST(NelderMead, RespectsInfinityConstraint) {
+  // Minimum of (x-2)^2 subject to x >= 0 encoded via +inf.
+  auto fn = [](const std::vector<double>& x) {
+    if (x[0] < 0.0) return std::numeric_limits<double>::infinity();
+    return (x[0] + 1.0) * (x[0] + 1.0);  // unconstrained min at -1
+  };
+  const auto res = nelder_mead(fn, {3.0});
+  EXPECT_GE(res.x[0], 0.0);
+  EXPECT_NEAR(res.x[0], 0.0, 0.05);
+}
+
+TEST(NelderMead, ConvergedFlagOnEasyProblem) {
+  auto fn = [](const std::vector<double>& x) { return x[0] * x[0]; };
+  const auto res = nelder_mead(fn, {1.0});
+  EXPECT_TRUE(res.converged);
+}
+
+TEST(NelderMead, ZeroStartingPoint) {
+  auto fn = [](const std::vector<double>& x) {
+    return (x[0] - 0.5) * (x[0] - 0.5) + (x[1] + 0.25) * (x[1] + 0.25);
+  };
+  const auto res = nelder_mead(fn, {0.0, 0.0});
+  EXPECT_NEAR(res.x[0], 0.5, 1e-3);
+  EXPECT_NEAR(res.x[1], -0.25, 1e-3);
+}
+
+}  // namespace
+}  // namespace nsdc

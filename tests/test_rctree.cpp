@@ -1,0 +1,125 @@
+#include "parasitics/rctree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nsdc {
+namespace {
+
+// Two-segment line: root -R1- n1 -R2- n2, caps C1 at n1, C2 at n2.
+RcTree line2(double r1, double c1, double r2, double c2) {
+  RcTree t;
+  const int n1 = t.add_node(0, r1, c1);
+  const int n2 = t.add_node(n1, r2, c2);
+  t.mark_sink(n2, "Z");
+  return t;
+}
+
+TEST(RcTree, ElmoreLineHandComputed) {
+  // Elmore to n2 = R1*(C1+C2) + R2*C2.
+  const RcTree t = line2(100.0, 1e-15, 200.0, 2e-15);
+  EXPECT_NEAR(t.elmore(2), 100.0 * 3e-15 + 200.0 * 2e-15, 1e-25);
+  // Elmore to n1 = R1*(C1+C2).
+  EXPECT_NEAR(t.elmore(1), 100.0 * 3e-15, 1e-25);
+}
+
+TEST(RcTree, ElmoreBranchedTree) {
+  // Root - R1 - A; A - R2 - B (cap Cb); A - R3 - C (cap Cc).
+  RcTree t;
+  const int a = t.add_node(0, 100.0, 0.0);
+  const int b = t.add_node(a, 200.0, 1e-15);
+  const int c = t.add_node(a, 300.0, 2e-15);
+  t.mark_sink(b, "B");
+  t.mark_sink(c, "C");
+  // Elmore(B) = R1*(Cb+Cc) + R2*Cb (R3 branch shares only R1).
+  EXPECT_NEAR(t.elmore(b), 100.0 * 3e-15 + 200.0 * 1e-15, 1e-25);
+  EXPECT_NEAR(t.elmore(c), 100.0 * 3e-15 + 300.0 * 2e-15, 1e-25);
+}
+
+TEST(RcTree, SecondMomentLine) {
+  // For a single lumped RC (one node): m1 = RC, m2 = m1^2.
+  RcTree t;
+  const int n1 = t.add_node(0, 1000.0, 1e-15);
+  EXPECT_NEAR(t.elmore(n1), 1e-12, 1e-24);
+  EXPECT_NEAR(t.second_moment(n1), 1e-24, 1e-36);
+}
+
+TEST(RcTree, D2MEqualsLn2RCForSingleLump) {
+  // Single-pole network: D2M = ln2 * m1^2/sqrt(m2) = ln2 * RC — the exact
+  // 50% step-response delay of a one-pole system.
+  RcTree t;
+  const int n1 = t.add_node(0, 500.0, 2e-15);
+  EXPECT_NEAR(t.d2m(n1), std::log(2.0) * 1e-12, 1e-20);
+}
+
+TEST(RcTree, D2MLessThanElmoreOnDistributedLine) {
+  // For a distributed line D2M < Elmore (the known Elmore pessimism).
+  RcTree t;
+  int node = 0;
+  for (int i = 0; i < 10; ++i) node = t.add_node(node, 100.0, 0.5e-15);
+  EXPECT_LT(t.d2m(node), t.elmore(node));
+  EXPECT_GT(t.d2m(node), 0.3 * t.elmore(node));
+}
+
+TEST(RcTree, TotalCapAndRes) {
+  const RcTree t = line2(100.0, 1e-15, 200.0, 2e-15);
+  EXPECT_NEAR(t.total_cap(), 3e-15, 1e-27);
+  EXPECT_NEAR(t.total_res(), 300.0, 1e-9);
+}
+
+TEST(RcTree, AddCapAccumulates) {
+  RcTree t = line2(100.0, 1e-15, 200.0, 2e-15);
+  t.add_cap(2, 5e-15);
+  EXPECT_NEAR(t.node_cap(2), 7e-15, 1e-27);
+}
+
+TEST(RcTree, SinkLookup) {
+  const RcTree t = line2(1.0, 0.0, 1.0, 1e-15);
+  EXPECT_EQ(t.sink_node("Z"), 2);
+  EXPECT_THROW(t.sink_node("missing"), std::out_of_range);
+}
+
+TEST(RcTree, ScaledMultipliesRC) {
+  const RcTree t = line2(100.0, 1e-15, 200.0, 2e-15);
+  const RcTree s = t.scaled(2.0, 0.5);
+  EXPECT_NEAR(s.total_res(), 600.0, 1e-9);
+  EXPECT_NEAR(s.total_cap(), 1.5e-15, 1e-27);
+  EXPECT_NEAR(s.elmore(2), t.elmore(2), 1e-24);  // RC product preserved here
+}
+
+TEST(RcTree, PerturbedStaysPositiveAndDeterministic) {
+  const RcTree t = line2(100.0, 1e-15, 200.0, 2e-15);
+  Rng a(5), b(5);
+  const RcTree p1 = t.perturbed(a, 0.1, 1.1, 0.9);
+  const RcTree p2 = t.perturbed(b, 0.1, 1.1, 0.9);
+  EXPECT_NEAR(p1.total_res(), p2.total_res(), 1e-12);
+  for (int n = 1; n < p1.num_nodes(); ++n) {
+    EXPECT_GT(p1.edge_res(n), 0.0);
+    EXPECT_GE(p1.node_cap(n), 0.0);
+  }
+  // Global factors shift the expectation.
+  EXPECT_GT(p1.total_res(), t.total_res() * 0.8);
+}
+
+TEST(RcTree, Validation) {
+  RcTree t;
+  EXPECT_THROW(t.add_node(5, 1.0, 0.0), std::out_of_range);
+  EXPECT_THROW(t.add_node(0, -1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(t.mark_sink(0, "root"), std::out_of_range);
+}
+
+TEST(RcTree, BuildSpiceStructure) {
+  const RcTree t = line2(100.0, 1e-15, 200.0, 2e-15);
+  Circuit ckt;
+  const NodeId root = ckt.make_node("drv");
+  const auto ids = t.build_spice(ckt, root, 0.6);
+  EXPECT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], root);
+  EXPECT_EQ(ckt.resistors().size(), 2u);
+  EXPECT_EQ(ckt.capacitors().size(), 2u);
+  EXPECT_DOUBLE_EQ(ckt.initial_voltage(ids[2]), 0.6);
+}
+
+}  // namespace
+}  // namespace nsdc

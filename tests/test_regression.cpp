@@ -1,0 +1,181 @@
+#include "stats/regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nsdc {
+namespace {
+
+TEST(CholeskySolve, KnownSystem) {
+  // A = [[4,2],[2,3]], b = [10, 9] -> x = [1.5, 2].
+  std::vector<double> a{4, 2, 2, 3};
+  std::vector<double> b{10, 9};
+  const auto x = cholesky_solve(a, 2, b);
+  EXPECT_NEAR(x[0], 1.5, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(CholeskySolve, Identity) {
+  std::vector<double> a{1, 0, 0, 0, 1, 0, 0, 0, 1};
+  std::vector<double> b{1, 2, 3};
+  const auto x = cholesky_solve(a, 3, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-14);
+  EXPECT_NEAR(x[1], 2.0, 1e-14);
+  EXPECT_NEAR(x[2], 3.0, 1e-14);
+}
+
+TEST(CholeskySolve, NotSpdThrows) {
+  std::vector<double> a{1, 2, 2, 1};  // indefinite
+  std::vector<double> b{1, 1};
+  EXPECT_THROW(cholesky_solve(a, 2, b), std::runtime_error);
+}
+
+TEST(CholeskySolve, ShapeMismatchThrows) {
+  std::vector<double> a{1, 0, 0, 1};
+  std::vector<double> b{1, 2, 3};
+  EXPECT_THROW(cholesky_solve(a, 2, b), std::invalid_argument);
+}
+
+TEST(LeastSquares, ExactLinearRecovery) {
+  // y = 2x0 - 3x1 + 0.5x2, noise-free.
+  Rng rng(1);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    const double x0 = rng.uniform(-1, 1);
+    const double x1 = rng.uniform(-1, 1);
+    const double x2 = rng.uniform(-1, 1);
+    rows.push_back({x0, x1, x2});
+    y.push_back(2 * x0 - 3 * x1 + 0.5 * x2);
+  }
+  const FitResult fit = least_squares(rows, y);
+  EXPECT_NEAR(fit.beta[0], 2.0, 1e-10);
+  EXPECT_NEAR(fit.beta[1], -3.0, 1e-10);
+  EXPECT_NEAR(fit.beta[2], 0.5, 1e-10);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.rmse, 0.0, 1e-10);
+}
+
+TEST(LeastSquares, NoisyFitReasonable) {
+  Rng rng(2);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform(-2, 2);
+    rows.push_back({1.0, x});
+    y.push_back(1.0 + 4.0 * x + rng.normal(0.0, 0.1));
+  }
+  const FitResult fit = least_squares(rows, y);
+  EXPECT_NEAR(fit.beta[0], 1.0, 0.02);
+  EXPECT_NEAR(fit.beta[1], 4.0, 0.02);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(LeastSquares, RidgeShrinksCoefficients) {
+  Rng rng(3);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.uniform(-1, 1);
+    rows.push_back({x});
+    y.push_back(5.0 * x);
+  }
+  const double b0 = least_squares(rows, y, 0.0).beta[0];
+  const double b1 = least_squares(rows, y, 1.0).beta[0];
+  EXPECT_NEAR(b0, 5.0, 1e-9);
+  EXPECT_LT(b1, b0);
+  EXPECT_GT(b1, 0.0);
+}
+
+TEST(LeastSquares, RidgeIsScaleRelative) {
+  // The same data in different units must shrink by the same fraction.
+  Rng rng(4);
+  std::vector<std::vector<double>> rows_a, rows_b;
+  std::vector<double> ya, yb;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(-1, 1);
+    rows_a.push_back({x});
+    ya.push_back(3.0 * x);
+    rows_b.push_back({x * 1e-12});  // pico-scaled units
+    yb.push_back(3.0 * x);
+  }
+  const double frac_a =
+      least_squares(rows_a, ya, 0.5).beta[0] / least_squares(rows_a, ya).beta[0];
+  const double frac_b =
+      least_squares(rows_b, yb, 0.5).beta[0] / least_squares(rows_b, yb).beta[0];
+  EXPECT_NEAR(frac_a, frac_b, 1e-9);
+}
+
+TEST(LeastSquares, UnderdeterminedThrows) {
+  std::vector<std::vector<double>> rows{{1.0, 2.0, 3.0}};
+  std::vector<double> y{1.0};
+  EXPECT_THROW(least_squares(rows, y), std::invalid_argument);
+}
+
+TEST(LeastSquares, RaggedRowsThrow) {
+  std::vector<std::vector<double>> rows{{1.0, 2.0}, {1.0}};
+  std::vector<double> y{1.0, 2.0};
+  EXPECT_THROW(least_squares(rows, y), std::invalid_argument);
+}
+
+TEST(LeastSquares, SingularWithoutRidgeThrows) {
+  // Duplicate column -> rank deficient.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 0; i < 10; ++i) {
+    rows.push_back({static_cast<double>(i), static_cast<double>(i)});
+    y.push_back(i);
+  }
+  EXPECT_THROW(least_squares(rows, y, 0.0), std::runtime_error);
+  // Ridge regularizes it.
+  EXPECT_NO_THROW(least_squares(rows, y, 1e-6));
+}
+
+TEST(PredictRow, DotProduct) {
+  const std::vector<double> row{1.0, 2.0, 3.0};
+  const std::vector<double> beta{0.5, -1.0, 2.0};
+  EXPECT_DOUBLE_EQ(predict_row(row, beta), 0.5 - 2.0 + 6.0);
+}
+
+TEST(PredictRow, ArityMismatchThrows) {
+  const std::vector<double> row{1.0};
+  const std::vector<double> beta{1.0, 2.0};
+  EXPECT_THROW(predict_row(row, beta), std::invalid_argument);
+}
+
+class PolynomialDegreeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolynomialDegreeSweep, RecoversPolynomial) {
+  const int degree = GetParam();
+  Rng rng(5);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(-1, 1);
+    std::vector<double> row;
+    double target = 0.0;
+    double xp = 1.0;
+    for (int d = 0; d <= degree; ++d) {
+      row.push_back(xp);
+      target += (d + 1) * xp;  // coefficients 1, 2, 3, ...
+      xp *= x;
+    }
+    rows.push_back(std::move(row));
+    y.push_back(target);
+  }
+  const FitResult fit = least_squares(rows, y);
+  for (int d = 0; d <= degree; ++d) {
+    EXPECT_NEAR(fit.beta[static_cast<std::size_t>(d)], d + 1.0, 1e-7)
+        << "degree " << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, PolynomialDegreeSweep,
+                         ::testing::Values(1, 2, 3, 5));
+
+}  // namespace
+}  // namespace nsdc

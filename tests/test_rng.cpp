@@ -1,0 +1,150 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace nsdc {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 3.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 3.5);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntSingleValue) {
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng rng(19);
+  const int n = 50000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sum2 += (x - 10.0) * (x - 10.0);
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sum2 / n), 2.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, SplitDecorrelates) {
+  Rng a(31);
+  Rng child = a.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == child.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkDeterministicByTag) {
+  Rng a(37), b(37);
+  Rng fa = a.fork("hello");
+  Rng fb = b.fork("hello");
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(fa.next_u64(), fb.next_u64());
+}
+
+TEST(Rng, ForkDiffersByTag) {
+  Rng a(37);
+  Rng f1 = a.fork("x");
+  Rng f2 = a.fork("y");
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += f1.next_u64() == f2.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkDoesNotAdvanceParent) {
+  Rng a(41), b(41);
+  (void)a.fork("tag");
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformChiSquaredish) {
+  // 16-bin frequency check: no bin deviates wildly from uniform.
+  Rng rng(GetParam());
+  std::vector<int> bins(16, 0);
+  const int n = 16000;
+  for (int i = 0; i < n; ++i) {
+    ++bins[static_cast<std::size_t>(rng.uniform() * 16.0)];
+  }
+  for (int c : bins) EXPECT_NEAR(c, 1000, 150);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ull, 1ull, 42ull, 0xdeadbeefull,
+                                           0xffffffffffffffffull));
+
+}  // namespace
+}  // namespace nsdc

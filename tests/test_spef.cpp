@@ -1,0 +1,88 @@
+#include "parasitics/spef.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nsdc {
+namespace {
+
+RcTree sample_tree() {
+  RcTree t;
+  const int a = t.add_node(0, 100.0, 1e-15);
+  const int b = t.add_node(a, 50.0, 0.5e-15);
+  const int c = t.add_node(a, 75.0, 0.8e-15);
+  t.add_cap(0, 0.2e-15);
+  t.mark_sink(b, "u1:0");
+  t.mark_sink(c, "u2:1");
+  return t;
+}
+
+TEST(Spef, RoundTripSingleNet) {
+  ParasiticDb db;
+  db.add("n1", sample_tree());
+  const std::string text = db.to_spef("testdesign");
+  const ParasiticDb back = ParasiticDb::from_spef(text);
+  ASSERT_TRUE(back.contains("n1"));
+  const RcTree& t = back.net("n1");
+  EXPECT_EQ(t.num_nodes(), 4);
+  EXPECT_NEAR(t.total_cap(), sample_tree().total_cap(), 1e-27);
+  EXPECT_NEAR(t.elmore(t.sink_node("u1:0")),
+              sample_tree().elmore(sample_tree().sink_node("u1:0")), 1e-24);
+  EXPECT_EQ(t.sinks().size(), 2u);
+}
+
+TEST(Spef, RoundTripManyNets) {
+  ParasiticDb db;
+  for (int i = 0; i < 10; ++i) {
+    db.add("net" + std::to_string(i), sample_tree());
+  }
+  const ParasiticDb back = ParasiticDb::from_spef(db.to_spef("d"));
+  EXPECT_EQ(back.size(), 10u);
+  EXPECT_TRUE(back.contains("net7"));
+}
+
+TEST(Spef, RootCapSurvives) {
+  ParasiticDb db;
+  db.add("n1", sample_tree());
+  const ParasiticDb back = ParasiticDb::from_spef(db.to_spef("d"));
+  EXPECT_NEAR(back.net("n1").node_cap(0), 0.2e-15, 1e-28);
+}
+
+TEST(Spef, MissingNetThrows) {
+  ParasiticDb db;
+  EXPECT_THROW(db.net("nope"), std::out_of_range);
+  EXPECT_FALSE(db.contains("nope"));
+}
+
+TEST(Spef, ParseErrorsCarryLineInfo) {
+  EXPECT_THROW(ParasiticDb::from_spef("garbage"), std::runtime_error);
+  // *END without *D_NET.
+  EXPECT_THROW(ParasiticDb::from_spef("*SPEF nsdc-lite 1\n*END\n"),
+               std::runtime_error);
+  // Missing final *END.
+  EXPECT_THROW(
+      ParasiticDb::from_spef("*SPEF nsdc-lite 1\n*D_NET x 0\n*NODES 1\n"),
+      std::runtime_error);
+}
+
+TEST(Spef, SaveLoadFile) {
+  ParasiticDb db;
+  db.add("n1", sample_tree());
+  const std::string path = ::testing::TempDir() + "nsdc_spef_test.spef";
+  ASSERT_TRUE(db.save(path, "d"));
+  const auto back = ParasiticDb::load(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->contains("n1"));
+  EXPECT_FALSE(ParasiticDb::load("/nonexistent/dir/file.spef").has_value());
+}
+
+TEST(Spef, OverwriteNet) {
+  ParasiticDb db;
+  db.add("n", sample_tree());
+  RcTree small;
+  small.add_node(0, 1.0, 1e-18);
+  db.add("n", small);
+  EXPECT_EQ(db.net("n").num_nodes(), 2);
+}
+
+}  // namespace
+}  // namespace nsdc

@@ -1,0 +1,253 @@
+#include "sta/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sta/annotate.hpp"
+#include "sta/timer.hpp"
+#include "synthetic_charlib.hpp"
+
+namespace nsdc {
+namespace {
+
+using testfix::make_charlib;
+
+class StaTest : public ::testing::Test {
+ protected:
+  StaTest()
+      : charlib(make_charlib()),
+        cells(CellLibrary::standard()),
+        model(NSigmaCellModel::fit(charlib)),
+        tech(TechParams::nominal28()),
+        engine(model, tech) {}
+
+  CharLib charlib;
+  CellLibrary cells;
+  NSigmaCellModel model;
+  TechParams tech;
+  StaEngine engine;
+};
+
+TEST_F(StaTest, SingleInverterArrival) {
+  GateNetlist nl("one");
+  const int a = nl.add_primary_input("a");
+  const int g = nl.add_cell("u1", cells.by_name("INVx1"), {a}, "y");
+  nl.mark_primary_output(nl.cell(g).out_net);
+  ParasiticDb empty;  // wireless: loads are pin caps only (none here)
+  const auto res = engine.run(nl, empty);
+  EXPECT_GT(res.max_arrival, 0.0);
+  EXPECT_EQ(res.critical_net, nl.cell(g).out_net);
+  // Arrival equals the mean-delay table at (PI slew, load 0-ish).
+  const double expected = model.mean_delay("INVx1", 0, true, 10e-12, 0.0);
+  const double expected_f = model.mean_delay("INVx1", 0, false, 10e-12, 0.0);
+  EXPECT_NEAR(res.max_arrival, std::max(expected, expected_f), 1e-15);
+}
+
+TEST_F(StaTest, ChainArrivalsAccumulate) {
+  GateNetlist nl("chain");
+  int net = nl.add_primary_input("a");
+  for (int i = 0; i < 4; ++i) {
+    const int g = nl.add_cell("u" + std::to_string(i), cells.by_name("INVx2"),
+                              {net}, "w" + std::to_string(i));
+    net = nl.cell(g).out_net;
+  }
+  nl.mark_primary_output(net);
+  ParasiticDb empty;
+  const auto res = engine.run(nl, empty);
+  // Strictly increasing arrivals along the chain.
+  double prev = 0.0;
+  for (std::size_t c = 0; c < nl.num_cells(); ++c) {
+    const int out = nl.cell(static_cast<int>(c)).out_net;
+    const auto& nt = res.nets[static_cast<std::size_t>(out)];
+    const double arr = std::max(nt.arrival[0], nt.arrival[1]);
+    EXPECT_GT(arr, prev);
+    prev = arr;
+  }
+}
+
+TEST_F(StaTest, DualRailInversionTracking) {
+  // Through one inverter, the rising output arrival derives from the
+  // falling input (and vice versa).
+  GateNetlist nl("inv");
+  const int a = nl.add_primary_input("a");
+  const int g = nl.add_cell("u", cells.by_name("INVx1"), {a}, "y");
+  nl.mark_primary_output(nl.cell(g).out_net);
+  ParasiticDb empty;
+  const auto res = engine.run(nl, empty);
+  const auto& nt = res.nets[static_cast<std::size_t>(nl.cell(g).out_net)];
+  // Rise at output uses the falling-input arc (in_rising=false).
+  const double expect_rise = model.mean_delay("INVx1", 0, false, 10e-12, 0.0);
+  const double expect_fall = model.mean_delay("INVx1", 0, true, 10e-12, 0.0);
+  EXPECT_NEAR(nt.arrival[0], expect_rise, 1e-15);
+  EXPECT_NEAR(nt.arrival[1], expect_fall, 1e-15);
+}
+
+TEST_F(StaTest, CriticalPathPicksSlowerBranch) {
+  // Two parallel branches into a NAND: one INVx1 (slow), one chain of
+  // nothing. The critical path must route through the slower pin.
+  GateNetlist nl("br");
+  const int a = nl.add_primary_input("a");
+  const int b = nl.add_primary_input("b");
+  const int slow1 = nl.add_cell("s1", cells.by_name("INVx1"), {a}, "m1");
+  const int slow2 =
+      nl.add_cell("s2", cells.by_name("INVx1"), {nl.cell(slow1).out_net}, "m2");
+  const int g = nl.add_cell("g", cells.by_name("NAND2x2"),
+                            {nl.cell(slow2).out_net, b}, "y");
+  nl.mark_primary_output(nl.cell(g).out_net);
+  ParasiticDb empty;
+  const auto res = engine.run(nl, empty);
+  const auto path = engine.extract_critical_path(nl, res);
+  ASSERT_EQ(path.stages.size(), 3u);
+  EXPECT_EQ(path.stages[0].cell->name(), "INVx1");
+  EXPECT_EQ(path.stages[1].cell->name(), "INVx1");
+  EXPECT_EQ(path.stages[2].cell->name(), "NAND2x2");
+  EXPECT_EQ(path.stages[2].pin, 0);  // the slow pin
+  // Stage metadata links: load cell of stage i is stage i+1's cell.
+  EXPECT_EQ(path.stages[0].load_cell, "INVx1");
+  EXPECT_EQ(path.stages[1].load_cell, "NAND2x2");
+}
+
+TEST_F(StaTest, AnnotatedWiresAddElmoreDelay) {
+  GateNetlist nl("wired");
+  const int a = nl.add_primary_input("a");
+  const int g1 = nl.add_cell("u1", cells.by_name("INVx2"), {a}, "m");
+  const int g2 =
+      nl.add_cell("u2", cells.by_name("INVx2"), {nl.cell(g1).out_net}, "y");
+  nl.mark_primary_output(nl.cell(g2).out_net);
+
+  const ParasiticDb spef = generate_parasitics(nl, tech);
+  ParasiticDb empty;
+  const auto with_wires = engine.run(nl, spef);
+  const auto without = engine.run(nl, empty);
+  EXPECT_GT(with_wires.max_arrival, without.max_arrival);
+}
+
+TEST_F(StaTest, NetLoadIncludesWireAndPins) {
+  GateNetlist nl("load");
+  const int a = nl.add_primary_input("a");
+  const int g1 = nl.add_cell("u1", cells.by_name("INVx2"), {a}, "m");
+  const int g2 =
+      nl.add_cell("u2", cells.by_name("INVx8"), {nl.cell(g1).out_net}, "y");
+  nl.mark_primary_output(nl.cell(g2).out_net);
+  const ParasiticDb spef = generate_parasitics(nl, tech);
+  const auto res = engine.run(nl, spef);
+  const auto m_net = static_cast<std::size_t>(nl.cell(g1).out_net);
+  const double wire_cap = spef.net("m").total_cap();
+  const double pin_cap = cells.by_name("INVx8").input_cap(tech, 0);
+  EXPECT_NEAR(res.net_load[m_net], wire_cap + pin_cap, 1e-20);
+}
+
+TEST_F(StaTest, ThrowsWithoutReachablePo) {
+  GateNetlist nl("empty");
+  nl.add_primary_input("a");
+  ParasiticDb empty;
+  EXPECT_THROW(engine.run(nl, empty), std::runtime_error);
+}
+
+TEST_F(StaTest, ExtractedPathSlewsArePropagated) {
+  GateNetlist nl("slew");
+  int net = nl.add_primary_input("a");
+  for (int i = 0; i < 3; ++i) {
+    const int g = nl.add_cell("u" + std::to_string(i), cells.by_name("NAND2x1"),
+                              {net, net}, "w" + std::to_string(i));
+    net = nl.cell(g).out_net;
+  }
+  nl.mark_primary_output(net);
+  ParasiticDb empty;
+  const auto res = engine.run(nl, empty);
+  const auto path = engine.extract_critical_path(nl, res);
+  // First stage sees the PI slew; later stages see table-driven slews.
+  EXPECT_NEAR(path.stages[0].input_slew, 10e-12, 1e-15);
+  for (const auto& st : path.stages) {
+    EXPECT_GT(st.input_slew, 1e-12);
+    EXPECT_LT(st.input_slew, 2e-9);
+  }
+}
+
+TEST_F(StaTest, WorstPathsSortedAndCapped) {
+  // Three endpoints of different depth; paths must come back ordered by
+  // arrival and respect the cap.
+  GateNetlist nl("multi");
+  const int a = nl.add_primary_input("a");
+  int net = a;
+  std::vector<int> po_nets;
+  for (int depth = 1; depth <= 3; ++depth) {
+    const int g = nl.add_cell("u" + std::to_string(depth),
+                              cells.by_name("INVx1"), {net},
+                              "w" + std::to_string(depth));
+    net = nl.cell(g).out_net;
+    nl.mark_primary_output(net);
+    po_nets.push_back(net);
+  }
+  ParasiticDb empty;
+  const auto res = engine.run(nl, empty);
+  const auto paths = engine.extract_worst_paths(nl, res, 10);
+  ASSERT_EQ(paths.size(), 3u);  // one per PO
+  EXPECT_EQ(paths[0].stages.size(), 3u);
+  EXPECT_EQ(paths[1].stages.size(), 2u);
+  EXPECT_EQ(paths[2].stages.size(), 1u);
+  EXPECT_FALSE(paths[0].note.empty());
+
+  const auto capped = engine.extract_worst_paths(nl, res, 2);
+  EXPECT_EQ(capped.size(), 2u);
+  // Entry 0 equals the critical path.
+  const auto crit = engine.extract_critical_path(nl, res);
+  EXPECT_EQ(capped[0].stages.size(), crit.stages.size());
+}
+
+TEST_F(StaTest, TimerAnalyzePathsConsistentWithAnalyze) {
+  NSigmaTimer timer(charlib, cells, tech);
+  GateNetlist nl("tp");
+  const int a = nl.add_primary_input("a");
+  int net = a;
+  for (int i = 0; i < 3; ++i) {
+    const int g = nl.add_cell("u" + std::to_string(i), cells.by_name("INVx2"),
+                              {net}, "w" + std::to_string(i));
+    net = nl.cell(g).out_net;
+    if (i >= 1) nl.mark_primary_output(net);
+  }
+  const ParasiticDb spef = generate_parasitics(nl, tech);
+  const auto analysis = timer.analyze(nl, spef);
+  const auto reports = timer.analyze_paths(nl, spef, 10);
+  ASSERT_EQ(reports.size(), 2u);  // two POs
+  // Entry 0 matches the single-path analyze() result.
+  for (int lv = 0; lv < 7; ++lv) {
+    EXPECT_NEAR(reports[0].quantiles[static_cast<std::size_t>(lv)],
+                analysis.quantiles[static_cast<std::size_t>(lv)], 1e-18);
+  }
+  EXPECT_GT(reports[0].quantiles[3], reports[1].quantiles[3]);
+}
+
+TEST(Annotate, SinkNamingConvention) {
+  CellInst inst;
+  inst.name = "u42";
+  EXPECT_EQ(sink_pin_name(inst, 1), "u42:1");
+}
+
+TEST(Annotate, EveryDrivenNetGetsATree) {
+  const TechParams tech = TechParams::nominal28();
+  const CellLibrary cells = CellLibrary::standard();
+  GateNetlist nl("ann");
+  const int a = nl.add_primary_input("a");
+  const int g1 = nl.add_cell("u1", cells.by_name("INVx1"), {a}, "m");
+  nl.mark_primary_output(nl.cell(g1).out_net);
+  const ParasiticDb db = generate_parasitics(nl, tech);
+  EXPECT_TRUE(db.contains("a"));
+  EXPECT_TRUE(db.contains("m"));  // PO net gets a "PO" sink
+  EXPECT_NO_THROW(db.net("m").sink_node("PO"));
+  EXPECT_NO_THROW(db.net("a").sink_node("u1:0"));
+}
+
+TEST(Annotate, DeterministicBySeed) {
+  const TechParams tech = TechParams::nominal28();
+  const CellLibrary cells = CellLibrary::standard();
+  GateNetlist nl("det");
+  const int a = nl.add_primary_input("a");
+  const int g1 = nl.add_cell("u1", cells.by_name("INVx1"), {a}, "m");
+  nl.mark_primary_output(nl.cell(g1).out_net);
+  const ParasiticDb d1 = generate_parasitics(nl, tech);
+  const ParasiticDb d2 = generate_parasitics(nl, tech);
+  EXPECT_NEAR(d1.net("a").total_cap(), d2.net("a").total_cap(), 1e-30);
+}
+
+}  // namespace
+}  // namespace nsdc

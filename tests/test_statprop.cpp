@@ -1,0 +1,179 @@
+#include "sta/statprop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/yield.hpp"
+#include "sta/engine.hpp"
+#include "synthetic_charlib.hpp"
+#include "util/rng.hpp"
+
+namespace nsdc {
+namespace {
+
+using testfix::make_charlib;
+
+// ------------------------------------------------------------- Clark max
+
+TEST(ClarkMax, DominantInputWins) {
+  // When A sits 10 sigma above B, max ~= A.
+  const ClarkMax m = clark_max(100.0, 1.0, 0.0, 1.0, 0.0);
+  EXPECT_NEAR(m.mean, 100.0, 1e-6);
+  EXPECT_NEAR(m.var, 1.0, 1e-3);
+}
+
+TEST(ClarkMax, EqualIndependentGaussians) {
+  // max of two iid N(0,1): mean = 1/sqrt(pi), var = 1 - 1/pi.
+  const ClarkMax m = clark_max(0.0, 1.0, 0.0, 1.0, 0.0);
+  EXPECT_NEAR(m.mean, 1.0 / std::sqrt(std::numbers::pi), 1e-9);
+  EXPECT_NEAR(m.var, 1.0 - 1.0 / std::numbers::pi, 1e-9);
+}
+
+TEST(ClarkMax, PerfectlyCorrelatedDegenerate) {
+  const ClarkMax m = clark_max(5.0, 4.0, 3.0, 4.0, 1.0);
+  EXPECT_NEAR(m.mean, 5.0, 1e-9);
+  EXPECT_NEAR(m.var, 4.0, 1e-9);
+}
+
+TEST(ClarkMax, MatchesMonteCarlo) {
+  // Correlated pair via shared component.
+  const double rho = 0.6;
+  Rng rng(7);
+  MomentAccumulator acc;
+  for (int i = 0; i < 400000; ++i) {
+    const double shared = rng.normal();
+    const double a = 1.0 + 2.0 * (std::sqrt(rho) * shared +
+                                  std::sqrt(1 - rho) * rng.normal());
+    const double b = 1.5 + 1.0 * (std::sqrt(rho) * shared +
+                                  std::sqrt(1 - rho) * rng.normal());
+    acc.add(std::max(a, b));
+  }
+  const ClarkMax m = clark_max(1.0, 4.0, 1.5, 1.0, rho);
+  const Moments mc = acc.moments();
+  EXPECT_NEAR(m.mean, mc.mu, 0.01);
+  EXPECT_NEAR(std::sqrt(m.var), mc.sigma, 0.02);
+}
+
+// --------------------------------------------------------- StatisticalSta
+
+class StatPropTest : public ::testing::Test {
+ protected:
+  StatPropTest()
+      : charlib(make_charlib()),
+        cells(CellLibrary::standard()),
+        cell_model(NSigmaCellModel::fit(charlib)),
+        wire_model(NSigmaWireModel::fit(charlib, cells)),
+        tech(TechParams::nominal28()) {}
+
+  CharLib charlib;
+  CellLibrary cells;
+  NSigmaCellModel cell_model;
+  NSigmaWireModel wire_model;
+  TechParams tech;
+};
+
+TEST_F(StatPropTest, SingleCellMatchesMoments) {
+  GateNetlist nl("one");
+  const int a = nl.add_primary_input("a");
+  const int g = nl.add_cell("u", cells.by_name("INVx1"), {a}, "y");
+  nl.mark_primary_output(nl.cell(g).out_net);
+  ParasiticDb empty;
+  StatisticalSta ssta(cell_model, wire_model, tech);
+  const auto res = ssta.run(nl, empty);
+  // Worst PO = Clark max of rise/fall arrivals; each must equal the cell
+  // model's moments at (PI slew, zero load).
+  const Moments mr = cell_model.moments("INVx1", 0, false, 10e-12, 0.0);
+  const Moments mf = cell_model.moments("INVx1", 0, true, 10e-12, 0.0);
+  const auto po = static_cast<std::size_t>(nl.cell(g).out_net);
+  EXPECT_NEAR(res.nets[po][0].mean, mr.mu, 1e-15);
+  EXPECT_NEAR(res.nets[po][0].sigma(), mr.sigma, 1e-15);
+  EXPECT_NEAR(res.nets[po][1].mean, mf.mu, 1e-15);
+  EXPECT_GE(res.worst.mean, std::max(mr.mu, mf.mu) - 1e-15);
+}
+
+TEST_F(StatPropTest, ChainVarianceGrowsWithCorrelation) {
+  GateNetlist nl("chain");
+  int net = nl.add_primary_input("a");
+  for (int i = 0; i < 6; ++i) {
+    const int g = nl.add_cell("u" + std::to_string(i), cells.by_name("INVx2"),
+                              {net}, "w" + std::to_string(i));
+    net = nl.cell(g).out_net;
+  }
+  nl.mark_primary_output(net);
+  ParasiticDb empty;
+
+  StatisticalSta::Config indep;
+  indep.stage_correlation = 0.0;
+  StatisticalSta::Config corr;
+  corr.stage_correlation = 0.9;
+  const auto r0 =
+      StatisticalSta(cell_model, wire_model, tech, indep).run(nl, empty);
+  const auto r9 =
+      StatisticalSta(cell_model, wire_model, tech, corr).run(nl, empty);
+  // The mean shifts only through the Clark max at the endpoint (small);
+  // the variance is the quantity correlation drives.
+  EXPECT_NEAR(r0.worst.mean, r9.worst.mean, 0.02 * r0.worst.mean);
+  EXPECT_GT(r9.worst.sigma(), 1.5 * r0.worst.sigma());
+}
+
+TEST_F(StatPropTest, GraphMaxBelowQuantileSumAtPlus3) {
+  // For weakly correlated stages, the block-based +3s must sit below the
+  // path-based per-stage quantile sum (statistical averaging).
+  GateNetlist nl("cmp");
+  int net = nl.add_primary_input("a");
+  for (int i = 0; i < 8; ++i) {
+    const int g = nl.add_cell("u" + std::to_string(i), cells.by_name("NAND2x2"),
+                              {net, net}, "w" + std::to_string(i));
+    net = nl.cell(g).out_net;
+  }
+  nl.mark_primary_output(net);
+  ParasiticDb empty;
+
+  StatisticalSta::Config cfg;
+  cfg.stage_correlation = 0.2;
+  const auto stat =
+      StatisticalSta(cell_model, wire_model, tech, cfg).run(nl, empty);
+
+  StaEngine engine(cell_model, tech);
+  const auto mean_res = engine.run(nl, empty);
+  const auto path = engine.extract_critical_path(nl, mean_res);
+  PathDelayCalculator calc(cell_model, wire_model);
+  const auto q = calc.path_quantiles(path);
+  EXPECT_LT(stat.worst.quantile(3.0), q[6]);
+  EXPECT_GT(stat.worst.quantile(3.0), q[3]);  // but above the median sum
+}
+
+// ----------------------------------------------------------------- yield
+
+TEST_F(StatPropTest, YieldInvertsQuantiles) {
+  GateNetlist nl("y");
+  int net = nl.add_primary_input("a");
+  for (int i = 0; i < 4; ++i) {
+    const int g = nl.add_cell("u" + std::to_string(i), cells.by_name("INVx2"),
+                              {net}, "w" + std::to_string(i));
+    net = nl.cell(g).out_net;
+  }
+  nl.mark_primary_output(net);
+  ParasiticDb empty;
+  StaEngine engine(cell_model, tech);
+  const auto res = engine.run(nl, empty);
+  const auto path = engine.extract_critical_path(nl, res);
+  PathDelayCalculator calc(cell_model, wire_model);
+
+  const auto q = calc.path_quantiles(path);
+  EXPECT_NEAR(timing_yield(calc, path, q[6]), 0.99865, 1e-3);
+  EXPECT_NEAR(timing_yield(calc, path, q[3]), 0.5, 1e-3);
+  EXPECT_NEAR(timing_yield(calc, path, q[0]), 0.00135, 1e-3);
+  // Outside the modeled range.
+  EXPECT_LT(timing_yield(calc, path, 0.0), 1e-6);
+  EXPECT_GT(timing_yield(calc, path, 1.0), 1.0 - 1e-6);
+  // Inverse query round-trips.
+  const double p99 = period_for_yield(calc, path, 0.99);
+  EXPECT_NEAR(timing_yield(calc, path, p99), 0.99, 1e-6);
+  EXPECT_THROW(period_for_yield(calc, path, 1.5), std::domain_error);
+}
+
+}  // namespace
+}  // namespace nsdc

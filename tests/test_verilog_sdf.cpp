@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "netlist/benchio.hpp"
+#include "netlist/designgen.hpp"
+#include "netlist/verilogio.hpp"
+#include "sta/annotate.hpp"
+#include "sta/sdf.hpp"
+#include "synthetic_charlib.hpp"
+
+namespace nsdc {
+namespace {
+
+class VerilogTest : public ::testing::Test {
+ protected:
+  CellLibrary lib = CellLibrary::standard();
+};
+
+GateNetlist small_design(const CellLibrary& lib) {
+  GateNetlist nl("tiny");
+  const int a = nl.add_primary_input("a");
+  const int b = nl.add_primary_input("b");
+  const int g1 = nl.add_cell("u1", lib.by_name("NAND2x2"), {a, b}, "m");
+  const int g2 = nl.add_cell("u2", lib.by_name("INVx1"),
+                             {nl.cell(g1).out_net}, "y");
+  nl.mark_primary_output(nl.cell(g2).out_net);
+  return nl;
+}
+
+TEST_F(VerilogTest, WriterEmitsModuleStructure) {
+  const GateNetlist nl = small_design(lib);
+  const std::string v = write_verilog(nl);
+  EXPECT_NE(v.find("module tiny"), std::string::npos);
+  EXPECT_NE(v.find("input a;"), std::string::npos);
+  EXPECT_NE(v.find("output y;"), std::string::npos);
+  EXPECT_NE(v.find("wire m;"), std::string::npos);
+  EXPECT_NE(v.find("NAND2x2 u1 (.A0(a), .A1(b), .Z(m));"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+}
+
+TEST_F(VerilogTest, RoundTrip) {
+  const GateNetlist nl = small_design(lib);
+  const GateNetlist back = parse_verilog(write_verilog(nl), lib);
+  EXPECT_EQ(back.name(), "tiny");
+  EXPECT_EQ(back.num_cells(), nl.num_cells());
+  EXPECT_EQ(back.num_nets(), nl.num_nets());
+  EXPECT_EQ(back.depth(), nl.depth());
+  EXPECT_EQ(back.primary_inputs().size(), 2u);
+  EXPECT_EQ(back.primary_outputs().size(), 1u);
+  EXPECT_EQ(back.cell(0).type->name(), "NAND2x2");
+}
+
+TEST_F(VerilogTest, RoundTripGeneratedDesign) {
+  RandomNetlistSpec spec;
+  spec.target_cells = 120;
+  spec.num_primary_inputs = 10;
+  spec.target_depth = 10;
+  spec.seed = 77;
+  const GateNetlist nl = generate_random_mapped(spec, lib);
+  const GateNetlist back = parse_verilog(write_verilog(nl), lib);
+  EXPECT_EQ(back.num_cells(), nl.num_cells());
+  EXPECT_EQ(back.depth(), nl.depth());
+}
+
+TEST_F(VerilogTest, EscapedIdentifiersFromBenchNames) {
+  // .bench numeric signal names need Verilog escaped identifiers.
+  const std::string bench = "INPUT(1)\nINPUT(2)\nOUTPUT(10)\n10 = NAND(1, 2)\n";
+  const GateNetlist nl = parse_bench(bench, lib, "c");
+  const std::string v = write_verilog(nl);
+  EXPECT_NE(v.find("\\10 "), std::string::npos);
+  const GateNetlist back = parse_verilog(v, lib);
+  EXPECT_EQ(back.num_cells(), nl.num_cells());
+  EXPECT_NE(back.find_net("10"), -1);
+}
+
+TEST_F(VerilogTest, PortOrderIndependent) {
+  const std::string v = R"(
+module t(a, y);
+  input a;
+  output y;
+  INVx1 u1 (.Z(y), .A0(a));
+endmodule
+)";
+  const GateNetlist nl = parse_verilog(v, lib);
+  EXPECT_EQ(nl.num_cells(), 1u);
+}
+
+TEST_F(VerilogTest, CommentsIgnored) {
+  const std::string v =
+      "// header\nmodule t(a, y);\n/* block\ncomment */ input a;\n"
+      "output y;\nINVx1 u1 (.A0(a), .Z(y));\nendmodule\n";
+  EXPECT_EQ(parse_verilog(v, lib).num_cells(), 1u);
+}
+
+TEST_F(VerilogTest, Errors) {
+  EXPECT_THROW(parse_verilog("garbage", lib), std::runtime_error);
+  // Undriven net.
+  EXPECT_THROW(parse_verilog("module t(y);\noutput y;\nINVx1 u1 (.A0(ghost), "
+                             ".Z(y));\nendmodule\n",
+                             lib),
+               std::runtime_error);
+  // Multiple drivers.
+  EXPECT_THROW(parse_verilog("module t(a, y);\ninput a;\noutput y;\n"
+                             "INVx1 u1 (.A0(a), .Z(y));\n"
+                             "INVx1 u2 (.A0(a), .Z(y));\nendmodule\n",
+                             lib),
+               std::runtime_error);
+  // Missing .Z.
+  EXPECT_THROW(parse_verilog("module t(a, y);\ninput a;\noutput y;\n"
+                             "INVx1 u1 (.A0(a));\nendmodule\n",
+                             lib),
+               std::runtime_error);
+  // Combinational cycle.
+  EXPECT_THROW(parse_verilog("module t(y);\noutput y;\nwire x;\n"
+                             "INVx1 u1 (.A0(y), .Z(x));\n"
+                             "INVx1 u2 (.A0(x), .Z(y));\nendmodule\n",
+                             lib),
+               std::runtime_error);
+}
+
+TEST_F(VerilogTest, SaveLoadFile) {
+  const GateNetlist nl = small_design(lib);
+  const std::string path = ::testing::TempDir() + "nsdc_test.v";
+  ASSERT_TRUE(save_verilog(nl, path));
+  EXPECT_EQ(load_verilog(path, lib).num_cells(), 2u);
+  EXPECT_THROW(load_verilog("/nonexistent/x.v", lib), std::runtime_error);
+}
+
+TEST(SdfTest, StructureAndTriples) {
+  const CharLib charlib = testfix::make_charlib();
+  const CellLibrary cells = CellLibrary::standard();
+  const NSigmaCellModel cm = NSigmaCellModel::fit(charlib);
+  const NSigmaWireModel wm = NSigmaWireModel::fit(charlib, cells);
+  const TechParams tech = TechParams::nominal28();
+
+  GateNetlist nl("sdfdut");
+  const int a = nl.add_primary_input("a");
+  const int g1 = nl.add_cell("u1", cells.by_name("INVx2"), {a}, "m");
+  const int g2 =
+      nl.add_cell("u2", cells.by_name("INVx1"), {nl.cell(g1).out_net}, "y");
+  nl.mark_primary_output(nl.cell(g2).out_net);
+  const ParasiticDb spef = generate_parasitics(nl, tech);
+
+  const std::string sdf = write_sdf(nl, spef, cm, wm, tech);
+  EXPECT_NE(sdf.find("(SDFVERSION \"3.0\")"), std::string::npos);
+  EXPECT_NE(sdf.find("(DESIGN \"sdfdut\")"), std::string::npos);
+  EXPECT_NE(sdf.find("(INSTANCE u1)"), std::string::npos);
+  EXPECT_NE(sdf.find("(IOPATH A0 Z"), std::string::npos);
+  EXPECT_NE(sdf.find("(INTERCONNECT u1/Z u2/A0"), std::string::npos);
+  // Triples are ordered min <= typ <= max: spot-check formatting exists.
+  EXPECT_NE(sdf.find(":"), std::string::npos);
+
+  const std::string path = ::testing::TempDir() + "nsdc_test.sdf";
+  EXPECT_TRUE(save_sdf(nl, spef, cm, wm, tech, path));
+}
+
+}  // namespace
+}  // namespace nsdc

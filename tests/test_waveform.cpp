@@ -1,0 +1,134 @@
+#include "spice/waveform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nsdc {
+namespace {
+
+TEST(Pwl, ConstantEverywhere) {
+  const Pwl p = Pwl::constant(0.6);
+  EXPECT_DOUBLE_EQ(p.at(-1.0), 0.6);
+  EXPECT_DOUBLE_EQ(p.at(0.0), 0.6);
+  EXPECT_DOUBLE_EQ(p.at(1e9), 0.6);
+}
+
+TEST(Pwl, LinearInterpolation) {
+  const Pwl p({{0.0, 0.0}, {1.0, 2.0}});
+  EXPECT_DOUBLE_EQ(p.at(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(p.at(0.25), 0.5);
+  EXPECT_DOUBLE_EQ(p.at(2.0), 2.0);   // held flat after
+  EXPECT_DOUBLE_EQ(p.at(-1.0), 0.0);  // held flat before
+}
+
+TEST(Pwl, RejectsNonAscendingTimes) {
+  EXPECT_THROW(Pwl({{1.0, 0.0}, {0.5, 1.0}}), std::invalid_argument);
+}
+
+TEST(Pwl, Ramp1090Definition) {
+  // ramp(t0=0, 0 -> 1, slew) must have its 10%-90% width equal to slew.
+  const double slew = 80e-12;
+  const Pwl p = Pwl::ramp(0.0, 0.0, 1.0, slew);
+  // Find 10% and 90% crossing analytically: ramp duration = slew / 0.8.
+  const double dur = slew / 0.8;
+  EXPECT_NEAR(p.at(0.1 * dur), 0.1, 1e-12);
+  EXPECT_NEAR(p.at(0.9 * dur), 0.9, 1e-12);
+}
+
+TEST(Trace, Interpolation) {
+  Trace t;
+  t.t = {0.0, 1.0, 2.0};
+  t.v = {0.0, 10.0, 0.0};
+  EXPECT_DOUBLE_EQ(t.at(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(t.at(1.5), 5.0);
+  EXPECT_DOUBLE_EQ(t.at(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.at(3.0), 0.0);
+}
+
+Trace make_rising(double t_start, double duration, double vdd) {
+  Trace t;
+  for (int i = 0; i <= 100; ++i) {
+    const double f = i / 100.0;
+    t.t.push_back(t_start + f * duration);
+    t.v.push_back(f * vdd);
+  }
+  return t;
+}
+
+TEST(CrossTime, RisingCrossing) {
+  const Trace t = make_rising(10.0, 100.0, 1.0);
+  const auto c = cross_time(t, 0.5, true);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_NEAR(*c, 60.0, 1e-9);
+}
+
+TEST(CrossTime, DirectionMatters) {
+  const Trace t = make_rising(0.0, 10.0, 1.0);
+  EXPECT_TRUE(cross_time(t, 0.5, true).has_value());
+  EXPECT_FALSE(cross_time(t, 0.5, false).has_value());
+}
+
+TEST(CrossTime, AfterParameter) {
+  Trace t;
+  t.t = {0.0, 1.0, 2.0, 3.0, 4.0};
+  t.v = {0.0, 1.0, 0.0, 1.0, 0.0};  // two rising crossings of 0.5
+  const auto first = cross_time(t, 0.5, true, 0.0);
+  const auto second = cross_time(t, 0.5, true, 1.0);
+  ASSERT_TRUE(first && second);
+  EXPECT_NEAR(*first, 0.5, 1e-12);
+  EXPECT_NEAR(*second, 2.5, 1e-12);
+}
+
+TEST(MeasureSlew, RisingRamp) {
+  const Trace t = make_rising(0.0, 100.0, 0.6);
+  const auto s = measure_slew(t, 0.6, true);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_NEAR(*s, 80.0, 1e-6);  // 10% -> 90% of a linear 100-long ramp
+}
+
+TEST(MeasureSlew, FallingRamp) {
+  Trace t;
+  for (int i = 0; i <= 100; ++i) {
+    t.t.push_back(i);
+    t.v.push_back(0.6 * (1.0 - i / 100.0));
+  }
+  const auto s = measure_slew(t, 0.6, false);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_NEAR(*s, 80.0, 1e-6);
+}
+
+TEST(MeasureSlew, MissingTransition) {
+  Trace t;
+  t.t = {0.0, 1.0};
+  t.v = {0.0, 0.0};
+  EXPECT_FALSE(measure_slew(t, 0.6, true).has_value());
+}
+
+TEST(MeasureDelay, FiftyPercentCrossings) {
+  const Trace in = make_rising(0.0, 10.0, 1.0);    // crosses 0.5 at t=5
+  Trace out;
+  for (int i = 0; i <= 100; ++i) {
+    out.t.push_back(i * 0.2);
+    out.v.push_back(1.0 - i * 0.01);  // falls, crosses 0.5 at t=10
+  }
+  const auto d = measure_delay(in, true, out, false, 1.0);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NEAR(*d, 5.0, 1e-9);
+}
+
+TEST(MeasureDelay, NegativeDelayAllowed) {
+  // Output crosses before the input does (slow input, strong gate).
+  const Trace in = make_rising(0.0, 100.0, 1.0);  // crosses 0.5 at 50
+  Trace out;
+  for (int i = 0; i <= 100; ++i) {
+    out.t.push_back(i);
+    out.v.push_back(1.0 - i / 25.0);  // crosses 0.5 at 12.5
+  }
+  const auto d = measure_delay(in, true, out, false, 1.0);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NEAR(*d, 12.5 - 50.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace nsdc

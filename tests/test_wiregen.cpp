@@ -1,0 +1,71 @@
+#include "parasitics/wiregen.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nsdc {
+namespace {
+
+TEST(WireGen, DeterministicBySeed) {
+  const TechParams tech = TechParams::nominal28();
+  const WireGenerator gen(tech);
+  Rng a(7), b(7);
+  const RcTree t1 = gen.generate(a, {"p0", "p1"});
+  const RcTree t2 = gen.generate(b, {"p0", "p1"});
+  EXPECT_EQ(t1.num_nodes(), t2.num_nodes());
+  EXPECT_NEAR(t1.total_cap(), t2.total_cap(), 1e-30);
+  EXPECT_NEAR(t1.total_res(), t2.total_res(), 1e-12);
+}
+
+TEST(WireGen, SinkPerPinName) {
+  const TechParams tech = TechParams::nominal28();
+  const WireGenerator gen(tech);
+  Rng rng(9);
+  const RcTree t = gen.generate(rng, {"a", "b", "c"});
+  EXPECT_EQ(t.sinks().size(), 3u);
+  EXPECT_GT(t.sink_node("a"), 0);
+  EXPECT_GT(t.sink_node("b"), 0);
+  EXPECT_GT(t.sink_node("c"), 0);
+}
+
+TEST(WireGen, CapMatchesTechPerLength) {
+  // A line of length L must carry ~ L * c_per_m total capacitance.
+  const TechParams tech = TechParams::nominal28();
+  const WireGenerator gen(tech);
+  const RcTree t = gen.line(50.0, 8, "Z");
+  EXPECT_NEAR(t.total_cap(), 50e-6 * tech.wire_c_per_m, 1e-18);
+  EXPECT_NEAR(t.total_res(), 50e-6 * tech.wire_r_per_m, 1e-6);
+}
+
+TEST(WireGen, LineSegmentsAndSink) {
+  const TechParams tech = TechParams::nominal28();
+  const WireGenerator gen(tech);
+  const RcTree t = gen.line(10.0, 4, "OUT");
+  EXPECT_EQ(t.num_nodes(), 5);  // root + 4 segments
+  EXPECT_EQ(t.sink_node("OUT"), 4);
+}
+
+TEST(WireGen, LongerNetsHaveMoreDelay) {
+  const TechParams tech = TechParams::nominal28();
+  const WireGenerator gen(tech);
+  const RcTree short_net = gen.line(10.0, 5, "Z");
+  const RcTree long_net = gen.line(100.0, 5, "Z");
+  EXPECT_GT(long_net.elmore(long_net.sink_node("Z")),
+            10.0 * short_net.elmore(short_net.sink_node("Z")));
+}
+
+TEST(WireGen, FanoutGrowsCap) {
+  const TechParams tech = TechParams::nominal28();
+  const WireGenerator gen(tech);
+  double cap1 = 0.0, cap8 = 0.0;
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    Rng r1(s), r8(s);
+    cap1 += gen.generate(r1, {"a"}).total_cap();
+    std::vector<std::string> pins;
+    for (int i = 0; i < 8; ++i) pins.push_back("p" + std::to_string(i));
+    cap8 += gen.generate(r8, pins).total_cap();
+  }
+  EXPECT_GT(cap8, cap1);
+}
+
+}  // namespace
+}  // namespace nsdc

@@ -1,0 +1,97 @@
+// End-to-end plumbing check: mini characterization -> model fits -> STA ->
+// N-sigma path quantiles vs stage-cascaded MC on a small design.
+#include <cstdio>
+
+#include "baselines/corner_sta.hpp"
+#include "baselines/mc_reference.hpp"
+#include "liberty/charlib.hpp"
+#include "netlist/designgen.hpp"
+#include "sta/annotate.hpp"
+#include "sta/timer.hpp"
+#include "util/log.hpp"
+#include "util/units.hpp"
+
+using namespace nsdc;
+
+int main() {
+  set_log_level(LogLevel::kInfo);
+  TechParams tech = TechParams::nominal28();
+  CellLibrary cells = CellLibrary::standard();
+
+  CharConfig cfg;
+  cfg.grid_samples = 300;
+  cfg.wire_samples = 200;
+  cfg.slew_grid = {10e-12, 100e-12, 250e-12, 500e-12};
+  cfg.load_grid_rel = {1.0, 6.0, 15.0, 30.0};
+
+  std::printf("building mini charlib...\n");
+  CharLib charlib = CharLib::build_or_load("flow_smoke_charlib.txt", tech,
+                                           cells, cfg);
+  std::printf("charlib: %zu arcs, %zu wire obs\n", charlib.arcs().size(),
+              charlib.wire_observations().size());
+
+  NSigmaTimer timer(charlib, cells, tech);
+  std::printf("table1 R2 at +3s: %.4f  rmse %.3f ps\n",
+              timer.cell_model().table1_fit_stats().r_squared[6],
+              to_ps(timer.cell_model().table1_fit_stats().rmse[6]));
+  std::printf("fo4 variability: %.3f, Xw(INVx2->NAND2x2)=%.3f\n",
+              timer.wire_model().fo4_variability(),
+              timer.wire_model().xw("INVx2", "NAND2x2"));
+
+  RandomNetlistSpec spec;
+  spec.name = "smoke";
+  spec.target_cells = 120;
+  spec.num_primary_inputs = 12;
+  spec.target_depth = 12;
+  GateNetlist nl = generate_random_mapped(spec, cells);
+  finalize_design(nl, cells, tech);
+  std::printf("netlist: %zu cells %zu nets depth %d\n", nl.num_cells(),
+              nl.num_nets(), nl.depth());
+  ParasiticDb spef = generate_parasitics(nl, tech);
+
+  const auto analysis = timer.analyze(nl, spef);
+  std::printf("critical path: %zu stages, mean arrival %.1f ps, model %.4f s\n",
+              analysis.critical_path.num_stages(),
+              to_ps(analysis.mean_arrival), analysis.runtime_seconds);
+  std::printf("N-sigma quantiles (ps):");
+  for (double q : analysis.quantiles) std::printf(" %.1f", to_ps(q));
+  std::printf("\n");
+
+  CornerSta pt(timer.cell_model());
+  const auto ptq = pt.path_quantiles(analysis.critical_path);
+  std::printf("corner-STA +3s: %.1f ps\n", to_ps(ptq[6]));
+
+  PathMcConfig mcc;
+  mcc.samples = 250;
+  PathMonteCarlo mc(tech);
+  const auto mcr = mc.run(analysis.critical_path, mcc);
+  std::printf("MC: n=%zu fail=%d, runtime %.1fs\n", mcr.samples.size(),
+              mcr.failures, mcr.runtime_seconds);
+  std::printf("MC quantiles (ps):");
+  for (double q : mcr.quantiles) std::printf(" %.1f", to_ps(q));
+  std::printf("\n");
+  // Per-stage diagnosis: model vs MC cell quantiles at -2s/0/+2s.
+  PathDelayCalculator calc(timer.cell_model(), timer.wire_model());
+  const auto stages = calc.breakdown(analysis.critical_path);
+  std::printf("stage  cell model(-2/0/+2)   cell MC(-2/0/+2)   wireM(0)  wireMC(0) slewin load cell\n");
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    const auto& st = analysis.critical_path.stages[s];
+    std::printf(
+        "%2zu  %7.1f %7.1f %7.1f  %7.1f %7.1f %7.1f  %7.1f %7.1f  %5.0f %5.2f %s\n",
+        s, to_ps(stages[s].cell[1]), to_ps(stages[s].cell[3]),
+        to_ps(stages[s].cell[5]), to_ps(mcr.stage_cell_quantiles[s][1]),
+        to_ps(mcr.stage_cell_quantiles[s][3]),
+        to_ps(mcr.stage_cell_quantiles[s][5]), to_ps(stages[s].wire[3]),
+        to_ps(mcr.stage_wire_quantiles[s][3]), to_ps(st.input_slew),
+        to_ff(st.output_load), st.cell->name().c_str());
+  }
+
+  const double e3p = 100.0 * (analysis.quantiles[6] - mcr.quantiles[6]) /
+                     mcr.quantiles[6];
+  const double e3m = 100.0 * (analysis.quantiles[0] - mcr.quantiles[0]) /
+                     mcr.quantiles[0];
+  const double ept = 100.0 * (ptq[6] - mcr.quantiles[6]) / mcr.quantiles[6];
+  std::printf("errors vs MC: ours +3s %.1f%%, -3s %.1f%%; PT +3s %.1f%%\n",
+              e3p, e3m, ept);
+  return 0;
+}
