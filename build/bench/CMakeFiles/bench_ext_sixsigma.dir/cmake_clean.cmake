@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_sixsigma.dir/bench_ext_sixsigma.cpp.o"
+  "CMakeFiles/bench_ext_sixsigma.dir/bench_ext_sixsigma.cpp.o.d"
+  "bench_ext_sixsigma"
+  "bench_ext_sixsigma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_sixsigma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_c432_wires.dir/bench_fig11_c432_wires.cpp.o"
+  "CMakeFiles/bench_fig11_c432_wires.dir/bench_fig11_c432_wires.cpp.o.d"
+  "bench_fig11_c432_wires"
+  "bench_fig11_c432_wires.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_c432_wires.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

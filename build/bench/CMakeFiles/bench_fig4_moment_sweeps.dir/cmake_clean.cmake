@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_moment_sweeps.dir/bench_fig4_moment_sweeps.cpp.o"
+  "CMakeFiles/bench_fig4_moment_sweeps.dir/bench_fig4_moment_sweeps.cpp.o.d"
+  "bench_fig4_moment_sweeps"
+  "bench_fig4_moment_sweeps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_moment_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_xfi_xfo.dir/bench_fig9_xfi_xfo.cpp.o"
+  "CMakeFiles/bench_fig9_xfi_xfo.dir/bench_fig9_xfi_xfo.cpp.o.d"
+  "bench_fig9_xfi_xfo"
+  "bench_fig9_xfi_xfo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_xfi_xfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_coeffs.dir/bench_table1_coeffs.cpp.o"
+  "CMakeFiles/bench_table1_coeffs.dir/bench_table1_coeffs.cpp.o.d"
+  "bench_table1_coeffs"
+  "bench_table1_coeffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_coeffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

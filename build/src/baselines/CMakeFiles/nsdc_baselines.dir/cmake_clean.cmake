@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsdc_baselines.dir/cellmodels.cpp.o"
+  "CMakeFiles/nsdc_baselines.dir/cellmodels.cpp.o.d"
+  "CMakeFiles/nsdc_baselines.dir/corner_sta.cpp.o"
+  "CMakeFiles/nsdc_baselines.dir/corner_sta.cpp.o.d"
+  "CMakeFiles/nsdc_baselines.dir/correction.cpp.o"
+  "CMakeFiles/nsdc_baselines.dir/correction.cpp.o.d"
+  "CMakeFiles/nsdc_baselines.dir/mc_reference.cpp.o"
+  "CMakeFiles/nsdc_baselines.dir/mc_reference.cpp.o.d"
+  "CMakeFiles/nsdc_baselines.dir/ml_wire.cpp.o"
+  "CMakeFiles/nsdc_baselines.dir/ml_wire.cpp.o.d"
+  "libnsdc_baselines.a"
+  "libnsdc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsdc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

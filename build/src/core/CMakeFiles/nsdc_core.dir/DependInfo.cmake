@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/nsigma_cell.cpp" "src/core/CMakeFiles/nsdc_core.dir/nsigma_cell.cpp.o" "gcc" "src/core/CMakeFiles/nsdc_core.dir/nsigma_cell.cpp.o.d"
+  "/root/repo/src/core/nsigma_wire.cpp" "src/core/CMakeFiles/nsdc_core.dir/nsigma_wire.cpp.o" "gcc" "src/core/CMakeFiles/nsdc_core.dir/nsigma_wire.cpp.o.d"
+  "/root/repo/src/core/pathdelay.cpp" "src/core/CMakeFiles/nsdc_core.dir/pathdelay.cpp.o" "gcc" "src/core/CMakeFiles/nsdc_core.dir/pathdelay.cpp.o.d"
+  "/root/repo/src/core/yield.cpp" "src/core/CMakeFiles/nsdc_core.dir/yield.cpp.o" "gcc" "src/core/CMakeFiles/nsdc_core.dir/yield.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nsdc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/nsdc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/nsdc_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/parasitics/CMakeFiles/nsdc_parasitics.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdk/CMakeFiles/nsdc_pdk.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/nsdc_spice.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsdc_core.dir/nsigma_cell.cpp.o"
+  "CMakeFiles/nsdc_core.dir/nsigma_cell.cpp.o.d"
+  "CMakeFiles/nsdc_core.dir/nsigma_wire.cpp.o"
+  "CMakeFiles/nsdc_core.dir/nsigma_wire.cpp.o.d"
+  "CMakeFiles/nsdc_core.dir/pathdelay.cpp.o"
+  "CMakeFiles/nsdc_core.dir/pathdelay.cpp.o.d"
+  "CMakeFiles/nsdc_core.dir/yield.cpp.o"
+  "CMakeFiles/nsdc_core.dir/yield.cpp.o.d"
+  "libnsdc_core.a"
+  "libnsdc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsdc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/liberty/charlib.cpp" "src/liberty/CMakeFiles/nsdc_liberty.dir/charlib.cpp.o" "gcc" "src/liberty/CMakeFiles/nsdc_liberty.dir/charlib.cpp.o.d"
+  "/root/repo/src/liberty/libwriter.cpp" "src/liberty/CMakeFiles/nsdc_liberty.dir/libwriter.cpp.o" "gcc" "src/liberty/CMakeFiles/nsdc_liberty.dir/libwriter.cpp.o.d"
+  "/root/repo/src/liberty/stagesim.cpp" "src/liberty/CMakeFiles/nsdc_liberty.dir/stagesim.cpp.o" "gcc" "src/liberty/CMakeFiles/nsdc_liberty.dir/stagesim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nsdc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/nsdc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/nsdc_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdk/CMakeFiles/nsdc_pdk.dir/DependInfo.cmake"
+  "/root/repo/build/src/parasitics/CMakeFiles/nsdc_parasitics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsdc_liberty.dir/charlib.cpp.o"
+  "CMakeFiles/nsdc_liberty.dir/charlib.cpp.o.d"
+  "CMakeFiles/nsdc_liberty.dir/libwriter.cpp.o"
+  "CMakeFiles/nsdc_liberty.dir/libwriter.cpp.o.d"
+  "CMakeFiles/nsdc_liberty.dir/stagesim.cpp.o"
+  "CMakeFiles/nsdc_liberty.dir/stagesim.cpp.o.d"
+  "libnsdc_liberty.a"
+  "libnsdc_liberty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsdc_liberty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/benchio.cpp" "src/netlist/CMakeFiles/nsdc_netlist.dir/benchio.cpp.o" "gcc" "src/netlist/CMakeFiles/nsdc_netlist.dir/benchio.cpp.o.d"
+  "/root/repo/src/netlist/designgen.cpp" "src/netlist/CMakeFiles/nsdc_netlist.dir/designgen.cpp.o" "gcc" "src/netlist/CMakeFiles/nsdc_netlist.dir/designgen.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/nsdc_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/nsdc_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/verilogio.cpp" "src/netlist/CMakeFiles/nsdc_netlist.dir/verilogio.cpp.o" "gcc" "src/netlist/CMakeFiles/nsdc_netlist.dir/verilogio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nsdc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdk/CMakeFiles/nsdc_pdk.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/nsdc_spice.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

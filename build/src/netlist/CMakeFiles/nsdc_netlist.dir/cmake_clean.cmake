@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsdc_netlist.dir/benchio.cpp.o"
+  "CMakeFiles/nsdc_netlist.dir/benchio.cpp.o.d"
+  "CMakeFiles/nsdc_netlist.dir/designgen.cpp.o"
+  "CMakeFiles/nsdc_netlist.dir/designgen.cpp.o.d"
+  "CMakeFiles/nsdc_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/nsdc_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/nsdc_netlist.dir/verilogio.cpp.o"
+  "CMakeFiles/nsdc_netlist.dir/verilogio.cpp.o.d"
+  "libnsdc_netlist.a"
+  "libnsdc_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsdc_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parasitics/rctree.cpp" "src/parasitics/CMakeFiles/nsdc_parasitics.dir/rctree.cpp.o" "gcc" "src/parasitics/CMakeFiles/nsdc_parasitics.dir/rctree.cpp.o.d"
+  "/root/repo/src/parasitics/spef.cpp" "src/parasitics/CMakeFiles/nsdc_parasitics.dir/spef.cpp.o" "gcc" "src/parasitics/CMakeFiles/nsdc_parasitics.dir/spef.cpp.o.d"
+  "/root/repo/src/parasitics/wiregen.cpp" "src/parasitics/CMakeFiles/nsdc_parasitics.dir/wiregen.cpp.o" "gcc" "src/parasitics/CMakeFiles/nsdc_parasitics.dir/wiregen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nsdc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/nsdc_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdk/CMakeFiles/nsdc_pdk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

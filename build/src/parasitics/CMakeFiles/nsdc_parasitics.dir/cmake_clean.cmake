@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsdc_parasitics.dir/rctree.cpp.o"
+  "CMakeFiles/nsdc_parasitics.dir/rctree.cpp.o.d"
+  "CMakeFiles/nsdc_parasitics.dir/spef.cpp.o"
+  "CMakeFiles/nsdc_parasitics.dir/spef.cpp.o.d"
+  "CMakeFiles/nsdc_parasitics.dir/wiregen.cpp.o"
+  "CMakeFiles/nsdc_parasitics.dir/wiregen.cpp.o.d"
+  "libnsdc_parasitics.a"
+  "libnsdc_parasitics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsdc_parasitics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pdk/cellgen.cpp" "src/pdk/CMakeFiles/nsdc_pdk.dir/cellgen.cpp.o" "gcc" "src/pdk/CMakeFiles/nsdc_pdk.dir/cellgen.cpp.o.d"
+  "/root/repo/src/pdk/cells.cpp" "src/pdk/CMakeFiles/nsdc_pdk.dir/cells.cpp.o" "gcc" "src/pdk/CMakeFiles/nsdc_pdk.dir/cells.cpp.o.d"
+  "/root/repo/src/pdk/tech.cpp" "src/pdk/CMakeFiles/nsdc_pdk.dir/tech.cpp.o" "gcc" "src/pdk/CMakeFiles/nsdc_pdk.dir/tech.cpp.o.d"
+  "/root/repo/src/pdk/varmodel.cpp" "src/pdk/CMakeFiles/nsdc_pdk.dir/varmodel.cpp.o" "gcc" "src/pdk/CMakeFiles/nsdc_pdk.dir/varmodel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nsdc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/nsdc_spice.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsdc_pdk.dir/cellgen.cpp.o"
+  "CMakeFiles/nsdc_pdk.dir/cellgen.cpp.o.d"
+  "CMakeFiles/nsdc_pdk.dir/cells.cpp.o"
+  "CMakeFiles/nsdc_pdk.dir/cells.cpp.o.d"
+  "CMakeFiles/nsdc_pdk.dir/tech.cpp.o"
+  "CMakeFiles/nsdc_pdk.dir/tech.cpp.o.d"
+  "CMakeFiles/nsdc_pdk.dir/varmodel.cpp.o"
+  "CMakeFiles/nsdc_pdk.dir/varmodel.cpp.o.d"
+  "libnsdc_pdk.a"
+  "libnsdc_pdk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsdc_pdk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nsdc_pdk.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+src/pdk/CMakeFiles/nsdc_pdk.dir/tech.cpp.o: /root/repo/src/pdk/tech.cpp \
+ /usr/include/stdc-predef.h /root/repo/src/pdk/tech.hpp

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsdc_spice.dir/circuit.cpp.o"
+  "CMakeFiles/nsdc_spice.dir/circuit.cpp.o.d"
+  "CMakeFiles/nsdc_spice.dir/matrix.cpp.o"
+  "CMakeFiles/nsdc_spice.dir/matrix.cpp.o.d"
+  "CMakeFiles/nsdc_spice.dir/transient.cpp.o"
+  "CMakeFiles/nsdc_spice.dir/transient.cpp.o.d"
+  "CMakeFiles/nsdc_spice.dir/waveform.cpp.o"
+  "CMakeFiles/nsdc_spice.dir/waveform.cpp.o.d"
+  "libnsdc_spice.a"
+  "libnsdc_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsdc_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnsdc_spice.a"
+)

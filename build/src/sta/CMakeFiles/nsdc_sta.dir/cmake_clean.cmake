@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsdc_sta.dir/annotate.cpp.o"
+  "CMakeFiles/nsdc_sta.dir/annotate.cpp.o.d"
+  "CMakeFiles/nsdc_sta.dir/engine.cpp.o"
+  "CMakeFiles/nsdc_sta.dir/engine.cpp.o.d"
+  "CMakeFiles/nsdc_sta.dir/sdf.cpp.o"
+  "CMakeFiles/nsdc_sta.dir/sdf.cpp.o.d"
+  "CMakeFiles/nsdc_sta.dir/statprop.cpp.o"
+  "CMakeFiles/nsdc_sta.dir/statprop.cpp.o.d"
+  "CMakeFiles/nsdc_sta.dir/timer.cpp.o"
+  "CMakeFiles/nsdc_sta.dir/timer.cpp.o.d"
+  "libnsdc_sta.a"
+  "libnsdc_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsdc_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/distributions.cpp" "src/stats/CMakeFiles/nsdc_stats.dir/distributions.cpp.o" "gcc" "src/stats/CMakeFiles/nsdc_stats.dir/distributions.cpp.o.d"
+  "/root/repo/src/stats/grid.cpp" "src/stats/CMakeFiles/nsdc_stats.dir/grid.cpp.o" "gcc" "src/stats/CMakeFiles/nsdc_stats.dir/grid.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/nsdc_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/nsdc_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/moments.cpp" "src/stats/CMakeFiles/nsdc_stats.dir/moments.cpp.o" "gcc" "src/stats/CMakeFiles/nsdc_stats.dir/moments.cpp.o.d"
+  "/root/repo/src/stats/optimize.cpp" "src/stats/CMakeFiles/nsdc_stats.dir/optimize.cpp.o" "gcc" "src/stats/CMakeFiles/nsdc_stats.dir/optimize.cpp.o.d"
+  "/root/repo/src/stats/quantiles.cpp" "src/stats/CMakeFiles/nsdc_stats.dir/quantiles.cpp.o" "gcc" "src/stats/CMakeFiles/nsdc_stats.dir/quantiles.cpp.o.d"
+  "/root/repo/src/stats/regression.cpp" "src/stats/CMakeFiles/nsdc_stats.dir/regression.cpp.o" "gcc" "src/stats/CMakeFiles/nsdc_stats.dir/regression.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nsdc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

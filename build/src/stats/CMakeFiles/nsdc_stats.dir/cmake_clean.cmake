@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsdc_stats.dir/distributions.cpp.o"
+  "CMakeFiles/nsdc_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/nsdc_stats.dir/grid.cpp.o"
+  "CMakeFiles/nsdc_stats.dir/grid.cpp.o.d"
+  "CMakeFiles/nsdc_stats.dir/histogram.cpp.o"
+  "CMakeFiles/nsdc_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/nsdc_stats.dir/moments.cpp.o"
+  "CMakeFiles/nsdc_stats.dir/moments.cpp.o.d"
+  "CMakeFiles/nsdc_stats.dir/optimize.cpp.o"
+  "CMakeFiles/nsdc_stats.dir/optimize.cpp.o.d"
+  "CMakeFiles/nsdc_stats.dir/quantiles.cpp.o"
+  "CMakeFiles/nsdc_stats.dir/quantiles.cpp.o.d"
+  "CMakeFiles/nsdc_stats.dir/regression.cpp.o"
+  "CMakeFiles/nsdc_stats.dir/regression.cpp.o.d"
+  "libnsdc_stats.a"
+  "libnsdc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsdc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

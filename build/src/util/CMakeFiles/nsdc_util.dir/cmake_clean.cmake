@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsdc_util.dir/log.cpp.o"
+  "CMakeFiles/nsdc_util.dir/log.cpp.o.d"
+  "CMakeFiles/nsdc_util.dir/rng.cpp.o"
+  "CMakeFiles/nsdc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/nsdc_util.dir/table.cpp.o"
+  "CMakeFiles/nsdc_util.dir/table.cpp.o.d"
+  "CMakeFiles/nsdc_util.dir/threading.cpp.o"
+  "CMakeFiles/nsdc_util.dir/threading.cpp.o.d"
+  "CMakeFiles/nsdc_util.dir/units.cpp.o"
+  "CMakeFiles/nsdc_util.dir/units.cpp.o.d"
+  "libnsdc_util.a"
+  "libnsdc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsdc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_benchio.dir/test_benchio.cpp.o"
+  "CMakeFiles/test_benchio.dir/test_benchio.cpp.o.d"
+  "test_benchio"
+  "test_benchio.pdb"
+  "test_benchio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_benchio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_designgen.dir/test_designgen.cpp.o"
+  "CMakeFiles/test_designgen.dir/test_designgen.cpp.o.d"
+  "test_designgen"
+  "test_designgen.pdb"
+  "test_designgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_designgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid_histogram.dir/test_grid_histogram.cpp.o"
+  "CMakeFiles/test_grid_histogram.dir/test_grid_histogram.cpp.o.d"
+  "test_grid_histogram"
+  "test_grid_histogram.pdb"
+  "test_grid_histogram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_mosfet.cpp" "tests/CMakeFiles/test_mosfet.dir/test_mosfet.cpp.o" "gcc" "tests/CMakeFiles/test_mosfet.dir/test_mosfet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/nsdc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/nsdc_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nsdc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/nsdc_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/nsdc_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/parasitics/CMakeFiles/nsdc_parasitics.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdk/CMakeFiles/nsdc_pdk.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/nsdc_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/nsdc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nsdc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nsigma_wire.dir/test_nsigma_wire.cpp.o"
+  "CMakeFiles/test_nsigma_wire.dir/test_nsigma_wire.cpp.o.d"
+  "test_nsigma_wire"
+  "test_nsigma_wire.pdb"
+  "test_nsigma_wire[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nsigma_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pathdelay.dir/test_pathdelay.cpp.o"
+  "CMakeFiles/test_pathdelay.dir/test_pathdelay.cpp.o.d"
+  "test_pathdelay"
+  "test_pathdelay.pdb"
+  "test_pathdelay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pathdelay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pdk.dir/test_pdk.cpp.o"
+  "CMakeFiles/test_pdk.dir/test_pdk.cpp.o.d"
+  "test_pdk"
+  "test_pdk.pdb"
+  "test_pdk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pdk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_statprop.dir/test_statprop.cpp.o"
+  "CMakeFiles/test_statprop.dir/test_statprop.cpp.o.d"
+  "test_statprop"
+  "test_statprop.pdb"
+  "test_statprop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_statprop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

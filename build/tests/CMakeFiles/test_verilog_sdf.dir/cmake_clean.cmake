@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verilog_sdf.dir/test_verilog_sdf.cpp.o"
+  "CMakeFiles/test_verilog_sdf.dir/test_verilog_sdf.cpp.o.d"
+  "test_verilog_sdf"
+  "test_verilog_sdf.pdb"
+  "test_verilog_sdf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verilog_sdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

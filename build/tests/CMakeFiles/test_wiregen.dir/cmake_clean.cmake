@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wiregen.dir/test_wiregen.cpp.o"
+  "CMakeFiles/test_wiregen.dir/test_wiregen.cpp.o.d"
+  "test_wiregen"
+  "test_wiregen.pdb"
+  "test_wiregen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wiregen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
