@@ -1,14 +1,27 @@
 // Microbenchmarks (google-benchmark) for the performance-critical kernels:
 // device evaluation, transient stepping, Elmore extraction and model
-// evaluation — the terms behind the Table III runtime columns.
+// evaluation — the terms behind the Table III runtime columns. The custom
+// main() additionally runs a serial-vs-parallel STA scaling measurement and
+// writes sta_parallel_perf.json (skip with --no_sta_scaling).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
 #include "core/nsigma_cell.hpp"
+#include "netlist/designgen.hpp"
 #include "parasitics/wiregen.hpp"
 #include "pdk/cellgen.hpp"
 #include "spice/transient.hpp"
+#include "sta/annotate.hpp"
+#include "sta/engine.hpp"
 #include "stats/regression.hpp"
+#include "synthetic_charlib.hpp"
 #include "util/rng.hpp"
+#include "util/threading.hpp"
 
 namespace nsdc {
 namespace {
@@ -101,7 +114,111 @@ void BM_QuantileModelEval(benchmark::State& state) {
 }
 BENCHMARK(BM_QuantileModelEval);
 
+// ------------------------------------------- parallel STA scaling -------
+
+/// Serial-vs-parallel wall-clock for the levelized STA engine on a
+/// generated ≥5k-cell design, at 1/2/4/8 worker lanes. Emits a JSON perf
+/// record and verifies every parallel run is bit-identical to the serial
+/// reference (the engine's determinism contract).
+int run_sta_scaling(const std::string& json_path) {
+  using clock = std::chrono::steady_clock;
+  const TechParams tech = TechParams::nominal28();
+  const CellLibrary lib = CellLibrary::standard();
+  // NAND2x1/INVx1-only structural design, so the fast synthetic
+  // characterization covers every arc (full characterization takes
+  // minutes and measures the same engine code).
+  const CharLib charlib = testfix::make_charlib();
+  const NSigmaCellModel model = NSigmaCellModel::fit(charlib);
+
+  int bits = 28;
+  GateNetlist netlist = generate_array_multiplier(bits, lib);
+  while (netlist.num_cells() < 5000 && bits < 64) {
+    netlist = generate_array_multiplier(++bits, lib);
+  }
+  const ParasiticDb parasitics = generate_parasitics(netlist, tech);
+  std::cerr << "[sta-scaling] design MUL" << bits << ": "
+            << netlist.num_cells() << " cells, "
+            << netlist.levelization().levels.size() << " levels, machine has "
+            << default_threads() << " hardware lane(s)\n";
+
+  auto time_run = [&](unsigned threads, StaEngine::Result* out) {
+    StaConfig cfg;
+    cfg.exec.threads = threads;
+    cfg.min_parallel_cells = threads > 1 ? 1 : netlist.num_cells() + 1;
+    const StaEngine engine(model, tech, cfg);
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = clock::now();
+      auto res = engine.run(netlist, parasitics);
+      const auto t1 = clock::now();
+      best = std::min(best,
+                      std::chrono::duration<double>(t1 - t0).count());
+      if (out) *out = std::move(res);
+    }
+    return best;
+  };
+
+  StaEngine::Result ref;
+  const double serial_s = time_run(1, &ref);
+
+  std::ofstream json(json_path);
+  json << "{\n  \"design\": \"" << netlist.name() << "\",\n"
+       << "  \"cells\": " << netlist.num_cells() << ",\n"
+       << "  \"levels\": " << netlist.levelization().levels.size() << ",\n"
+       << "  \"hardware_threads\": " << default_threads() << ",\n"
+       << "  \"serial_seconds\": " << serial_s << ",\n"
+       << "  \"runs\": [";
+  bool first = true;
+  bool all_identical = true;
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    StaEngine::Result got;
+    const double secs = time_run(threads, &got);
+    bool identical = got.nets.size() == ref.nets.size() &&
+                     got.max_arrival == ref.max_arrival;
+    for (std::size_t n = 0; identical && n < ref.nets.size(); ++n) {
+      identical =
+          std::memcmp(&got.nets[n].arrival, &ref.nets[n].arrival,
+                      sizeof(ref.nets[n].arrival)) == 0 &&
+          std::memcmp(&got.nets[n].slew, &ref.nets[n].slew,
+                      sizeof(ref.nets[n].slew)) == 0;
+    }
+    all_identical = all_identical && identical;
+    json << (first ? "" : ",") << "\n    {\"threads\": " << threads
+         << ", \"seconds\": " << secs
+         << ", \"speedup\": " << serial_s / secs
+         << ", \"bit_identical\": " << (identical ? "true" : "false") << "}";
+    first = false;
+    std::cerr << "[sta-scaling] threads=" << threads << "  " << secs * 1e3
+              << " ms  speedup=" << serial_s / secs
+              << (identical ? "" : "  MISMATCH") << "\n";
+  }
+  json << "\n  ]\n}\n";
+  std::cerr << "[sta-scaling] wrote " << json_path << "\n";
+  if (!all_identical) {
+    std::cerr << "[sta-scaling] ERROR: parallel result diverged from "
+                 "serial reference\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace nsdc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool sta_scaling = true;
+  std::string json_path = "sta_parallel_perf.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no_sta_scaling") == 0) {
+      sta_scaling = false;
+      argv[i--] = argv[--argc];  // hide from google-benchmark, re-examine slot
+    } else if (std::strncmp(argv[i], "--sta_json=", 11) == 0) {
+      json_path = argv[i] + 11;
+      argv[i--] = argv[--argc];
+    }
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  return sta_scaling ? nsdc::run_sta_scaling(json_path) : 0;
+}

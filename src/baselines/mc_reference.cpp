@@ -110,8 +110,8 @@ PathMcResult PathMonteCarlo::run(const PathDescription& path,
       out_s.total = total;
     }
   };
-  parallel_for(static_cast<std::size_t>(config.samples), run_sample,
-               config.threads);
+  config.exec.with_threads(config.threads)
+      .parallel_for(static_cast<std::size_t>(config.samples), run_sample);
 
   MomentAccumulator total_acc;
   std::vector<std::vector<double>> cell_samples(n_stages),

@@ -14,15 +14,18 @@
 #include "core/path.hpp"
 #include "pdk/tech.hpp"
 #include "stats/moments.hpp"
+#include "util/exec.hpp"
 
 namespace nsdc {
 
 struct PathMcConfig {
   int samples = 1000;
   std::uint64_t seed = 777;
-  /// Worker threads (0 = hardware concurrency); per-sample RNG forks keep
-  /// results bit-identical for any thread count.
+  /// Worker lanes (0 = process default, see default_threads()); per-sample
+  /// RNG forks keep results bit-identical for any thread count.
   unsigned threads = 0;
+  /// Pool to run on; `threads` above overrides its lane count when set.
+  ExecContext exec{};
 };
 
 struct PathMcResult {

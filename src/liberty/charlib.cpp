@@ -103,9 +103,8 @@ ConditionStats CellCharacterizer::run_condition(const CellType& cell, int pin,
   // the thread count.
   std::vector<double> delay_by_idx(static_cast<std::size_t>(samples), -1.0);
   std::vector<double> slew_by_idx(static_cast<std::size_t>(samples), 0.0);
-  parallel_for(
-      static_cast<std::size_t>(samples),
-      [&](std::size_t i) {
+  config_.exec.with_threads(config_.threads)
+      .parallel_for(static_cast<std::size_t>(samples), [&](std::size_t i) {
         Rng sample_rng = cond.fork("s" + std::to_string(i));
         const GlobalCorner corner = vm.sample_global(sample_rng);
         Rng local = sample_rng.split();
@@ -113,8 +112,7 @@ ConditionStats CellCharacterizer::run_condition(const CellType& cell, int pin,
         if (!res) return;
         delay_by_idx[i] = res->cell_delay;
         slew_by_idx[i] = res->driver_out_slew;
-      },
-      config_.threads);
+      });
 
   ConditionStats out;
   MomentAccumulator delay_acc;
@@ -201,9 +199,8 @@ WireObservation CellCharacterizer::run_wire_observation(const CellType& driver,
   obs.elmore = nominal.elmore(sink);
 
   std::vector<double> delay_by_idx(static_cast<std::size_t>(samples), -1e9);
-  parallel_for(
-      static_cast<std::size_t>(samples),
-      [&](std::size_t i) {
+  config_.exec.with_threads(config_.threads)
+      .parallel_for(static_cast<std::size_t>(samples), [&](std::size_t i) {
         Rng sample_rng = cond.fork("s" + std::to_string(i));
         const GlobalCorner corner = vm.sample_global(sample_rng);
         Rng local = sample_rng.split();
@@ -222,8 +219,7 @@ WireObservation CellCharacterizer::run_wire_observation(const CellType& driver,
         sc.receivers.push_back(rcv);
         const auto res = sim_.run(sc, corner, &local);
         if (res) delay_by_idx[i] = res->wire_delay;
-      },
-      config_.threads);
+      });
 
   MomentAccumulator acc;
   std::vector<double> delays;

@@ -19,15 +19,20 @@
 #include "liberty/stagesim.hpp"
 #include "pdk/cells.hpp"
 #include "stats/moments.hpp"
+#include "util/exec.hpp"
 
 namespace nsdc {
 
 struct CharConfig {
   int grid_samples = 600;   ///< MC samples per grid point
   int wire_samples = 400;   ///< MC samples per wire observation
-  /// Worker threads for the MC loops (0 = hardware concurrency). Results
-  /// are bit-identical for any thread count (per-sample RNG forks).
+  /// Worker lanes for the MC loops (0 = process default, see
+  /// default_threads()). Results are bit-identical for any thread count
+  /// (per-sample RNG forks).
   unsigned threads = 0;
+  /// Pool to run on; `threads` above overrides its lane count when set.
+  /// Not serialized with the library.
+  ExecContext exec{};
   /// Input-slew axis; the first entry is the reference slew S_ref = 10 ps.
   /// The top covers the slowest propagated slews seen in near-threshold STA.
   std::vector<double> slew_grid{10e-12, 60e-12, 150e-12, 300e-12, 500e-12};

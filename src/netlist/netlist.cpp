@@ -12,6 +12,7 @@ int GateNetlist::add_primary_input(const std::string& net_name) {
   nets_.push_back(std::move(n));
   const int idx = static_cast<int>(nets_.size()) - 1;
   pi_nets_.push_back(idx);
+  levelization_.reset();
   return idx;
 }
 
@@ -45,6 +46,7 @@ int GateNetlist::add_cell(const std::string& inst_name, const CellType& type,
     nets_[static_cast<std::size_t>(fanin_nets[pin])].sinks.push_back(
         {cell_idx, static_cast<int>(pin)});
   }
+  levelization_.reset();
   return cell_idx;
 }
 
@@ -108,21 +110,56 @@ std::vector<int> GateNetlist::topological_order() const {
   return order;
 }
 
-int GateNetlist::depth() const {
-  const auto order = topological_order();
-  std::vector<int> level(cells_.size(), 1);
-  int max_level = 0;
-  for (int c : order) {
-    const auto& inst = cells_[static_cast<std::size_t>(c)];
-    int lv = 1;
-    for (int f : inst.fanin_nets) {
-      const int drv = nets_[static_cast<std::size_t>(f)].driver_cell;
-      if (drv >= 0) lv = std::max(lv, level[static_cast<std::size_t>(drv)] + 1);
+const GateNetlist::Levelization& GateNetlist::levelization() const {
+  if (levelization_) return *levelization_;
+  Levelization lev;
+  lev.cell_level.assign(cells_.size(), 0);
+  // Kahn-style pass propagating levels: a cell is ready once every fanin
+  // driver has its level; its own level is 1 + max fanin-driver level
+  // (0 when every fanin is a primary input).
+  std::vector<int> pending(cells_.size(), 0);
+  std::vector<int> ready;
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    int deps = 0;
+    for (int f : cells_[c].fanin_nets) {
+      if (nets_[static_cast<std::size_t>(f)].driver_cell >= 0) ++deps;
     }
-    level[static_cast<std::size_t>(c)] = lv;
-    max_level = std::max(max_level, lv);
+    pending[c] = deps;
+    if (deps == 0) {
+      lev.cell_level[c] = 0;
+      ready.push_back(static_cast<int>(c));
+    }
   }
-  return max_level;
+  std::size_t processed = 0;
+  for (std::size_t head = 0; head < ready.size(); ++head) {
+    const auto c = static_cast<std::size_t>(ready[head]);
+    ++processed;
+    const int out = cells_[c].out_net;
+    for (const auto& sink : nets_[static_cast<std::size_t>(out)].sinks) {
+      const auto sc = static_cast<std::size_t>(sink.cell);
+      lev.cell_level[sc] = std::max(lev.cell_level[sc], lev.cell_level[c] + 1);
+      if (--pending[sc] == 0) ready.push_back(sink.cell);
+    }
+  }
+  if (processed != cells_.size()) {
+    throw std::runtime_error("GateNetlist: combinational cycle detected in " +
+                             name_);
+  }
+  int max_level = -1;
+  for (int lv : lev.cell_level) max_level = std::max(max_level, lv);
+  lev.levels.resize(static_cast<std::size_t>(max_level + 1));
+  // Fill by ascending cell index so the per-level schedule (and thus block
+  // partitioning in the parallel engine) is deterministic.
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    lev.levels[static_cast<std::size_t>(lev.cell_level[c])].push_back(
+        static_cast<int>(c));
+  }
+  levelization_ = std::move(lev);
+  return *levelization_;
+}
+
+int GateNetlist::depth() const {
+  return static_cast<int>(levelization().levels.size());
 }
 
 double GateNetlist::net_pin_cap(int net, const TechParams& tech) const {

@@ -7,6 +7,7 @@
 // Lifetime note: instances hold `const CellType*` into a caller-owned
 // CellLibrary, which must outlive the netlist.
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -70,6 +71,23 @@ class GateNetlist {
   /// std::runtime_error if the netlist has a combinational cycle.
   std::vector<int> topological_order() const;
 
+  /// Topological levels: a cell fed only by primary inputs has level 0;
+  /// otherwise its level is 1 + the maximum level of its fanin drivers, so
+  /// every cell in level L depends only on cells in levels < L. The
+  /// level-by-level schedule is what the parallel STA engine runs with a
+  /// barrier between levels.
+  struct Levelization {
+    std::vector<int> cell_level;           ///< per cell, >= 0
+    std::vector<std::vector<int>> levels;  ///< levels[l] = cells at level l,
+                                           ///< ascending cell index
+  };
+
+  /// Cached levelization; computed once and invalidated by topology edits
+  /// (add_primary_input / add_cell). Throws std::runtime_error on a
+  /// combinational cycle. NOT thread-safe on first call: compute it before
+  /// handing the netlist to concurrent readers.
+  const Levelization& levelization() const;
+
   /// Logic depth (cell count on the longest PI->PO path).
   int depth() const;
 
@@ -81,6 +99,7 @@ class GateNetlist {
   std::vector<CellInst> cells_;
   std::vector<Net> nets_;
   std::vector<int> pi_nets_;
+  mutable std::optional<Levelization> levelization_;  ///< lazy cache
 };
 
 }  // namespace nsdc

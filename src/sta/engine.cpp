@@ -14,9 +14,17 @@ StaEngine::Result StaEngine::run(const GateNetlist& netlist,
   res.annotated.resize(netlist.num_nets());
   res.net_load.assign(netlist.num_nets(), 0.0);
 
+  // Levelize up front (also detects cycles before any parallel region).
+  const auto& lev = netlist.levelization();
+  const bool parallel = config_.parallel_for_size(netlist.num_cells());
+  // One lane when serial: ExecContext::parallel_for then runs the loop
+  // inline on the calling thread, so both modes share one code path.
+  const ExecContext exec =
+      parallel ? config_.exec : ExecContext{config_.exec.pool, 1};
+
   // Annotate: copy each tree and add receiver pin caps at its sinks; the
-  // total cap is what the driving cell sees.
-  for (std::size_t n = 0; n < netlist.num_nets(); ++n) {
+  // total cap is what the driving cell sees. Nets are independent.
+  exec.parallel_for(netlist.num_nets(), [&](std::size_t n) {
     const Net& net = netlist.net(static_cast<int>(n));
     double load = 0.0;
     if (parasitics.contains(net.name)) {
@@ -32,7 +40,7 @@ StaEngine::Result StaEngine::run(const GateNetlist& netlist,
       load = netlist.net_pin_cap(static_cast<int>(n), tech_);
     }
     res.net_load[n] = load;
-  }
+  });
 
   // Primary inputs: both edges arrive at t=0 with the reference slew.
   for (int pi : netlist.primary_inputs()) {
@@ -42,7 +50,9 @@ StaEngine::Result StaEngine::run(const GateNetlist& netlist,
     nt.slew = {10e-12, 10e-12};
   }
 
-  for (int c : netlist.topological_order()) {
+  // Each cell reads only fanin slots (strictly lower levels) and writes
+  // only its own output-net slot, so cells within a level run in parallel.
+  auto propagate_cell = [&](int c) {
     const CellInst& inst = netlist.cell(c);
     const auto out = static_cast<std::size_t>(inst.out_net);
     auto& out_time = res.nets[out];
@@ -87,6 +97,10 @@ StaEngine::Result StaEngine::run(const GateNetlist& netlist,
           inst.type->name(), best_pin, inverting ? !out_rising : out_rising,
           best_slew, load);
     }
+  };
+  for (const auto& level : lev.levels) {
+    exec.parallel_for(level.size(),
+                      [&](std::size_t i) { propagate_cell(level[i]); });
   }
 
   // Worst primary-output arrival.

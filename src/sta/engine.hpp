@@ -4,6 +4,14 @@
 // parasitics, slew propagation through the NLDM-style mean tables, and
 // critical-path extraction into a PathDescription for the statistical
 // calculators.
+//
+// Propagation runs level-by-level with a barrier between levels: cells in
+// the same level have no mutual dependencies, so each level fans out over
+// the thread pool. Every cell writes only its own output net's slot and
+// reads only lower-level slots, which makes the parallel result
+// bit-identical to the serial one for any thread count. Designs below
+// StaConfig::min_parallel_cells stay on the serial path (fork-join
+// overhead dominates on small graphs).
 
 #include <vector>
 
@@ -11,13 +19,30 @@
 #include "core/path.hpp"
 #include "netlist/netlist.hpp"
 #include "parasitics/spef.hpp"
+#include "util/exec.hpp"
 
 namespace nsdc {
+
+/// Execution policy for StaEngine / StatisticalSta.
+struct StaConfig {
+  ExecContext exec{};
+  /// Below this many cells the engine runs serially on the calling thread.
+  std::size_t min_parallel_cells = 2048;
+
+  /// True when a netlist of `cells` cells should use the pool.
+  bool parallel_for_size(std::size_t cells) const {
+    return cells >= min_parallel_cells && exec.resolved_threads() > 1;
+  }
+};
 
 class StaEngine {
  public:
   StaEngine(const NSigmaCellModel& model, const TechParams& tech)
       : model_(model), tech_(tech) {}
+
+  StaEngine(const NSigmaCellModel& model, const TechParams& tech,
+            StaConfig config)
+      : model_(model), tech_(tech), config_(config) {}
 
   /// Per-net timing state at the driver output. Index 0 = rising edge at
   /// this net, 1 = falling.
@@ -53,6 +78,7 @@ class StaEngine {
  private:
   const NSigmaCellModel& model_;
   TechParams tech_;
+  StaConfig config_{};
 };
 
 }  // namespace nsdc

@@ -41,14 +41,21 @@ StatisticalSta::Result StatisticalSta::run(
     const GateNetlist& netlist, const ParasiticDb& parasitics) const {
   Result res;
   res.nets.assign(netlist.num_nets(), {});
-  std::vector<bool> reachable(netlist.num_nets(), false);
+  // char, not bool: distinct vector<bool> elements share bytes, which
+  // would be a data race across same-level cells.
+  std::vector<char> reachable(netlist.num_nets(), 0);
   std::vector<std::array<double, 2>> slew(
       netlist.num_nets(), {10e-12, 10e-12});
+
+  const auto& lev = netlist.levelization();
+  const bool parallel = config_.sta.parallel_for_size(netlist.num_cells());
+  const ExecContext exec =
+      parallel ? config_.sta.exec : ExecContext{config_.sta.exec.pool, 1};
 
   // Annotated loads/trees (same conventions as the mean engine).
   std::vector<RcTree> trees(netlist.num_nets());
   std::vector<double> load(netlist.num_nets(), 0.0);
-  for (std::size_t n = 0; n < netlist.num_nets(); ++n) {
+  exec.parallel_for(netlist.num_nets(), [&](std::size_t n) {
     const Net& net = netlist.net(static_cast<int>(n));
     if (parasitics.contains(net.name)) {
       RcTree tree = parasitics.net(net.name);
@@ -62,14 +69,14 @@ StatisticalSta::Result StatisticalSta::run(
     } else {
       load[n] = netlist.net_pin_cap(static_cast<int>(n), tech_);
     }
-  }
+  });
 
   for (int pi : netlist.primary_inputs()) {
-    reachable[static_cast<std::size_t>(pi)] = true;
+    reachable[static_cast<std::size_t>(pi)] = 1;
   }
 
   const double rho = config_.stage_correlation;
-  for (int c : netlist.topological_order()) {
+  auto propagate_cell = [&](int c) {
     const CellInst& inst = netlist.cell(c);
     const auto out = static_cast<std::size_t>(inst.out_net);
     const bool inverting = inst.type->inverting();
@@ -122,7 +129,7 @@ StatisticalSta::Result StatisticalSta::run(
         }
       }
       if (!have) continue;
-      reachable[out] = true;
+      reachable[out] = 1;
       res.nets[out][static_cast<std::size_t>(edge)] = acc;
       // Mean slew propagation (same tables as the mean engine).
       slew[out][static_cast<std::size_t>(edge)] = cell_model_.mean_out_slew(
@@ -131,6 +138,12 @@ StatisticalSta::Result StatisticalSta::run(
               [static_cast<std::size_t>(in_edge)],
           load[out]);
     }
+  };
+  // Level-by-level with a barrier between levels: same-level cells are
+  // independent (each writes only its own output-net slots).
+  for (const auto& level : lev.levels) {
+    exec.parallel_for(level.size(),
+                      [&](std::size_t i) { propagate_cell(level[i]); });
   }
 
   // Statistical max over all PO arrivals (both edges).

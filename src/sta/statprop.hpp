@@ -17,6 +17,7 @@
 #include "core/nsigma_wire.hpp"
 #include "netlist/netlist.hpp"
 #include "parasitics/spef.hpp"
+#include "sta/engine.hpp"
 
 namespace nsdc {
 
@@ -43,6 +44,9 @@ class StatisticalSta {
     /// Correlation between any two stage delays (die-to-die share) and
     /// between competing fanin arrivals at a max node.
     double stage_correlation = 0.5;
+    /// Execution policy: pool/threads and the serial-fallback threshold
+    /// (propagation is levelized exactly like the mean engine's).
+    StaConfig sta{};
   };
 
   StatisticalSta(const NSigmaCellModel& cell_model,

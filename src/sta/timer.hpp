@@ -27,6 +27,11 @@ class NSigmaTimer {
   const NSigmaWireModel& wire_model() const { return wire_model_; }
   const TechParams& tech() const { return tech_; }
 
+  /// Execution policy for the internal STA engine (pool, lanes, serial
+  /// fallback threshold). Defaults to the process-global pool.
+  void set_sta_config(const StaConfig& config) { sta_config_ = config; }
+  const StaConfig& sta_config() const { return sta_config_; }
+
   struct Analysis {
     PathDescription critical_path;
     std::array<double, 7> quantiles{};  ///< path delay, -3s..+3s
@@ -54,6 +59,7 @@ class NSigmaTimer {
   NSigmaCellModel cell_model_;
   NSigmaWireModel wire_model_;
   TechParams tech_;
+  StaConfig sta_config_{};
 };
 
 }  // namespace nsdc

@@ -1,0 +1,44 @@
+#include "util/exec.hpp"
+
+#include <algorithm>
+
+namespace nsdc {
+
+unsigned ExecContext::resolved_threads() const {
+  return threads != 0 ? threads : default_threads();
+}
+
+ExecContext ExecContext::with_threads(unsigned override_threads) const {
+  ExecContext out = *this;
+  if (override_threads != 0) out.threads = override_threads;
+  return out;
+}
+
+unsigned ExecContext::parallel_for(
+    std::size_t count, const std::function<void(std::size_t)>& fn) const {
+  if (count == 0) return 0;
+  if (pool == nullptr) return nsdc::parallel_for(count, fn, resolved_threads());
+  const std::size_t n =
+      std::min<std::size_t>(std::max(1u, resolved_threads()), count);
+  const std::size_t chunk = (count + n - 1) / n;
+  return pool->run_blocks(count, chunk,
+                          [&fn](std::size_t begin, std::size_t end) {
+                            for (std::size_t i = begin; i < end; ++i) fn(i);
+                          });
+}
+
+unsigned ExecContext::parallel_for_chunked(
+    std::size_t count, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) const {
+  if (count == 0) return 0;
+  if (pool == nullptr) {
+    return nsdc::parallel_for_chunked(count, grain, fn, resolved_threads());
+  }
+  const std::size_t n =
+      std::min<std::size_t>(std::max(1u, resolved_threads()), count);
+  const std::size_t per_lane = (count + n - 1) / n;
+  const std::size_t block = std::max(std::max<std::size_t>(1, grain), per_lane);
+  return pool->run_blocks(count, block, fn);
+}
+
+}  // namespace nsdc

@@ -1,0 +1,39 @@
+#pragma once
+// ExecContext: the execution policy handed down through the timing flow
+// (STA engine, statistical propagation, Monte-Carlo loops, library
+// characterization). Bundles which pool to run on and how many lanes to
+// use, so thread count is configurable end-to-end from one place
+// (NSDC_THREADS env var, the flow tools' --threads flag, or a test's
+// explicit context) without every API growing its own knob.
+
+#include <cstddef>
+#include <functional>
+
+#include "util/threading.hpp"
+
+namespace nsdc {
+
+struct ExecContext {
+  /// Pool to run on; nullptr means the process-global pool.
+  ThreadPool* pool = nullptr;
+  /// Lane count for partitioning; 0 means default_threads().
+  unsigned threads = 0;
+
+  /// The lane count this context resolves to (>= 1).
+  unsigned resolved_threads() const;
+
+  /// This context with its lane count replaced when `override_threads` is
+  /// nonzero — the idiom for configs that keep a legacy `threads` field.
+  ExecContext with_threads(unsigned override_threads) const;
+
+  /// parallel_for on this context's pool/lanes; returns blocks used.
+  unsigned parallel_for(std::size_t count,
+                        const std::function<void(std::size_t)>& fn) const;
+
+  /// Chunked variant with a minimum block size of `grain` indices.
+  unsigned parallel_for_chunked(
+      std::size_t count, std::size_t grain,
+      const std::function<void(std::size_t, std::size_t)>& fn) const;
+};
+
+}  // namespace nsdc

@@ -1,17 +1,99 @@
 #pragma once
-// parallel_for: a tiny fork-join helper used by the Monte-Carlo engines.
-// Deterministic work partitioning (static block split) so that per-index
-// RNG streams make results independent of the thread count.
+// Parallel execution primitives shared by every compute-heavy subsystem.
+//
+// ThreadPool keeps a set of long-lived workers behind a condition-variable
+// task queue, so repeated fork-join regions (per-level STA propagation,
+// Monte-Carlo sample loops, characterization grids) pay for thread startup
+// once per process instead of once per call. Work is partitioned into
+// statically-sized index blocks; blocks are data-disjoint, so results are
+// bit-identical for any worker count as long as per-index state (RNG
+// streams, output slots) is derived from the index alone — which is the
+// convention everywhere in this codebase.
+//
+// The calling thread always participates in executing blocks, so a pool
+// with zero workers (or a nested parallel_for issued from inside a worker)
+// still makes progress and completes serially.
 
+#include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace nsdc {
 
-/// Runs fn(i) for i in [0, count) across up to `threads` workers.
-/// threads == 0 picks std::thread::hardware_concurrency().
-/// fn must be safe to call concurrently for distinct i.
-void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
-                  unsigned threads = 0);
+class ThreadPool {
+ public:
+  /// Spawns exactly `workers` long-lived worker threads (0 is legal: all
+  /// work then runs on the calling thread).
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (the calling thread adds one more lane).
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Runs body(begin, end) over [0, count) split into blocks of
+  /// `block_size` indices. Blocks are claimed dynamically by the caller
+  /// and any free workers; the block boundaries themselves are static, so
+  /// per-block side effects land in deterministic index ranges.
+  /// The first exception thrown by any block is rethrown on the caller
+  /// after all claimed blocks finish; remaining unclaimed blocks are
+  /// skipped (fail-fast).
+  /// Returns the number of blocks (the effective parallelism).
+  unsigned run_blocks(std::size_t count, std::size_t block_size,
+                      const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  struct Job;
+  void worker_loop();
+  /// Claims and runs one block of `job`; false when no blocks remain.
+  bool run_one_block(Job& job);
+  /// Removes `job` from the queue if it is still enqueued.
+  void dequeue(const std::shared_ptr<Job>& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  bool stop_ = false;
+};
+
+/// The process-global pool backing the free parallel_for helpers. Created
+/// on first use with default_threads() - 1 workers (caller participation
+/// supplies the last lane).
+ThreadPool& global_pool();
+
+/// The process-default worker-lane count: set_default_threads() override
+/// if present, else the NSDC_THREADS environment variable, else
+/// std::thread::hardware_concurrency(). Always >= 1.
+unsigned default_threads();
+
+/// Overrides default_threads() for the whole process (0 restores the
+/// environment/hardware default). Takes effect for the partition width of
+/// subsequent calls; the global pool's thread count is fixed at first use.
+void set_default_threads(unsigned threads);
+
+/// Runs fn(i) for i in [0, count) on the global pool, partitioned into
+/// `threads` static blocks (0 picks default_threads()). A request of more
+/// threads than indices is clamped to one index per block. fn must be safe
+/// to call concurrently for distinct i. Returns the number of blocks
+/// actually used (>= 1 when count > 0, 0 when count == 0).
+unsigned parallel_for(std::size_t count,
+                      const std::function<void(std::size_t)>& fn,
+                      unsigned threads = 0);
+
+/// Chunked variant: fn(begin, end) over at most `threads` blocks (0 picks
+/// default_threads()) of at least `grain` indices each. Use when per-index
+/// work is tiny and the loop body can batch it (grain keeps the
+/// per-block scheduling overhead amortized).
+unsigned parallel_for_chunked(
+    std::size_t count, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn,
+    unsigned threads = 0);
 
 }  // namespace nsdc

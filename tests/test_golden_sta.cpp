@@ -1,0 +1,184 @@
+// Golden-file regression for the STA engine: full analysis of ISCAS85 C17
+// (data/c17.bench) against a checked-in per-net arrival/slew/load CSV, so
+// engine refactors (levelization, parallelization, delay-model changes)
+// cannot silently drift the numbers. Regenerate the golden after an
+// *intentional* model change with:
+//   NSDC_REGEN_GOLDEN=1 ./tests/test_golden_sta
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "netlist/benchio.hpp"
+#include "netlist/verilogio.hpp"
+#include "sta/annotate.hpp"
+#include "sta/engine.hpp"
+#include "sta/sdf.hpp"
+#include "synthetic_charlib.hpp"
+
+namespace nsdc {
+namespace {
+
+std::string repo_path(const std::string& rel) {
+  return std::string(NSDC_SOURCE_DIR) + "/" + rel;
+}
+
+struct GoldenRow {
+  double arrival_rise = 0.0;
+  double arrival_fall = 0.0;
+  double slew_rise = 0.0;
+  double slew_fall = 0.0;
+  double load = 0.0;
+};
+
+std::map<std::string, GoldenRow> load_golden(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("missing golden file: " + path);
+  std::map<std::string, GoldenRow> rows;
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    std::string net, field;
+    std::getline(ss, net, ',');
+    GoldenRow r;
+    std::getline(ss, field, ',');
+    r.arrival_rise = std::stod(field);
+    std::getline(ss, field, ',');
+    r.arrival_fall = std::stod(field);
+    std::getline(ss, field, ',');
+    r.slew_rise = std::stod(field);
+    std::getline(ss, field, ',');
+    r.slew_fall = std::stod(field);
+    std::getline(ss, field, ',');
+    r.load = std::stod(field);
+    rows[net] = r;
+  }
+  return rows;
+}
+
+class GoldenStaTest : public ::testing::Test {
+ protected:
+  GoldenStaTest()
+      : charlib(testfix::make_charlib()),
+        cells(CellLibrary::standard()),
+        model(NSigmaCellModel::fit(charlib)),
+        tech(TechParams::nominal28()) {}
+
+  /// Deterministic full analysis: fixed netlist, seeded parasitics.
+  StaEngine::Result analyze(const GateNetlist& nl) const {
+    const ParasiticDb spef = generate_parasitics(nl, tech);
+    const StaEngine engine(model, tech);
+    return engine.run(nl, spef);
+  }
+
+  CharLib charlib;
+  CellLibrary cells;
+  NSigmaCellModel model;
+  TechParams tech;
+};
+
+TEST_F(GoldenStaTest, C17MatchesGoldenCsv) {
+  const GateNetlist nl = load_bench(repo_path("data/c17.bench"), cells);
+  ASSERT_EQ(nl.num_cells(), 6u);
+  const auto res = analyze(nl);
+
+  const std::string golden_path = repo_path("data/c17_golden_sta.csv");
+  if (std::getenv("NSDC_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path);
+    ASSERT_TRUE(out.good());
+    out << "net,arrival_rise,arrival_fall,slew_rise,slew_fall,load\n";
+    char buf[256];
+    for (std::size_t n = 0; n < nl.num_nets(); ++n) {
+      const auto& nt = res.nets[n];
+      std::snprintf(buf, sizeof(buf),
+                    "%s,%.12e,%.12e,%.12e,%.12e,%.12e\n",
+                    nl.net(static_cast<int>(n)).name.c_str(), nt.arrival[0],
+                    nt.arrival[1], nt.slew[0], nt.slew[1], res.net_load[n]);
+      out << buf;
+    }
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+
+  const auto golden = load_golden(golden_path);
+  ASSERT_EQ(golden.size(), nl.num_nets());
+  // 12 significant digits in the CSV: compare at 1e-9 relative, which any
+  // arithmetic reordering (let alone a real model drift) would violate.
+  const double rtol = 1e-9;
+  for (std::size_t n = 0; n < nl.num_nets(); ++n) {
+    const std::string& name = nl.net(static_cast<int>(n)).name;
+    const auto it = golden.find(name);
+    ASSERT_NE(it, golden.end()) << "net " << name << " missing from golden";
+    const auto& g = it->second;
+    const auto& nt = res.nets[n];
+    EXPECT_NEAR(nt.arrival[0], g.arrival_rise, rtol * g.arrival_rise + 1e-18)
+        << name;
+    EXPECT_NEAR(nt.arrival[1], g.arrival_fall, rtol * g.arrival_fall + 1e-18)
+        << name;
+    EXPECT_NEAR(nt.slew[0], g.slew_rise, rtol * g.slew_rise + 1e-18) << name;
+    EXPECT_NEAR(nt.slew[1], g.slew_fall, rtol * g.slew_fall + 1e-18) << name;
+    EXPECT_NEAR(res.net_load[n], g.load, rtol * g.load + 1e-24) << name;
+  }
+}
+
+TEST_F(GoldenStaTest, C17VerilogAgreesWithBench) {
+  // The same design through the Verilog reader (c17.v was written by this
+  // library) must time identically net-for-net.
+  const GateNetlist from_bench =
+      load_bench(repo_path("data/c17.bench"), cells);
+  const GateNetlist from_verilog = load_verilog(repo_path("c17.v"), cells);
+  ASSERT_EQ(from_verilog.num_cells(), from_bench.num_cells());
+  ASSERT_EQ(from_verilog.num_nets(), from_bench.num_nets());
+
+  const auto res_b = analyze(from_bench);
+  const auto res_v = analyze(from_verilog);
+  for (std::size_t n = 0; n < from_bench.num_nets(); ++n) {
+    const std::string& name = from_bench.net(static_cast<int>(n)).name;
+    const int vn = from_verilog.find_net(name);
+    ASSERT_GE(vn, 0) << name;
+    const auto& b = res_b.nets[n];
+    const auto& v = res_v.nets[static_cast<std::size_t>(vn)];
+    EXPECT_EQ(b.arrival[0], v.arrival[0]) << name;
+    EXPECT_EQ(b.arrival[1], v.arrival[1]) << name;
+    EXPECT_EQ(b.slew[0], v.slew[0]) << name;
+    EXPECT_EQ(b.slew[1], v.slew[1]) << name;
+  }
+}
+
+TEST_F(GoldenStaTest, C17SdfExportCoversEveryInstance) {
+  // The checked-in c17.sdf documents the export format; re-exporting must
+  // produce an annotation covering the same instances and arcs.
+  const GateNetlist nl = load_bench(repo_path("data/c17.bench"), cells);
+  const ParasiticDb spef = generate_parasitics(nl, tech);
+  const NSigmaWireModel wire_model = NSigmaWireModel::fit(charlib, cells);
+  const std::string sdf = write_sdf(nl, spef, model, wire_model, tech);
+  EXPECT_NE(sdf.find("(DESIGN \"c17\")"), std::string::npos);
+  for (std::size_t c = 0; c < nl.num_cells(); ++c) {
+    EXPECT_NE(sdf.find("(INSTANCE " + nl.cell(static_cast<int>(c)).name + ")"),
+              std::string::npos)
+        << nl.cell(static_cast<int>(c)).name;
+  }
+  EXPECT_NE(sdf.find("IOPATH A0 Z"), std::string::npos);
+  EXPECT_NE(sdf.find("INTERCONNECT"), std::string::npos);
+
+  std::ifstream checked_in(repo_path("c17.sdf"));
+  ASSERT_TRUE(checked_in.good()) << "checked-in c17.sdf missing";
+  std::stringstream ss;
+  ss << checked_in.rdbuf();
+  // Same instance set as the checked-in annotation.
+  for (std::size_t c = 0; c < nl.num_cells(); ++c) {
+    EXPECT_NE(ss.str().find("(INSTANCE " + nl.cell(static_cast<int>(c)).name +
+                            ")"),
+              std::string::npos)
+        << nl.cell(static_cast<int>(c)).name;
+  }
+}
+
+}  // namespace
+}  // namespace nsdc

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "netlist/designgen.hpp"
+
 namespace nsdc {
 namespace {
 
@@ -112,6 +116,144 @@ TEST_F(NetlistTest, DepthOfParallelStructure) {
   nl.add_cell("u3", lib.by_name("NAND2x1"),
               {nl.cell(g1).out_net, nl.cell(g2).out_net}, "w3");
   EXPECT_EQ(nl.depth(), 2);
+}
+
+// ------------------------------------------------------- levelization ----
+
+// The parallel STA engine schedules whole levels concurrently, so the
+// levelization must satisfy: (1) every cell's level is strictly greater
+// than the level of every fanin driver, (2) flattening the levels in order
+// yields a valid topological order covering each cell exactly once. Checked
+// here on randomized generated designs of several shapes.
+class LevelizationPropertyTest : public ::testing::Test {
+ protected:
+  CellLibrary lib = CellLibrary::standard();
+  TechParams tech = TechParams::nominal28();
+
+  void check_levelization(const GateNetlist& nl) {
+    const auto& lev = nl.levelization();
+    ASSERT_EQ(lev.cell_level.size(), nl.num_cells());
+    EXPECT_EQ(static_cast<int>(lev.levels.size()), nl.depth());
+
+    // (1) Strict dominance over fanin levels; PI-only cells sit at level 0.
+    for (std::size_t c = 0; c < nl.num_cells(); ++c) {
+      const int cl = lev.cell_level[c];
+      ASSERT_GE(cl, 0) << "cell " << c;
+      ASSERT_LT(cl, static_cast<int>(lev.levels.size()));
+      int max_fanin = -1;
+      for (const int fn : nl.cell(static_cast<int>(c)).fanin_nets) {
+        const int driver = nl.net(fn).driver_cell;
+        if (driver >= 0) {
+          EXPECT_GT(cl, lev.cell_level[static_cast<std::size_t>(driver)])
+              << "cell " << c << " not above fanin driver " << driver;
+          max_fanin = std::max(
+              max_fanin, lev.cell_level[static_cast<std::size_t>(driver)]);
+        }
+      }
+      // Levels are tight: exactly one above the deepest fanin.
+      EXPECT_EQ(cl, max_fanin + 1) << "cell " << c;
+    }
+
+    // (2) The flattened schedule is a topological order over all cells.
+    std::vector<char> placed(nl.num_cells(), 0);
+    std::size_t scheduled = 0;
+    for (std::size_t l = 0; l < lev.levels.size(); ++l) {
+      EXPECT_FALSE(lev.levels[l].empty()) << "empty level " << l;
+      for (const int c : lev.levels[l]) {
+        EXPECT_EQ(lev.cell_level[static_cast<std::size_t>(c)],
+                  static_cast<int>(l));
+        EXPECT_FALSE(placed[static_cast<std::size_t>(c)])
+            << "cell " << c << " scheduled twice";
+        for (const int fn : nl.cell(c).fanin_nets) {
+          const int driver = nl.net(fn).driver_cell;
+          if (driver >= 0) {
+            EXPECT_TRUE(placed[static_cast<std::size_t>(driver)])
+                << "cell " << c << " scheduled before fanin " << driver;
+          }
+        }
+        placed[static_cast<std::size_t>(c)] = 1;
+        ++scheduled;
+      }
+    }
+    EXPECT_EQ(scheduled, nl.num_cells());
+  }
+};
+
+TEST_F(LevelizationPropertyTest, RandomMappedDesigns) {
+  for (const std::uint64_t seed : {11u, 29u, 303u}) {
+    RandomNetlistSpec spec;
+    spec.name = "rand" + std::to_string(seed);
+    spec.target_cells = 400;
+    spec.seed = seed;
+    GateNetlist nl = generate_random_mapped(spec, lib);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    check_levelization(nl);
+  }
+}
+
+TEST_F(LevelizationPropertyTest, StructuralArithmeticUnits) {
+  {
+    SCOPED_TRACE("MUL");
+    check_levelization(generate_array_multiplier(5, lib));
+  }
+  {
+    SCOPED_TRACE("ADD");
+    check_levelization(generate_ripple_adder(16, lib));
+  }
+  {
+    SCOPED_TRACE("DIV");
+    check_levelization(generate_array_divider(4, lib));
+  }
+}
+
+TEST_F(LevelizationPropertyTest, SurvivesBufferingAndSizing) {
+  RandomNetlistSpec spec;
+  spec.target_cells = 300;
+  spec.seed = 5;
+  GateNetlist nl = generate_random_mapped(spec, lib);
+  check_levelization(nl);
+  // Mutation (buffer insertion) must invalidate the cached levelization.
+  const std::size_t before = nl.levelization().levels.size();
+  finalize_design(nl, lib, tech);
+  check_levelization(nl);
+  EXPECT_GE(nl.levelization().levels.size(), before);
+}
+
+TEST_F(LevelizationPropertyTest, CacheInvalidatedByMutation) {
+  GateNetlist nl("d");
+  const int a = nl.add_primary_input("a");
+  const int g1 = nl.add_cell("u1", lib.by_name("INVx1"), {a}, "w1");
+  EXPECT_EQ(nl.levelization().levels.size(), 1u);
+  const int g2 =
+      nl.add_cell("u2", lib.by_name("INVx1"), {nl.cell(g1).out_net}, "w2");
+  ASSERT_EQ(nl.levelization().levels.size(), 2u);
+  EXPECT_EQ(nl.levelization().cell_level[static_cast<std::size_t>(g2)], 1);
+}
+
+TEST_F(LevelizationPropertyTest, MatchesTopologicalOrderPositions) {
+  RandomNetlistSpec spec;
+  spec.target_cells = 250;
+  spec.seed = 77;
+  const GateNetlist nl = generate_random_mapped(spec, lib);
+  const auto order = nl.topological_order();
+  const auto& lev = nl.levelization();
+  // Levels must be monotonically non-decreasing along any topological
+  // order's dependency edges; spot-check via positions.
+  std::vector<int> pos(nl.num_cells(), -1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    pos[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  for (std::size_t c = 0; c < nl.num_cells(); ++c) {
+    for (const int fn : nl.cell(static_cast<int>(c)).fanin_nets) {
+      const int d = nl.net(fn).driver_cell;
+      if (d >= 0) {
+        EXPECT_LT(pos[static_cast<std::size_t>(d)],
+                  pos[c]);
+        EXPECT_LT(lev.cell_level[static_cast<std::size_t>(d)],
+                  lev.cell_level[c]);
+      }
+    }
+  }
 }
 
 }  // namespace

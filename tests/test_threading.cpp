@@ -1,0 +1,277 @@
+// Determinism/regression layer for the parallel execution engine: pool
+// edge cases, and the contract that every parallel flow (mean STA,
+// statistical STA, path Monte-Carlo) is bit-identical at any thread count.
+#include "util/threading.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "baselines/mc_reference.hpp"
+#include "netlist/designgen.hpp"
+#include "sta/annotate.hpp"
+#include "sta/engine.hpp"
+#include "sta/statprop.hpp"
+#include "synthetic_charlib.hpp"
+#include "util/exec.hpp"
+
+namespace nsdc {
+namespace {
+
+using testfix::make_charlib;
+
+// ---------------------------------------------------------------- pool ---
+
+TEST(ThreadPool, SizeMatchesRequestedWorkers) {
+  ThreadPool p3(3);
+  EXPECT_EQ(p3.size(), 3u);
+  ThreadPool p0(0);
+  EXPECT_EQ(p0.size(), 0u);
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsOnCaller) {
+  ThreadPool pool(0);
+  std::vector<int> hits(100, 0);
+  const unsigned blocks = pool.run_blocks(
+      hits.size(), 10, [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) ++hits[i];
+      });
+  EXPECT_EQ(blocks, 10u);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, RunBlocksVisitsEveryIndexOnce) {
+  ThreadPool pool(3);
+  const std::size_t n = 5000;
+  std::vector<std::atomic<int>> hits(n);
+  const unsigned blocks = pool.run_blocks(n, 64, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  EXPECT_EQ(blocks, (n + 63) / 64);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  const unsigned blocks = pool.run_blocks(
+      0, 1, [](std::size_t, std::size_t) { FAIL() << "must not be called"; });
+  EXPECT_EQ(blocks, 0u);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(2);
+  auto boom = [](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      if (i == 37) throw std::runtime_error("index 37 failed");
+    }
+  };
+  EXPECT_THROW(pool.run_blocks(100, 8, boom), std::runtime_error);
+  // The pool must stay usable after a failed job.
+  std::atomic<int> count{0};
+  pool.run_blocks(50, 5,
+                  [&](std::size_t b, std::size_t e) {
+                    count.fetch_add(static_cast<int>(e - b));
+                  });
+  EXPECT_EQ(count.load(), 50);
+}
+
+// -------------------------------------------------- parallel_for facade ---
+
+TEST(ParallelFor, SurfacesChosenWorkerCount) {
+  auto noop = [](std::size_t) {};
+  // More lanes than indices: clamped to one index per block.
+  EXPECT_EQ(parallel_for(10, noop, 32), 10u);
+  // Uneven split: ceil(10/3)=4 per block -> only 3 blocks materialize.
+  EXPECT_EQ(parallel_for(10, noop, 3), 3u);
+  EXPECT_EQ(parallel_for(5, noop, 4), 3u);  // chunk 2 -> blocks 0-2,2-4,4-5
+  EXPECT_EQ(parallel_for(100, noop, 1), 1u);
+  EXPECT_EQ(parallel_for(0, noop, 4), 0u);
+}
+
+TEST(ParallelFor, DefaultThreadsOverride) {
+  set_default_threads(3);
+  EXPECT_EQ(default_threads(), 3u);
+  EXPECT_EQ(parallel_for(300, [](std::size_t) {}, 0), 3u);
+  set_default_threads(0);  // restore env/hardware default
+  EXPECT_GE(default_threads(), 1u);
+}
+
+TEST(ParallelFor, NestedCallsComplete) {
+  std::vector<std::atomic<int>> hits(200);
+  parallel_for(
+      4,
+      [&](std::size_t outer) {
+        parallel_for(
+            50, [&](std::size_t inner) { hits[outer * 50 + inner].fetch_add(1); },
+            3);
+      },
+      4);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ExceptionReachesCaller) {
+  EXPECT_THROW(parallel_for(
+                   64, [](std::size_t i) {
+                     if (i == 13) throw std::invalid_argument("13");
+                   },
+                   4),
+               std::invalid_argument);
+}
+
+TEST(ParallelForChunked, GrainBoundsBlockSize) {
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  std::atomic<int> calls{0};
+  const unsigned blocks = parallel_for_chunked(
+      n, 100,
+      [&](std::size_t b, std::size_t e) {
+        EXPECT_LT(b, e);
+        calls.fetch_add(1);
+        for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+      },
+      8);
+  EXPECT_LE(blocks, 10u);  // never smaller than the grain
+  EXPECT_EQ(blocks, static_cast<unsigned>(calls.load()));
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// ------------------------------------------- thread-count invariance ------
+
+class InvarianceTest : public ::testing::Test {
+ protected:
+  InvarianceTest()
+      : charlib(make_charlib()),
+        cells(CellLibrary::standard()),
+        model(NSigmaCellModel::fit(charlib)),
+        tech(TechParams::nominal28()),
+        // NAND2x1/INVx1 only, so the synthetic charlib covers every arc.
+        netlist(generate_array_multiplier(6, cells)),
+        parasitics(generate_parasitics(netlist, tech)) {}
+
+  StaEngine::Result run_sta(unsigned threads) const {
+    StaConfig cfg;
+    cfg.exec.threads = threads;
+    cfg.min_parallel_cells = 1;  // force the levelized parallel path
+    const StaEngine engine(model, tech, cfg);
+    return engine.run(netlist, parasitics);
+  }
+
+  CharLib charlib;
+  CellLibrary cells;
+  NSigmaCellModel model;
+  TechParams tech;
+  GateNetlist netlist;
+  ParasiticDb parasitics;
+};
+
+TEST_F(InvarianceTest, StaEngineBitIdenticalAcrossThreadCounts) {
+  ASSERT_GE(netlist.num_cells(), 200u);
+  const auto ref = run_sta(1);
+  for (unsigned t : {2u, 7u, default_threads()}) {
+    const auto got = run_sta(t);
+    ASSERT_EQ(got.nets.size(), ref.nets.size()) << t << " threads";
+    EXPECT_EQ(got.max_arrival, ref.max_arrival) << t << " threads";
+    EXPECT_EQ(got.critical_net, ref.critical_net);
+    EXPECT_EQ(got.critical_edge, ref.critical_edge);
+    for (std::size_t n = 0; n < ref.nets.size(); ++n) {
+      // Bit-identical, not approximately equal.
+      EXPECT_EQ(std::memcmp(&got.nets[n].arrival, &ref.nets[n].arrival,
+                            sizeof(ref.nets[n].arrival)),
+                0)
+          << "net " << n << " at " << t << " threads";
+      EXPECT_EQ(std::memcmp(&got.nets[n].slew, &ref.nets[n].slew,
+                            sizeof(ref.nets[n].slew)),
+                0)
+          << "net " << n << " at " << t << " threads";
+      EXPECT_EQ(got.net_load[n], ref.net_load[n]);
+    }
+  }
+}
+
+TEST_F(InvarianceTest, StatisticalStaBitIdenticalAcrossThreadCounts) {
+  const NSigmaWireModel wire_model = NSigmaWireModel::fit(charlib, cells);
+  auto run_at = [&](unsigned threads) {
+    StatisticalSta::Config cfg;
+    cfg.sta.exec.threads = threads;
+    cfg.sta.min_parallel_cells = 1;
+    const StatisticalSta sta(model, wire_model, tech, cfg);
+    return sta.run(netlist, parasitics);
+  };
+  const auto ref = run_at(1);
+  for (unsigned t : {2u, 7u}) {
+    const auto got = run_at(t);
+    ASSERT_EQ(got.nets.size(), ref.nets.size());
+    EXPECT_EQ(got.worst.mean, ref.worst.mean) << t << " threads";
+    EXPECT_EQ(got.worst.var, ref.worst.var) << t << " threads";
+    for (std::size_t n = 0; n < ref.nets.size(); ++n) {
+      for (int e = 0; e < 2; ++e) {
+        const auto ei = static_cast<std::size_t>(e);
+        EXPECT_EQ(got.nets[n][ei].mean, ref.nets[n][ei].mean) << n;
+        EXPECT_EQ(got.nets[n][ei].var, ref.nets[n][ei].var) << n;
+      }
+    }
+  }
+}
+
+TEST_F(InvarianceTest, PathMonteCarloBitIdenticalAcrossThreadCounts) {
+  // A short real path keeps the transient-simulation budget test-sized.
+  GateNetlist chain("mc_chain");
+  int net = chain.add_primary_input("a");
+  for (int i = 0; i < 3; ++i) {
+    const int g = chain.add_cell("u" + std::to_string(i),
+                                 cells.by_name(i % 2 ? "INVx2" : "INVx1"),
+                                 {net}, "w" + std::to_string(i));
+    net = chain.cell(g).out_net;
+  }
+  chain.mark_primary_output(net);
+  const ParasiticDb spef = generate_parasitics(chain, tech);
+  const StaEngine engine(model, tech);
+  const auto sta = engine.run(chain, spef);
+  const PathDescription path = engine.extract_critical_path(chain, sta);
+
+  PathMonteCarlo mc(tech);
+  auto run_at = [&](unsigned threads) {
+    PathMcConfig cfg;
+    cfg.samples = 40;
+    cfg.seed = 4242;
+    cfg.threads = threads;
+    return mc.run(path, cfg);
+  };
+  const auto ref = run_at(1);
+  ASSERT_GE(ref.samples.size(), 32u);
+  for (unsigned t : {2u, 7u}) {
+    const auto got = run_at(t);
+    EXPECT_EQ(got.failures, ref.failures) << t << " threads";
+    ASSERT_EQ(got.samples.size(), ref.samples.size()) << t << " threads";
+    for (std::size_t i = 0; i < ref.samples.size(); ++i) {
+      EXPECT_EQ(got.samples[i], ref.samples[i]) << "sample " << i;
+    }
+    for (int lv = 0; lv < 7; ++lv) {
+      const auto l = static_cast<std::size_t>(lv);
+      EXPECT_EQ(got.quantiles[l], ref.quantiles[l]) << "level " << lv;
+    }
+  }
+}
+
+TEST_F(InvarianceTest, SerialFallbackMatchesParallelPath) {
+  // Below the threshold the engine runs serially; results must match the
+  // forced-parallel run exactly.
+  StaConfig serial_cfg;
+  serial_cfg.min_parallel_cells = netlist.num_cells() + 1;
+  serial_cfg.exec.threads = 8;
+  const StaEngine serial_engine(model, tech, serial_cfg);
+  const auto serial = serial_engine.run(netlist, parasitics);
+  const auto parallel = run_sta(8);
+  EXPECT_EQ(serial.max_arrival, parallel.max_arrival);
+  for (std::size_t n = 0; n < serial.nets.size(); ++n) {
+    EXPECT_EQ(serial.nets[n].arrival[0], parallel.nets[n].arrival[0]);
+    EXPECT_EQ(serial.nets[n].arrival[1], parallel.nets[n].arrival[1]);
+  }
+}
+
+}  // namespace
+}  // namespace nsdc

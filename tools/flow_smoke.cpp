@@ -1,6 +1,14 @@
 // End-to-end plumbing check: mini characterization -> model fits -> STA ->
 // N-sigma path quantiles vs stage-cascaded MC on a small design.
+//
+// Usage: flow_smoke [--threads N] [--cells N]
+//   --threads N   worker lanes for every parallel region (characterization
+//                 MC, STA, path MC). Defaults to the NSDC_THREADS env var,
+//                 then hardware concurrency.
+//   --cells N     target cell count of the generated smoke design.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "baselines/corner_sta.hpp"
 #include "baselines/mc_reference.hpp"
@@ -9,12 +17,26 @@
 #include "sta/annotate.hpp"
 #include "sta/timer.hpp"
 #include "util/log.hpp"
+#include "util/threading.hpp"
 #include "util/units.hpp"
 
 using namespace nsdc;
 
-int main() {
+int main(int argc, char** argv) {
+  int target_cells = 120;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      set_default_threads(static_cast<unsigned>(std::atoi(argv[++i])));
+    } else if (std::strcmp(argv[i], "--cells") == 0 && i + 1 < argc) {
+      target_cells = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads N] [--cells N]\n", argv[0]);
+      return 2;
+    }
+  }
   set_log_level(LogLevel::kInfo);
+  std::printf("worker lanes: %u (pool: %u workers + caller)\n",
+              default_threads(), global_pool().size());
   TechParams tech = TechParams::nominal28();
   CellLibrary cells = CellLibrary::standard();
 
@@ -40,7 +62,7 @@ int main() {
 
   RandomNetlistSpec spec;
   spec.name = "smoke";
-  spec.target_cells = 120;
+  spec.target_cells = target_cells;
   spec.num_primary_inputs = 12;
   spec.target_depth = 12;
   GateNetlist nl = generate_random_mapped(spec, cells);
