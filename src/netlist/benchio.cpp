@@ -101,9 +101,30 @@ class BenchBuilder {
 }  // namespace
 
 GateNetlist parse_bench(const std::string& text, const CellLibrary& lib,
-                        const std::string& design_name) {
+                        const std::string& design_name,
+                        std::vector<Diagnostic>* diags) {
   GateNetlist nl(design_name);
   BenchBuilder b(nl, lib);
+
+  // In diagnostic mode every problem is recorded and the parse recovers;
+  // without a sink the historical throwing behavior is preserved.
+  auto report = [&](int line, const std::string& object,
+                    const std::string& message, const std::string& hint) {
+    if (diags == nullptr) {
+      throw std::runtime_error("bench: " + message + " at line " +
+                               std::to_string(line));
+    }
+    diags->push_back(
+        {Severity::kError, "parse.bench", object, message, hint, line});
+  };
+  // Unresolvable signals become fresh primary-input stubs so the rest of
+  // the design still builds (diagnostic mode only).
+  auto stub_pi = [&](const std::string& name) {
+    const std::string stub = name + "__stub";
+    const int net_idx = nl.add_primary_input(stub);
+    b.bind(name, net_idx);
+    return net_idx;
+  };
 
   std::vector<std::string> outputs;
   std::unordered_map<std::string, GateDef> defs;
@@ -120,30 +141,35 @@ GateNetlist parse_bench(const std::string& text, const CellLibrary& lib,
     if (line.empty()) continue;
 
     const std::string uline = upper(line);
+    bool line_ok = true;
     auto paren_arg = [&](std::size_t start) {
       const auto open = line.find('(', start);
       const auto close = line.rfind(')');
       if (open == std::string::npos || close == std::string::npos ||
           close <= open) {
-        throw std::runtime_error("bench parse error at line " +
-                                 std::to_string(lineno));
+        report(lineno, "line:" + std::to_string(lineno),
+               "malformed parenthesized argument", "expected NAME(...)");
+        line_ok = false;
+        return std::string();
       }
       return trim(line.substr(open + 1, close - open - 1));
     };
 
     if (uline.rfind("INPUT", 0) == 0) {
       const std::string name = paren_arg(5);
-      b.bind(name, nl.add_primary_input(name));
+      if (line_ok) b.bind(name, nl.add_primary_input(name));
       continue;
     }
     if (uline.rfind("OUTPUT", 0) == 0) {
-      outputs.push_back(paren_arg(6));
+      const std::string name = paren_arg(6);
+      if (line_ok) outputs.push_back(name);
       continue;
     }
     const auto eq = line.find('=');
     if (eq == std::string::npos) {
-      throw std::runtime_error("bench parse error (no '=') at line " +
-                               std::to_string(lineno));
+      report(lineno, "line:" + std::to_string(lineno),
+             "expected 'signal = FUNC(...)' (no '=')", "");
+      continue;
     }
     GateDef def;
     def.out = trim(line.substr(0, eq));
@@ -153,8 +179,9 @@ GateNetlist parse_bench(const std::string& text, const CellLibrary& lib,
     const auto close = rhs.rfind(')');
     if (open == std::string::npos || close == std::string::npos ||
         close <= open) {
-      throw std::runtime_error("bench parse error at line " +
-                               std::to_string(lineno));
+      report(lineno, "signal:" + def.out,
+             "malformed gate expression (expected FUNC(a, b, ...))", "");
+      continue;
     }
     def.func = trim(rhs.substr(0, open));
     std::string args = rhs.substr(open + 1, close - open - 1);
@@ -165,8 +192,10 @@ GateNetlist parse_bench(const std::string& text, const CellLibrary& lib,
       if (!arg.empty()) def.ins.push_back(arg);
     }
     if (defs.count(def.out)) {
-      throw std::runtime_error("bench: duplicate definition of " + def.out +
-                               " at line " + std::to_string(lineno));
+      report(lineno, "signal:" + def.out,
+             "duplicate definition of '" + def.out + "'",
+             "first definition wins");
+      continue;
     }
     def_order.push_back(def.out);
     defs.emplace(def.out, std::move(def));
@@ -174,46 +203,58 @@ GateNetlist parse_bench(const std::string& text, const CellLibrary& lib,
 
   // Resolve definitions depth-first so out-of-order files work.
   std::unordered_set<std::string> in_progress;
-  std::function<int(const std::string&)> resolve =
-      [&](const std::string& name) -> int {
+  std::function<int(const std::string&, int)> resolve =
+      [&](const std::string& name, int ref_line) -> int {
     const int existing = b.net(name);
     if (existing >= 0) return existing;
     const auto it = defs.find(name);
     if (it == defs.end()) {
-      throw std::runtime_error("bench: undefined signal " + name);
+      report(ref_line, "signal:" + name, "undefined signal '" + name + "'",
+             "declare it as INPUT(...) or define it");
+      return stub_pi(name);
     }
     if (!in_progress.insert(name).second) {
-      throw std::runtime_error("bench: combinational cycle through " + name);
+      report(it->second.lineno, "signal:" + name,
+             "combinational cycle through '" + name + "'",
+             "the feedback path is broken with a primary-input stub");
+      return stub_pi(name);
     }
     const GateDef& def = it->second;
     std::vector<int> ins;
     ins.reserve(def.ins.size());
-    for (const auto& src : def.ins) ins.push_back(resolve(src));
+    for (const auto& src : def.ins) ins.push_back(resolve(src, def.lineno));
     in_progress.erase(name);
 
     const std::string fu = upper(def.func);
+    // In diagnostic mode a bad-arity gate reports and stubs its output; in
+    // throwing mode report() raises before the stub is reached.
     auto arity_error = [&] {
-      return std::runtime_error("bench: bad arity for " + def.func +
-                                " at line " + std::to_string(def.lineno));
+      report(def.lineno, "signal:" + def.out,
+             "bad arity for " + def.func + " (" +
+                 std::to_string(def.ins.size()) + " inputs)",
+             "");
+      return stub_pi(def.out);
     };
 
     // Exact library cell name (extended form), e.g. NAND2x4.
     if (lib.contains(def.func)) {
       const CellType& ct = lib.by_name(def.func);
-      if (static_cast<int>(ins.size()) != ct.num_inputs()) throw arity_error();
+      if (static_cast<int>(ins.size()) != ct.num_inputs()) {
+        return arity_error();
+      }
       return b.named_gate(def.out, ct, ins);
     }
 
     if (fu == "NOT" || fu == "INV") {
-      if (ins.size() != 1) throw arity_error();
+      if (ins.size() != 1) return arity_error();
       return b.named_gate(def.out, b.cell(CellFunc::kInv), ins);
     }
     if (fu == "BUFF" || fu == "BUF") {
-      if (ins.size() != 1) throw arity_error();
+      if (ins.size() != 1) return arity_error();
       return b.named_gate(def.out, b.cell(CellFunc::kBuf), ins);
     }
     if (fu == "NAND" || fu == "AND" || fu == "NOR" || fu == "OR") {
-      if (ins.size() < 2) throw arity_error();
+      if (ins.size() < 2) return arity_error();
       const bool and_family = fu == "NAND" || fu == "AND";
       const CellFunc op2 = and_family ? CellFunc::kNand2 : CellFunc::kNor2;
       const std::vector<int> pair = b.reduce_to_pair(def.out, op2, ins);
@@ -225,7 +266,7 @@ GateNetlist parse_bench(const std::string& text, const CellLibrary& lib,
       return b.named_gate(def.out, b.cell(CellFunc::kInv), {t});
     }
     if (fu == "XOR" || fu == "XNOR") {
-      if (ins.size() < 2) throw arity_error();
+      if (ins.size() < 2) return arity_error();
       int acc = ins[0];
       for (std::size_t i = 1; i + 1 < ins.size(); ++i) {
         acc = b.xor2(def.out, acc, ins[i], "", false);
@@ -236,19 +277,22 @@ GateNetlist parse_bench(const std::string& text, const CellLibrary& lib,
       const int x = b.xor2(def.out, acc, ins.back(), "", false);
       return b.named_gate(def.out, b.cell(CellFunc::kInv), {x});
     }
-    throw std::runtime_error("bench: unknown function " + def.func +
-                             " at line " + std::to_string(def.lineno));
+    report(def.lineno, "signal:" + def.out,
+           "unknown function '" + def.func + "'",
+           "use NOT/BUFF/AND/OR/NAND/NOR/XOR/XNOR or a library cell name");
+    return stub_pi(def.out);
   };
 
-  for (const auto& name : def_order) resolve(name);
+  for (const auto& name : def_order) resolve(name, 0);
   for (const auto& out : outputs) {
-    const int net_idx = resolve(out);
+    const int net_idx = resolve(out, 0);
     nl.mark_primary_output(net_idx);
   }
   return nl;
 }
 
-GateNetlist load_bench(const std::string& path, const CellLibrary& lib) {
+GateNetlist load_bench(const std::string& path, const CellLibrary& lib,
+                       std::vector<Diagnostic>* diags) {
   std::ifstream f(path);
   if (!f) throw std::runtime_error("load_bench: cannot open " + path);
   std::ostringstream ss;
@@ -259,7 +303,7 @@ GateNetlist load_bench(const std::string& path, const CellLibrary& lib) {
   if (slash != std::string::npos) name = name.substr(slash + 1);
   const auto dot = name.find_last_of('.');
   if (dot != std::string::npos) name = name.substr(0, dot);
-  return parse_bench(ss.str(), lib, name);
+  return parse_bench(ss.str(), lib, name, diags);
 }
 
 std::string write_bench(const GateNetlist& netlist) {

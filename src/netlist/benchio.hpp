@@ -12,17 +12,29 @@
 // The writer emits the extended mapped form, which round-trips exactly.
 
 #include <string>
+#include <vector>
 
 #include "netlist/netlist.hpp"
+#include "util/diag.hpp"
 
 namespace nsdc {
 
 /// Parses .bench text. `lib` must outlive the returned netlist.
+///
+/// Error handling: with `diags == nullptr` (default) malformed input throws
+/// std::runtime_error, as before. With a diagnostics sink the parser
+/// RECOVERS instead — every problem becomes a "parse.bench" Diagnostic
+/// carrying the 1-based source line, and the parse continues (bad lines are
+/// skipped, duplicate definitions keep the first, undefined/cyclic signals
+/// are stubbed with fresh primary inputs). The returned netlist is always
+/// structurally valid; run the lint rules to judge the damage.
 GateNetlist parse_bench(const std::string& text, const CellLibrary& lib,
-                        const std::string& design_name);
+                        const std::string& design_name,
+                        std::vector<Diagnostic>* diags = nullptr);
 
 /// Reads a .bench file from disk; throws std::runtime_error on I/O error.
-GateNetlist load_bench(const std::string& path, const CellLibrary& lib);
+GateNetlist load_bench(const std::string& path, const CellLibrary& lib,
+                       std::vector<Diagnostic>* diags = nullptr);
 
 /// Serializes in the extended mapped .bench form.
 std::string write_bench(const GateNetlist& netlist);

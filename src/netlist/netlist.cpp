@@ -78,6 +78,38 @@ void GateNetlist::set_cell_type(int cell_idx, const CellType& type) {
   inst.type = &type;
 }
 
+void GateNetlist::rewire_fanin(int cell_idx, int pin, int new_net) {
+  CellInst& inst = cells_.at(static_cast<std::size_t>(cell_idx));
+  auto& fanins = inst.fanin_nets;
+  if (pin < 0 || pin >= static_cast<int>(fanins.size())) {
+    throw std::out_of_range("rewire_fanin: bad pin for " + inst.name);
+  }
+  if (new_net < -1 || new_net >= static_cast<int>(nets_.size())) {
+    throw std::out_of_range("rewire_fanin: bad net for " + inst.name);
+  }
+  const int old_net = fanins[static_cast<std::size_t>(pin)];
+  if (old_net >= 0) {
+    auto& sinks = nets_[static_cast<std::size_t>(old_net)].sinks;
+    std::erase_if(sinks, [&](const NetSink& s) {
+      return s.cell == cell_idx && s.pin == pin;
+    });
+  }
+  fanins[static_cast<std::size_t>(pin)] = new_net;
+  if (new_net >= 0) {
+    nets_[static_cast<std::size_t>(new_net)].sinks.push_back({cell_idx, pin});
+  }
+  levelization_.reset();
+}
+
+void GateNetlist::set_cell_out_net(int cell_idx, int net) {
+  CellInst& inst = cells_.at(static_cast<std::size_t>(cell_idx));
+  if (net < 0 || net >= static_cast<int>(nets_.size())) {
+    throw std::out_of_range("set_cell_out_net: bad net for " + inst.name);
+  }
+  inst.out_net = net;
+  levelization_.reset();
+}
+
 std::vector<int> GateNetlist::topological_order() const {
   // Kahn's algorithm over cells; a cell is ready once all fanin nets are
   // resolved (PI or already-ordered driver).

@@ -67,6 +67,23 @@ class GateNetlist {
   /// same input arity.
   void set_cell_type(int cell_idx, const CellType& type);
 
+  // --- ECO / graph-surgery hooks -----------------------------------------
+  // Low-level edits for net stitching and for constructing the defective
+  // graphs the lint engine detects. Unlike add_cell, these can produce
+  // malformed netlists (combinational loops, multi-driver nets, floating
+  // nets, unconnected pins) — run the lint rules (src/lint) after editing.
+  // Both invalidate the cached levelization.
+
+  /// Reconnects input `pin` of `cell_idx` to `new_net` (sink lists are kept
+  /// consistent). `new_net == -1` leaves the pin unconnected.
+  void rewire_fanin(int cell_idx, int pin, int new_net);
+
+  /// Raw rebind of a cell's output onto an existing net. The target net's
+  /// declared driver and the cell's previous output net are NOT updated —
+  /// exactly the inconsistencies the `net.multi-driver` / `net.undriven` /
+  /// `net.driver-mismatch` lint rules exist to catch.
+  void set_cell_out_net(int cell_idx, int net);
+
   /// Cells in topological order (fanin before fanout). Throws
   /// std::runtime_error if the netlist has a combinational cycle.
   std::vector<int> topological_order() const;

@@ -14,8 +14,10 @@
 // std::runtime_error with a line number.
 
 #include <string>
+#include <vector>
 
 #include "netlist/netlist.hpp"
+#include "util/diag.hpp"
 
 namespace nsdc {
 
@@ -23,9 +25,19 @@ namespace nsdc {
 std::string write_verilog(const GateNetlist& netlist);
 
 /// Parses a structural Verilog module. `lib` must outlive the netlist.
-GateNetlist parse_verilog(const std::string& text, const CellLibrary& lib);
+///
+/// Error handling: with `diags == nullptr` (default) malformed input throws
+/// std::runtime_error with a source line number. With a diagnostics sink
+/// the parser RECOVERS — each problem becomes a "parse.verilog" Diagnostic
+/// (1-based line) and parsing continues: a malformed statement is skipped
+/// to its ';', unknown cell types / undriven nets / cycles are stubbed
+/// with fresh primary inputs, and multi-driven nets keep their first
+/// driver. Run the lint rules on the result to judge the damage.
+GateNetlist parse_verilog(const std::string& text, const CellLibrary& lib,
+                          std::vector<Diagnostic>* diags = nullptr);
 
 bool save_verilog(const GateNetlist& netlist, const std::string& path);
-GateNetlist load_verilog(const std::string& path, const CellLibrary& lib);
+GateNetlist load_verilog(const std::string& path, const CellLibrary& lib,
+                         std::vector<Diagnostic>* diags = nullptr);
 
 }  // namespace nsdc

@@ -1,5 +1,6 @@
 #include "parasitics/spef.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -46,17 +47,31 @@ std::string ParasiticDb::to_spef(const std::string& design_name) const {
   return os.str();
 }
 
-ParasiticDb ParasiticDb::from_spef(const std::string& text) {
+ParasiticDb ParasiticDb::from_spef(const std::string& text,
+                                   std::vector<Diagnostic>* diags) {
   ParasiticDb db;
   std::istringstream is(text);
   std::string line;
   int lineno = 0;
+  std::string cur_net;
+  // Without a sink the first problem throws (historical behavior); with a
+  // sink it becomes a Diagnostic, `fail` returns, and the offending line
+  // is skipped (or its value clamped).
+  auto report = [&](Severity sev, const std::string& why,
+                    const std::string& hint) {
+    if (diags == nullptr) {
+      throw std::runtime_error("SPEF-lite parse error at line " +
+                               std::to_string(lineno) + ": " + why);
+    }
+    diags->push_back({sev, "parse.spef",
+                      cur_net.empty() ? "line:" + std::to_string(lineno)
+                                      : "net:" + cur_net,
+                      why, hint, lineno});
+  };
   auto fail = [&](const std::string& why) {
-    throw std::runtime_error("SPEF-lite parse error at line " +
-                             std::to_string(lineno) + ": " + why);
+    report(Severity::kError, why, "line skipped");
   };
 
-  std::string cur_net;
   RcTree cur_tree;
   enum class Section { kNone, kNodes, kSinks };
   Section section = Section::kNone;
@@ -69,8 +84,15 @@ ParasiticDb ParasiticDb::from_spef(const std::string& text) {
     ls >> tok;
     if (tok == "*SPEF" || tok == "*DESIGN") continue;
     if (tok == "*D_NET") {
-      if (!cur_net.empty()) fail("*D_NET before *END of previous net");
-      if (!(ls >> cur_net)) fail("missing net name");
+      if (!cur_net.empty()) {
+        fail("*D_NET before *END of previous net");
+        db.add(cur_net, std::move(cur_tree));  // implicit *END (diag mode)
+      }
+      cur_net.clear();
+      if (!(ls >> cur_net)) {
+        fail("missing net name");
+        continue;
+      }
       cur_tree = RcTree();
       section = Section::kNone;
       continue;
@@ -84,37 +106,73 @@ ParasiticDb ParasiticDb::from_spef(const std::string& text) {
       continue;
     }
     if (tok == "*END") {
-      if (cur_net.empty()) fail("*END without *D_NET");
+      if (cur_net.empty()) {
+        fail("*END without *D_NET");
+        continue;
+      }
       db.add(cur_net, std::move(cur_tree));
       cur_net.clear();
       cur_tree = RcTree();
       section = Section::kNone;
       continue;
     }
-    if (cur_net.empty()) fail("content outside *D_NET block");
+    if (cur_net.empty()) {
+      fail("content outside *D_NET block");
+      continue;
+    }
     if (section == Section::kNodes) {
       int idx = 0, parent = 0;
       double r = 0.0, c = 0.0;
       std::istringstream ns(line);
-      if (!(ns >> idx >> parent >> r >> c)) fail("bad node line");
+      if (!(ns >> idx >> parent >> r >> c)) {
+        fail("bad node line");
+        continue;
+      }
+      if (r < 0.0 || c < 0.0) {
+        report(Severity::kWarn,
+               std::string("negative ") +
+                   (r < 0.0 ? "resistance" : "capacitance") + " at node " +
+                   std::to_string(idx),
+               "value clamped to 0");
+        r = std::max(r, 0.0);
+        c = std::max(c, 0.0);
+      }
       if (idx == 0 && parent == -1) {
         cur_tree.add_cap(0, c);
         continue;
       }
-      if (idx != cur_tree.num_nodes()) fail("nodes must be listed in order");
+      if (idx != cur_tree.num_nodes()) {
+        fail("nodes must be listed in order");
+        continue;
+      }
+      if (parent < 0 || parent >= cur_tree.num_nodes()) {
+        fail("node parent " + std::to_string(parent) + " out of range");
+        continue;
+      }
       cur_tree.add_node(parent, r, c);
     } else if (section == Section::kSinks) {
       std::string pin;
       int node = 0;
       std::istringstream ss(line);
-      if (!(ss >> pin >> node)) fail("bad sink line");
+      if (!(ss >> pin >> node)) {
+        fail("bad sink line");
+        continue;
+      }
+      if (node <= 0 || node >= cur_tree.num_nodes()) {
+        fail("sink '" + pin + "' marks invalid node " + std::to_string(node));
+        continue;
+      }
       cur_tree.mark_sink(node, pin);
     } else {
       fail("unexpected line");
     }
   }
   if (!cur_net.empty()) {
-    throw std::runtime_error("SPEF-lite parse error: missing final *END");
+    if (diags == nullptr) {
+      throw std::runtime_error("SPEF-lite parse error: missing final *END");
+    }
+    report(Severity::kError, "missing final *END", "net kept");
+    db.add(cur_net, std::move(cur_tree));
   }
   return db;
 }

@@ -16,8 +16,10 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "parasitics/rctree.hpp"
+#include "util/diag.hpp"
 
 namespace nsdc {
 
@@ -32,9 +34,14 @@ class ParasiticDb {
 
   /// Serializes to SPEF-lite text.
   std::string to_spef(const std::string& design_name) const;
-  /// Parses SPEF-lite text; throws std::runtime_error with a line number
-  /// on malformed input.
-  static ParasiticDb from_spef(const std::string& text);
+  /// Parses SPEF-lite text. With `diags == nullptr` (default) malformed
+  /// input throws std::runtime_error with a line number. With a sink each
+  /// problem becomes a "parse.spef" Diagnostic (1-based line) and parsing
+  /// RECOVERS: unparseable lines are skipped, negative R/C values are
+  /// clamped to zero (warn), and invalid sink nodes are dropped. Run the
+  /// parasitic lint rules on the result to judge the damage.
+  static ParasiticDb from_spef(const std::string& text,
+                               std::vector<Diagnostic>* diags = nullptr);
 
   bool save(const std::string& path, const std::string& design_name) const;
   static std::optional<ParasiticDb> load(const std::string& path);

@@ -1,0 +1,54 @@
+#pragma once
+// Structured diagnostics: the record type shared by the design lint engine
+// (src/lint) and the file parsers (benchio / verilogio / spef). A
+// Diagnostic names the rule that fired, a severity, the design object (or
+// source line) it is anchored to, a human message, and an optional fix
+// hint. Parsers emit them in recovery mode instead of throwing; the lint
+// reporter renders them next to the rule-based findings.
+
+#include <string>
+#include <vector>
+
+namespace nsdc {
+
+enum class Severity : int { kInfo = 0, kWarn = 1, kError = 2 };
+
+const char* severity_name(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::kWarn;
+  /// Stable rule identifier, e.g. "net.comb-loop" or "parse.bench".
+  std::string rule;
+  /// Design-object path ("cell:U5", "net:G17", "arc:NAND2x1/r") or source
+  /// locus ("file:c17.bench") the finding is anchored to.
+  std::string object;
+  std::string message;
+  /// Optional remediation hint; empty when there is no concrete fix.
+  std::string hint;
+  /// 1-based source line for parser diagnostics; 0 = not file-based.
+  int line = 0;
+};
+
+/// Strict weak order giving reports a deterministic layout regardless of
+/// the thread count or rule evaluation order: severity (errors first),
+/// then rule id, object, line, message.
+bool diagnostic_before(const Diagnostic& a, const Diagnostic& b);
+
+/// Sorts with diagnostic_before (stable, so equal records keep insertion
+/// order).
+void sort_diagnostics(std::vector<Diagnostic>& diags);
+
+/// Highest severity present; kInfo for an empty list.
+Severity max_severity(const std::vector<Diagnostic>& diags);
+
+/// One-line rendering: `error[net.comb-loop] net:G17: message (hint: ...)`.
+std::string format_diagnostic(const Diagnostic& d);
+
+/// JSON object rendering with stable key order; strings are escaped per
+/// RFC 8259.
+std::string diagnostic_to_json(const Diagnostic& d);
+
+/// JSON string escaping helper (quotes included).
+std::string json_quote(const std::string& s);
+
+}  // namespace nsdc

@@ -1,11 +1,15 @@
 // End-to-end plumbing check: mini characterization -> model fits -> STA ->
 // N-sigma path quantiles vs stage-cascaded MC on a small design.
 //
-// Usage: flow_smoke [--threads N] [--cells N]
+// Usage: flow_smoke [--threads N] [--cells N] [--lint | --lint-strict]
 //   --threads N   worker lanes for every parallel region (characterization
 //                 MC, STA, path MC). Defaults to the NSDC_THREADS env var,
 //                 then hardware concurrency.
 //   --cells N     target cell count of the generated smoke design.
+//   --lint        run the nsdc_lint rules on the smoke design before timing
+//                 and print the report.
+//   --lint-strict same, but exit with the lint status when errors are found
+//                 (gate mode for CI).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -13,6 +17,7 @@
 #include "baselines/corner_sta.hpp"
 #include "baselines/mc_reference.hpp"
 #include "liberty/charlib.hpp"
+#include "lint/lint.hpp"
 #include "netlist/designgen.hpp"
 #include "sta/annotate.hpp"
 #include "sta/timer.hpp"
@@ -24,13 +29,21 @@ using namespace nsdc;
 
 int main(int argc, char** argv) {
   int target_cells = 120;
+  bool lint = false, lint_strict = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       set_default_threads(static_cast<unsigned>(std::atoi(argv[++i])));
     } else if (std::strcmp(argv[i], "--cells") == 0 && i + 1 < argc) {
       target_cells = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--lint") == 0) {
+      lint = true;
+    } else if (std::strcmp(argv[i], "--lint-strict") == 0) {
+      lint = lint_strict = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--threads N] [--cells N]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--threads N] [--cells N] "
+                   "[--lint | --lint-strict]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -70,6 +83,22 @@ int main(int argc, char** argv) {
   std::printf("netlist: %zu cells %zu nets depth %d\n", nl.num_cells(),
               nl.num_nets(), nl.depth());
   ParasiticDb spef = generate_parasitics(nl, tech);
+
+  if (lint) {
+    LintInput lin;
+    lin.netlist = &nl;
+    lin.parasitics = &spef;
+    lin.charlib = &charlib;
+    lin.cell_model = &timer.cell_model();
+    lin.tech = &tech;
+    const LintReport lrep = run_lint(lin);
+    std::fputs(lrep.to_text().c_str(), stdout);
+    if (lint_strict && lrep.count(Severity::kError) > 0) {
+      std::fprintf(stderr, "flow_smoke: lint gate failed (%d error(s))\n",
+                   lrep.count(Severity::kError));
+      return lrep.exit_code();
+    }
+  }
 
   const auto analysis = timer.analyze(nl, spef);
   std::printf("critical path: %zu stages, mean arrival %.1f ps, model %.4f s\n",

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Builds the concurrency/numeric test subset under each requested sanitizer
+# and runs it. The parallel STA engine and the Monte-Carlo loops are the
+# intentionally-concurrent code (tsan); the parsers, lint rules, and numeric
+# kernels are what asan/ubsan sweep.
+#
+# Usage: tools/run_sanitizers.sh [tsan|asan|ubsan ...] [-R regex]
+#   With no sanitizer arguments all three run in sequence.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REGEX="Threading|ThreadPool|Sta|Netlist|GoldenSta|Statistical|Lint|Spef|Bench"
+SANS=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    tsan|asan|ubsan) SANS+=("$1"); shift ;;
+    -R) REGEX="$2"; shift 2 ;;
+    *) echo "usage: $0 [tsan|asan|ubsan ...] [-R regex]" >&2; exit 2 ;;
+  esac
+done
+[[ ${#SANS[@]} -gt 0 ]] || SANS=(tsan asan ubsan)
+
+TARGETS=(test_util test_threading test_netlist test_sta test_statprop
+         test_golden_sta test_lint test_spef test_benchio)
+
+for SAN in "${SANS[@]}"; do
+  echo "=== ${SAN} ==="
+  cmake --preset "${SAN}"
+  cmake --build --preset "${SAN}" -j"$(nproc)" --target "${TARGETS[@]}"
+  case "${SAN}" in
+    tsan)  env TSAN_OPTIONS="halt_on_error=1" \
+             ctest --test-dir "build-${SAN}" -R "$REGEX" \
+             --output-on-failure -j"$(nproc)" ;;
+    asan)  env ASAN_OPTIONS="halt_on_error=1" \
+             ctest --test-dir "build-${SAN}" -R "$REGEX" \
+             --output-on-failure -j"$(nproc)" ;;
+    ubsan) env UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+             ctest --test-dir "build-${SAN}" -R "$REGEX" \
+             --output-on-failure -j"$(nproc)" ;;
+  esac
+  echo "${SAN} run clean."
+done

@@ -1,17 +1,5 @@
 #!/usr/bin/env bash
-# Builds the threading/STA test subset under ThreadSanitizer and runs it.
-# The parallel STA engine and the Monte-Carlo loops are the only
-# intentionally-concurrent code; this is the gate any change to them must
-# pass. Usage: tools/run_tsan.sh [extra ctest -R regex]
+# Compatibility wrapper: the TSAN gate now lives in run_sanitizers.sh,
+# which also covers asan and ubsan. Usage: tools/run_tsan.sh [-R regex]
 set -euo pipefail
-cd "$(dirname "$0")/.."
-
-REGEX="${1:-Threading|ThreadPool|Sta|Netlist|GoldenSta|Statistical}"
-
-cmake --preset tsan
-cmake --build --preset tsan -j"$(nproc)" --target \
-  test_util test_threading test_netlist test_sta test_statprop test_golden_sta
-
-TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan -R "$REGEX" \
-  --output-on-failure -j"$(nproc)"
-echo "TSAN run clean."
+exec "$(dirname "$0")/run_sanitizers.sh" tsan "$@"
