@@ -1,8 +1,10 @@
 // Microbenchmarks (google-benchmark) for the performance-critical kernels:
 // device evaluation, transient stepping, Elmore extraction and model
 // evaluation — the terms behind the Table III runtime columns. The custom
-// main() additionally runs a serial-vs-parallel STA scaling measurement and
-// writes sta_parallel_perf.json (skip with --no_sta_scaling).
+// main() additionally runs serial-vs-parallel scaling measurements for the
+// levelized STA engine (sta_parallel_perf.json, skip with --no_sta_scaling)
+// and the sharded netlist Monte Carlo including a grain sweep
+// (netmc_parallel_perf.json, skip with --no_netmc_scaling).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -16,8 +18,10 @@
 #include "parasitics/wiregen.hpp"
 #include "pdk/cellgen.hpp"
 #include "spice/transient.hpp"
+#include "core/nsigma_wire.hpp"
 #include "sta/annotate.hpp"
 #include "sta/engine.hpp"
+#include "sta/netmc.hpp"
 #include "stats/regression.hpp"
 #include "synthetic_charlib.hpp"
 #include "util/rng.hpp"
@@ -202,23 +206,153 @@ int run_sta_scaling(const std::string& json_path) {
   return 0;
 }
 
+// ------------------------------------------- parallel netlist-MC scaling
+
+/// Serial-vs-parallel wall-clock for the sharded netlist Monte Carlo on a
+/// generated ≥1k-cell design at 1/2/4/8 worker lanes, plus a grain sweep.
+/// Every parallel and every grain configuration must reproduce the serial
+/// reference byte-for-byte (the sampler's determinism contract); the JSON
+/// perf record lands in netmc_parallel_perf.json.
+int run_netmc_scaling(const std::string& json_path) {
+  using clock = std::chrono::steady_clock;
+  const TechParams tech = TechParams::nominal28();
+  const CellLibrary lib = CellLibrary::standard();
+  const CharLib charlib = testfix::make_charlib();
+  const NSigmaCellModel model = NSigmaCellModel::fit(charlib);
+  const NSigmaWireModel wire_model = NSigmaWireModel::fit(charlib, lib);
+
+  int bits = 12;
+  GateNetlist netlist = generate_array_multiplier(bits, lib);
+  while (netlist.num_cells() < 1000 && bits < 64) {
+    netlist = generate_array_multiplier(++bits, lib);
+  }
+  const ParasiticDb parasitics = generate_parasitics(netlist, tech);
+  std::cerr << "[netmc-scaling] design MUL" << bits << ": "
+            << netlist.num_cells() << " cells, machine has "
+            << default_threads() << " hardware lane(s)\n";
+
+  const NetlistMonteCarlo mc(model, wire_model, tech);
+  constexpr int kSamples = 512;
+  auto timed = [&](unsigned threads, std::size_t grain,
+                   NetlistMonteCarlo::Result* out) {
+    McConfig cfg;
+    cfg.samples = kSamples;
+    cfg.seed = 4242;
+    cfg.threads = threads;
+    cfg.exec.grain = grain;
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = clock::now();
+      auto res = mc.run(netlist, parasitics, cfg);
+      best = std::min(best, std::chrono::duration<double>(
+                                clock::now() - t0).count());
+      if (out) *out = std::move(res);
+    }
+    return best;
+  };
+
+  auto identical = [](const NetlistMonteCarlo::Result& got,
+                      const NetlistMonteCarlo::Result& ref) {
+    if (got.circuit_samples.size() != ref.circuit_samples.size() ||
+        got.nets.size() != ref.nets.size() || got.worst_po != ref.worst_po) {
+      return false;
+    }
+    if (!got.circuit_samples.empty() &&
+        std::memcmp(got.circuit_samples.data(), ref.circuit_samples.data(),
+                    got.circuit_samples.size() * sizeof(double)) != 0) {
+      return false;
+    }
+    for (std::size_t n = 0; n < ref.nets.size(); ++n) {
+      for (std::size_t e = 0; e < 2; ++e) {
+        if (std::memcmp(&got.nets[n][e].moments, &ref.nets[n][e].moments,
+                        sizeof(Moments)) != 0) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  NetlistMonteCarlo::Result ref;
+  const double serial_s = timed(1, 0, &ref);
+
+  std::ofstream json(json_path);
+  json << "{\n  \"design\": \"" << netlist.name() << "\",\n"
+       << "  \"cells\": " << netlist.num_cells() << ",\n"
+       << "  \"samples\": " << kSamples << ",\n"
+       << "  \"accum_blocks\": " << NetlistMonteCarlo::kAccumBlocks << ",\n"
+       << "  \"hardware_threads\": " << default_threads() << ",\n"
+       << "  \"serial_seconds\": " << serial_s << ",\n"
+       << "  \"runs\": [";
+  bool first = true;
+  bool all_identical = true;
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    NetlistMonteCarlo::Result got;
+    const double secs = timed(threads, 0, &got);
+    const bool same = identical(got, ref);
+    all_identical = all_identical && same;
+    json << (first ? "" : ",") << "\n    {\"threads\": " << threads
+         << ", \"seconds\": " << secs
+         << ", \"speedup\": " << serial_s / secs
+         << ", \"bit_identical\": " << (same ? "true" : "false") << "}";
+    first = false;
+    std::cerr << "[netmc-scaling] threads=" << threads << "  " << secs * 1e3
+              << " ms  speedup=" << serial_s / secs
+              << (same ? "" : "  MISMATCH") << "\n";
+  }
+  json << "\n  ],\n  \"grain_sweep\": [";
+  first = true;
+  for (const std::size_t grain : {1u, 2u, 4u, 8u}) {
+    NetlistMonteCarlo::Result got;
+    const double secs = timed(4, grain, &got);
+    const bool same = identical(got, ref);
+    all_identical = all_identical && same;
+    json << (first ? "" : ",") << "\n    {\"grain\": " << grain
+         << ", \"threads\": 4, \"seconds\": " << secs
+         << ", \"bit_identical\": " << (same ? "true" : "false") << "}";
+    first = false;
+    std::cerr << "[netmc-scaling] grain=" << grain << " threads=4  "
+              << secs * 1e3 << " ms"
+              << (same ? "" : "  MISMATCH") << "\n";
+  }
+  json << "\n  ]\n}\n";
+  std::cerr << "[netmc-scaling] wrote " << json_path << "\n";
+  if (!all_identical) {
+    std::cerr << "[netmc-scaling] ERROR: sharded result diverged from "
+                 "serial reference\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace nsdc
 
 int main(int argc, char** argv) {
   bool sta_scaling = true;
+  bool netmc_scaling = true;
   std::string json_path = "sta_parallel_perf.json";
+  std::string netmc_json_path = "netmc_parallel_perf.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--no_sta_scaling") == 0) {
       sta_scaling = false;
       argv[i--] = argv[--argc];  // hide from google-benchmark, re-examine slot
+    } else if (std::strcmp(argv[i], "--no_netmc_scaling") == 0) {
+      netmc_scaling = false;
+      argv[i--] = argv[--argc];
     } else if (std::strncmp(argv[i], "--sta_json=", 11) == 0) {
       json_path = argv[i] + 11;
+      argv[i--] = argv[--argc];
+    } else if (std::strncmp(argv[i], "--netmc_json=", 13) == 0) {
+      netmc_json_path = argv[i] + 13;
       argv[i--] = argv[--argc];
     }
   }
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
-  return sta_scaling ? nsdc::run_sta_scaling(json_path) : 0;
+  int rc = 0;
+  if (sta_scaling) rc |= nsdc::run_sta_scaling(json_path);
+  if (netmc_scaling) rc |= nsdc::run_netmc_scaling(netmc_json_path);
+  return rc;
 }

@@ -13,6 +13,8 @@ done
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# bench_micro_perf regenerates sta_parallel_perf.json and
+# netmc_parallel_perf.json in the working directory as a side effect.
 {
   for b in build/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue

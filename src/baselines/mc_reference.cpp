@@ -11,7 +11,7 @@
 namespace nsdc {
 
 PathMcResult PathMonteCarlo::run(const PathDescription& path,
-                                 const PathMcConfig& config) const {
+                                 const McConfig& config) const {
   const auto t0 = std::chrono::steady_clock::now();
   PathMcResult out;
   const std::size_t n_stages = path.stages.size();

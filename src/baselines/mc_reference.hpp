@@ -11,6 +11,7 @@
 #include <array>
 #include <vector>
 
+#include "core/mcconfig.hpp"
 #include "core/path.hpp"
 #include "pdk/tech.hpp"
 #include "stats/moments.hpp"
@@ -18,15 +19,9 @@
 
 namespace nsdc {
 
-struct PathMcConfig {
-  int samples = 1000;
-  std::uint64_t seed = 777;
-  /// Worker lanes (0 = process default, see default_threads()); per-sample
-  /// RNG forks keep results bit-identical for any thread count.
-  unsigned threads = 0;
-  /// Pool to run on; `threads` above overrides its lane count when set.
-  ExecContext exec{};
-};
+/// Deprecated alias: PathMonteCarlo and NetlistMonteCarlo share one
+/// McConfig (core/mcconfig.hpp). Use McConfig in new code.
+using PathMcConfig = McConfig;
 
 struct PathMcResult {
   std::vector<double> samples;  ///< total path delays (s)
@@ -45,7 +40,7 @@ class PathMonteCarlo {
   explicit PathMonteCarlo(const TechParams& tech) : tech_(tech) {}
 
   PathMcResult run(const PathDescription& path,
-                   const PathMcConfig& config) const;
+                   const McConfig& config) const;
 
  private:
   TechParams tech_;

@@ -1,0 +1,29 @@
+#pragma once
+// Shared Monte-Carlo execution configuration.
+//
+// Every MC engine (the stage-cascaded PathMonteCarlo golden reference and
+// the whole-netlist NetlistMonteCarlo) shards samples over the same
+// pool with the same counter-based per-sample RNG forks, so they share one
+// config instead of growing per-engine copies: sample count, base seed,
+// and the execution policy (pool + lane count).
+
+#include <cstdint>
+
+#include "util/exec.hpp"
+
+namespace nsdc {
+
+struct McConfig {
+  int samples = 1000;
+  std::uint64_t seed = 777;
+  /// Worker lanes (0 = process default, see default_threads()); per-sample
+  /// RNG forks keep results bit-identical for any thread count.
+  unsigned threads = 0;
+  /// Pool to run on; `threads` above overrides its lane count when set.
+  ExecContext exec{};
+
+  /// The execution context this config resolves to.
+  ExecContext resolved_exec() const { return exec.with_threads(threads); }
+};
+
+}  // namespace nsdc

@@ -1,0 +1,254 @@
+#include "sta/netmc.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <string>
+
+#include "sta/annotate.hpp"
+#include "stats/quantiles.hpp"
+#include "util/rng.hpp"
+
+namespace nsdc {
+
+namespace {
+
+/// One fanin timing arc of a (cell, output-edge) pair, flattened from the
+/// netlist + nominal pre-pass into the plain numbers the sampling kernel
+/// needs: operating-condition moments, nominal Elmore, and the Eq. 7 wire
+/// variability. Built once; read-only across every sample and shard.
+struct McArc {
+  std::size_t src_slot = 0;  ///< fanin net * 2 + input edge
+  int wire_z = -1;           ///< fanin net index for the wire draw, -1 = none
+  double mu = 0.0;
+  double sigma = 0.0;
+  /// Cornish-Fisher shaping coefficients (0 when moment_shaping is off):
+  /// x = z + g6*(z^2-1) + k24*(z^3-3z) - g36*(2z^3-5z).
+  double g6 = 0.0;
+  double k24 = 0.0;
+  double g36 = 0.0;
+  double elmore = 0.0;
+  double xw = 0.0;
+};
+
+/// One (cell, output-edge) propagation step in levelized order.
+struct McTask {
+  std::size_t out_slot = 0;
+  std::size_t cell = 0;       ///< instance index, for the local cell draw
+  std::uint32_t first_arc = 0;
+  std::uint32_t num_arcs = 0;
+};
+
+}  // namespace
+
+NetlistMonteCarlo::Result NetlistMonteCarlo::run(
+    const GateNetlist& netlist, const ParasiticDb& parasitics,
+    const McConfig& config) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  Result out;
+  const std::size_t n_nets = netlist.num_nets();
+  const std::size_t n_cells = netlist.num_cells();
+  out.nets.assign(n_nets, {});
+  if (config.samples <= 0) return out;
+  const auto n_samples = static_cast<std::size_t>(config.samples);
+
+  // Nominal pre-pass: slews, annotated loads/trees, reachability. Slews are
+  // frozen at their nominal values for every sample (the standard
+  // block-based SSTA simplification, see DESIGN.md), which is what lets the
+  // per-arc moments be precomputed outside the sample loop.
+  const StaEngine engine(cell_model_, tech_, options_.sta);
+  const StaEngine::Result nom = engine.run(netlist, parasitics);
+
+  // Flatten the timing graph into levelized (cell, edge) tasks over plain
+  // arc records. Levelized order guarantees fanin slots are written before
+  // they are read; within one sample propagation is serial, so no
+  // intra-sample barriers are needed.
+  const double scale = std::max(options_.variation_scale, 0.0);
+  std::vector<McArc> arcs;
+  std::vector<McTask> tasks;
+  arcs.reserve(2 * n_cells * 2);
+  tasks.reserve(2 * n_cells);
+  for (const auto& level : netlist.levelization().levels) {
+    for (int c : level) {
+      const CellInst& inst = netlist.cell(c);
+      const auto outn = static_cast<std::size_t>(inst.out_net);
+      if (!nom.nets[outn].reachable) continue;
+      const double load = nom.net_load[outn];
+      const bool inverting = inst.type->inverting();
+      for (int edge = 0; edge < 2; ++edge) {
+        const bool out_rising = edge == 0;
+        const bool in_rising = inverting ? !out_rising : out_rising;
+        const int in_edge = in_rising ? 0 : 1;
+        McTask task;
+        task.out_slot = outn * 2 + static_cast<std::size_t>(edge);
+        task.cell = static_cast<std::size_t>(c);
+        task.first_arc = static_cast<std::uint32_t>(arcs.size());
+        for (std::size_t pin = 0; pin < inst.fanin_nets.size(); ++pin) {
+          const auto fan = static_cast<std::size_t>(inst.fanin_nets[pin]);
+          if (!nom.nets[fan].reachable) continue;
+          McArc a;
+          a.src_slot = fan * 2 + static_cast<std::size_t>(in_edge);
+          const Moments m = cell_model_.moments(
+              inst.type->name(), static_cast<int>(pin), in_rising,
+              nom.nets[fan].slew[static_cast<std::size_t>(in_edge)], load);
+          a.mu = m.mu;
+          a.sigma = m.sigma * scale;
+          if (options_.moment_shaping) {
+            a.g6 = m.gamma / 6.0;
+            a.k24 = m.kappa / 24.0;
+            a.g36 = m.gamma * m.gamma / 36.0;
+          }
+          const RcTree& tree = nom.annotated[fan];
+          if (tree.num_nodes() > 1) {
+            a.elmore = tree.elmore(
+                tree.sink_node(sink_pin_name(inst, static_cast<int>(pin))));
+            const int drv = netlist.net(static_cast<int>(fan)).driver_cell;
+            const std::string drv_name =
+                drv >= 0 ? netlist.cell(drv).type->name() : "INVx4";
+            a.xw = wire_model_.xw(drv_name, inst.type->name()) * scale;
+            a.wire_z = static_cast<int>(fan);
+          }
+          arcs.push_back(a);
+          ++task.num_arcs;
+        }
+        if (task.num_arcs > 0) tasks.push_back(task);
+      }
+    }
+  }
+
+  // Reachable primary outputs, ascending net id.
+  std::vector<int> po_nets = netlist.primary_outputs();
+  std::erase_if(po_nets, [&](int po) {
+    return !nom.nets[static_cast<std::size_t>(po)].reachable;
+  });
+  std::sort(po_nets.begin(), po_nets.end());
+  const std::size_t n_pos = po_nets.size();
+  out.po_nets = po_nets;
+  out.po_samples.assign(n_pos, std::vector<double>(n_samples, 0.0));
+  out.circuit_samples.assign(n_samples, 0.0);
+
+  // Fixed accumulation blocks: boundaries depend only on the sample count,
+  // every block is processed serially by exactly one chunk, and the final
+  // merge walks blocks in index order — the whole reduction tree is
+  // invariant to thread count and grain, so statistics are byte-identical
+  // for any scheduling. kAccumBlocks * n_nets * 2 accumulators bound the
+  // streaming memory at O(nets).
+  const std::size_t n_blocks = std::min(kAccumBlocks, n_samples);
+  const std::size_t per_block = (n_samples + n_blocks - 1) / n_blocks;
+  std::vector<std::array<MomentAccumulator, 2>> block_acc(n_blocks * n_nets);
+
+  const double rho = std::clamp(options_.die_to_die_share, 0.0, 1.0);
+  const double w_g = std::sqrt(rho);
+  const double w_l = std::sqrt(1.0 - rho);
+  const Rng base(config.seed);
+
+  out.shards = config.resolved_exec().parallel_for_chunked(
+      n_blocks, options_.grain, [&](std::size_t b_begin, std::size_t b_end) {
+        // Chunk-local scratch, reused across the chunk's blocks/samples.
+        // PI slots stay 0 (their arrival) for the whole chunk; every other
+        // slot that is ever read is written by an earlier task first.
+        std::vector<double> arr(2 * n_nets, 0.0);
+        std::vector<double> z_cell(n_cells, 0.0);
+        std::vector<double> z_wire(n_nets, 0.0);
+        for (std::size_t b = b_begin; b < b_end; ++b) {
+          auto* acc = &block_acc[b * n_nets];
+          const std::size_t s_begin = b * per_block;
+          const std::size_t s_end = std::min(n_samples, s_begin + per_block);
+          for (std::size_t s = s_begin; s < s_end; ++s) {
+            // Counter-based fork: the sample's stream depends only on
+            // (seed, sample index), never on the executing thread.
+            Rng rng = base.fork("s" + std::to_string(s));
+            const double zg_cell = rng.normal();
+            const double zg_wire = rng.normal();
+            for (std::size_t c = 0; c < n_cells; ++c) z_cell[c] = rng.normal();
+            for (std::size_t n = 0; n < n_nets; ++n) z_wire[n] = rng.normal();
+
+            for (const McTask& t : tasks) {
+              // One local draw per instance, shared by its edges and arcs.
+              const double zc = w_g * zg_cell + w_l * z_cell[t.cell];
+              const double z2 = zc * zc;
+              double best = -1.0;
+              const McArc* arc = &arcs[t.first_arc];
+              for (std::uint32_t i = 0; i < t.num_arcs; ++i, ++arc) {
+                const double x = zc + arc->g6 * (z2 - 1.0) +
+                                 arc->k24 * zc * (z2 - 3.0) -
+                                 arc->g36 * zc * (2.0 * z2 - 5.0);
+                double cell_d = arc->mu + arc->sigma * x;
+                if (cell_d < 0.0) cell_d = 0.0;
+                double wire_d = arc->elmore;
+                if (arc->wire_z >= 0) {
+                  const double zw =
+                      w_g * zg_wire +
+                      w_l * z_wire[static_cast<std::size_t>(arc->wire_z)];
+                  wire_d = arc->elmore * (1.0 + arc->xw * zw);
+                  // Same guard as the wire model's quantile_at: the left
+                  // tail never undershoots 5% of Elmore.
+                  const double floor_w = 0.05 * arc->elmore;
+                  if (wire_d < floor_w) wire_d = floor_w;
+                }
+                const double cand = arr[arc->src_slot] + wire_d + cell_d;
+                if (cand > best) best = cand;
+              }
+              arr[t.out_slot] = best;
+            }
+
+            for (std::size_t n = 0; n < n_nets; ++n) {
+              if (!nom.nets[n].reachable) continue;
+              acc[n][0].add(arr[2 * n]);
+              acc[n][1].add(arr[2 * n + 1]);
+            }
+            double circuit = 0.0;
+            for (std::size_t p = 0; p < n_pos; ++p) {
+              const auto po = static_cast<std::size_t>(po_nets[p]);
+              const double worst = std::max(arr[2 * po], arr[2 * po + 1]);
+              out.po_samples[p][s] = worst;
+              if (worst > circuit) circuit = worst;
+            }
+            out.circuit_samples[s] = circuit;
+          }
+        }
+      });
+
+  // Deterministic merge: blocks in index order.
+  std::vector<std::array<MomentAccumulator, 2>> merged(n_nets);
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    for (std::size_t n = 0; n < n_nets; ++n) {
+      merged[n][0].merge(block_acc[b * n_nets + n][0]);
+      merged[n][1].merge(block_acc[b * n_nets + n][1]);
+    }
+  }
+  for (std::size_t n = 0; n < n_nets; ++n) {
+    for (std::size_t e = 0; e < 2; ++e) {
+      out.nets[n][e].count = merged[n][e].count();
+      if (merged[n][e].count() > 0) {
+        out.nets[n][e].moments = merged[n][e].moments();
+      }
+    }
+  }
+
+  // Endpoint distributions from the retained sample vectors.
+  out.po_moments.resize(n_pos);
+  out.po_quantiles.resize(n_pos);
+  double worst_mean = -1.0;
+  for (std::size_t p = 0; p < n_pos; ++p) {
+    out.po_moments[p] = compute_moments(out.po_samples[p]);
+    out.po_quantiles[p] = sigma_quantiles_smoothed(out.po_samples[p]);
+    if (out.po_moments[p].mu > worst_mean) {
+      worst_mean = out.po_moments[p].mu;
+      out.worst_po = po_nets[p];
+      out.worst_po_moments = out.po_moments[p];
+      out.worst_po_quantiles = out.po_quantiles[p];
+    }
+  }
+  if (!out.circuit_samples.empty()) {
+    out.circuit_moments = compute_moments(out.circuit_samples);
+    out.circuit_quantiles = sigma_quantiles_smoothed(out.circuit_samples);
+  }
+
+  out.runtime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return out;
+}
+
+}  // namespace nsdc

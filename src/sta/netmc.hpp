@@ -1,0 +1,122 @@
+#pragma once
+// Whole-netlist Monte-Carlo SSTA — the circuit-level accuracy yardstick
+// (Table-III-scale comparisons) the path-based golden reference cannot
+// provide: PathMonteCarlo simulates one extracted path at a time, while
+// this engine samples the complete timing graph, so every PO's arrival
+// distribution (and the max over all of them) is observed jointly.
+//
+// Each sample draws one die-to-die corner (a shared standard-normal per
+// domain: cell delays, wire delays) plus per-instance and per-net local
+// variation, then runs a full levelized mean-delay propagation over the
+// GateNetlist + ParasiticDb. Cell delays are sampled from the calibrated
+// N-sigma moment surfaces (mu/sigma with an optional Cornish-Fisher
+// gamma/kappa shaping); wire delays scale Elmore by the Eq. 7 variability
+// X_w. The same `stage_correlation` variance split as StatisticalSta makes
+// this the exact sampling counterpart of the analytic propagator: the two
+// should agree at the mean/sigma level, and the residual is Clark's
+// approximation error.
+//
+// Sharding/determinism contract (same as PathMonteCarlo): samples shard
+// across the persistent ThreadPool with counter-based per-sample RNG
+// forks; per-net statistics stream into Pebay/Welford accumulators grouped
+// into kAccumBlocks fixed sample blocks whose boundaries depend only on
+// the sample count, and the blocks merge in index order — so results are
+// byte-identical at any thread count and any scheduling grain. Memory
+// stays O(kAccumBlocks * nets) for the streaming statistics plus
+// O(POs * samples) for the retained endpoint sample vectors (the empirical
+// -3s..+3s quantiles fall out of those).
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "core/mcconfig.hpp"
+#include "core/nsigma_cell.hpp"
+#include "core/nsigma_wire.hpp"
+#include "netlist/netlist.hpp"
+#include "parasitics/spef.hpp"
+#include "sta/engine.hpp"
+#include "stats/moments.hpp"
+
+namespace nsdc {
+
+/// Model/scheduling knobs of the netlist MC (execution policy — samples,
+/// seed, pool, lanes — comes from the shared McConfig instead).
+struct NetMcOptions {
+  /// Die-to-die share of every delay's variance (StatisticalSta's
+  /// stage_correlation): z = sqrt(rho)*z_global + sqrt(1-rho)*z_local.
+  double die_to_die_share = 0.5;
+  /// Multiplies every sigma (cell and wire). 0 collapses the sampler onto
+  /// the nominal mean engine — the hook for the mean-sanity tests.
+  double variation_scale = 1.0;
+  /// Shape cell-delay draws with the calibrated gamma/kappa via a
+  /// Cornish-Fisher transform; false = Gaussian cell delays.
+  bool moment_shaping = true;
+  /// Engine policy for the nominal pre-pass (slews, loads, levelization).
+  StaConfig sta{};
+  /// Scheduling grain in accumulation blocks per chunk, overridable via
+  /// ExecContext::grain / the NSDC_GRAIN env var. Default 1 (finest): the
+  /// netmc_parallel_perf.json sweep shows per-block work is coarse enough
+  /// that load balance beats scheduling overhead at every design size.
+  std::size_t grain = 1;
+};
+
+class NetlistMonteCarlo {
+ public:
+  /// Samples are grouped into this many fixed accumulation blocks (fewer
+  /// when samples < kAccumBlocks). Block boundaries depend only on the
+  /// sample count, so the streaming-moment merge tree — and therefore the
+  /// result — is invariant to thread count and grain. Also the upper bound
+  /// on shard parallelism.
+  static constexpr std::size_t kAccumBlocks = 32;
+
+  NetlistMonteCarlo(const NSigmaCellModel& cell_model,
+                    const NSigmaWireModel& wire_model, const TechParams& tech)
+      : cell_model_(cell_model), wire_model_(wire_model), tech_(tech) {}
+
+  NetlistMonteCarlo(const NSigmaCellModel& cell_model,
+                    const NSigmaWireModel& wire_model, const TechParams& tech,
+                    NetMcOptions options)
+      : cell_model_(cell_model),
+        wire_model_(wire_model),
+        tech_(tech),
+        options_(options) {}
+
+  /// Streaming arrival statistics of one net edge (0 = rise at the net).
+  struct EdgeStats {
+    Moments moments;
+    std::size_t count = 0;  ///< samples accumulated (0 = unreachable)
+  };
+
+  struct Result {
+    /// Per net, per edge: streamed arrival moments. Unreachable nets keep
+    /// count == 0.
+    std::vector<std::array<EdgeStats, 2>> nets;
+    /// Reachable primary-output net ids, ascending. The po_* vectors below
+    /// are indexed in parallel with this list.
+    std::vector<int> po_nets;
+    std::vector<std::vector<double>> po_samples;  ///< worst-edge arrival
+    std::vector<Moments> po_moments;
+    std::vector<std::array<double, 7>> po_quantiles;  ///< empirical -3s..+3s
+    /// Per sample, the max arrival over every PO — the circuit delay.
+    std::vector<double> circuit_samples;
+    Moments circuit_moments;
+    std::array<double, 7> circuit_quantiles{};
+    int worst_po = -1;  ///< net id of the PO with the largest mean arrival
+    Moments worst_po_moments;
+    std::array<double, 7> worst_po_quantiles{};
+    unsigned shards = 0;  ///< chunks the sample blocks were scheduled into
+    double runtime_seconds = 0.0;
+  };
+
+  Result run(const GateNetlist& netlist, const ParasiticDb& parasitics,
+             const McConfig& config) const;
+
+ private:
+  const NSigmaCellModel& cell_model_;
+  const NSigmaWireModel& wire_model_;
+  TechParams tech_;
+  NetMcOptions options_{};
+};
+
+}  // namespace nsdc

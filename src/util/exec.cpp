@@ -1,11 +1,21 @@
 #include "util/exec.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace nsdc {
 
 unsigned ExecContext::resolved_threads() const {
   return threads != 0 ? threads : default_threads();
+}
+
+std::size_t ExecContext::resolved_grain(std::size_t call_grain) const {
+  if (grain != 0) return grain;
+  if (const char* v = std::getenv("NSDC_GRAIN")) {
+    const long n = std::atol(v);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  return call_grain;
 }
 
 ExecContext ExecContext::with_threads(unsigned override_threads) const {
@@ -31,13 +41,14 @@ unsigned ExecContext::parallel_for_chunked(
     std::size_t count, std::size_t grain,
     const std::function<void(std::size_t, std::size_t)>& fn) const {
   if (count == 0) return 0;
+  const std::size_t g = resolved_grain(grain);
   if (pool == nullptr) {
-    return nsdc::parallel_for_chunked(count, grain, fn, resolved_threads());
+    return nsdc::parallel_for_chunked(count, g, fn, resolved_threads());
   }
   const std::size_t n =
       std::min<std::size_t>(std::max(1u, resolved_threads()), count);
   const std::size_t per_lane = (count + n - 1) / n;
-  const std::size_t block = std::max(std::max<std::size_t>(1, grain), per_lane);
+  const std::size_t block = std::max(std::max<std::size_t>(1, g), per_lane);
   return pool->run_blocks(count, block, fn);
 }
 

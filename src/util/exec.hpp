@@ -18,9 +18,21 @@ struct ExecContext {
   ThreadPool* pool = nullptr;
   /// Lane count for partitioning; 0 means default_threads().
   unsigned threads = 0;
+  /// Grain override for parallel_for_chunked: when nonzero it replaces the
+  /// caller's per-call grain. 0 defers to the NSDC_GRAIN environment
+  /// variable, then to the per-call default. Grain affects scheduling
+  /// only — callers that accumulate per chunk must derive their reduction
+  /// structure from the index space, never from chunk boundaries, so
+  /// results stay bit-identical at every grain setting.
+  std::size_t grain = 0;
 
   /// The lane count this context resolves to (>= 1).
   unsigned resolved_threads() const;
+
+  /// The effective grain for a chunked loop whose per-call default is
+  /// `call_grain`: the explicit `grain` field wins, then NSDC_GRAIN (read
+  /// per call so tests and sweeps can vary it), then `call_grain`.
+  std::size_t resolved_grain(std::size_t call_grain) const;
 
   /// This context with its lane count replaced when `override_threads` is
   /// nonzero — the idiom for configs that keep a legacy `threads` field.
@@ -30,7 +42,8 @@ struct ExecContext {
   unsigned parallel_for(std::size_t count,
                         const std::function<void(std::size_t)>& fn) const;
 
-  /// Chunked variant with a minimum block size of `grain` indices.
+  /// Chunked variant with a minimum block size of resolved_grain(grain)
+  /// indices (see the `grain` field for the override order).
   unsigned parallel_for_chunked(
       std::size_t count, std::size_t grain,
       const std::function<void(std::size_t, std::size_t)>& fn) const;

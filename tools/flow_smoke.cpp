@@ -1,11 +1,14 @@
 // End-to-end plumbing check: mini characterization -> model fits -> STA ->
 // N-sigma path quantiles vs stage-cascaded MC on a small design.
 //
-// Usage: flow_smoke [--threads N] [--cells N] [--lint | --lint-strict]
+// Usage: flow_smoke [--threads N] [--cells N] [--netmc N]
+//                   [--lint | --lint-strict]
 //   --threads N   worker lanes for every parallel region (characterization
-//                 MC, STA, path MC). Defaults to the NSDC_THREADS env var,
-//                 then hardware concurrency.
+//                 MC, STA, path MC, netlist MC). Defaults to the
+//                 NSDC_THREADS env var, then hardware concurrency.
 //   --cells N     target cell count of the generated smoke design.
+//   --netmc N     after STA, run an N-sample whole-netlist Monte Carlo and
+//                 print the worst-PO moments and empirical quantiles.
 //   --lint        run the nsdc_lint rules on the smoke design before timing
 //                 and print the report.
 //   --lint-strict same, but exit with the lint status when errors are found
@@ -20,6 +23,7 @@
 #include "lint/lint.hpp"
 #include "netlist/designgen.hpp"
 #include "sta/annotate.hpp"
+#include "sta/netmc.hpp"
 #include "sta/timer.hpp"
 #include "util/log.hpp"
 #include "util/threading.hpp"
@@ -29,19 +33,22 @@ using namespace nsdc;
 
 int main(int argc, char** argv) {
   int target_cells = 120;
+  int netmc_samples = 0;
   bool lint = false, lint_strict = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       set_default_threads(static_cast<unsigned>(std::atoi(argv[++i])));
     } else if (std::strcmp(argv[i], "--cells") == 0 && i + 1 < argc) {
       target_cells = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--netmc") == 0 && i + 1 < argc) {
+      netmc_samples = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--lint") == 0) {
       lint = true;
     } else if (std::strcmp(argv[i], "--lint-strict") == 0) {
       lint = lint_strict = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--threads N] [--cells N] "
+                   "usage: %s [--threads N] [--cells N] [--netmc N] "
                    "[--lint | --lint-strict]\n",
                    argv[0]);
       return 2;
@@ -111,6 +118,31 @@ int main(int argc, char** argv) {
   CornerSta pt(timer.cell_model());
   const auto ptq = pt.path_quantiles(analysis.critical_path);
   std::printf("corner-STA +3s: %.1f ps\n", to_ps(ptq[6]));
+
+  if (netmc_samples > 0) {
+    const NetlistMonteCarlo netmc(timer.cell_model(), timer.wire_model(),
+                                  tech);
+    McConfig nmc;
+    nmc.samples = netmc_samples;
+    const auto nr = netmc.run(nl, spef, nmc);
+    std::printf("netlist MC: %d samples over %zu POs in %u shard(s), "
+                "runtime %.2fs\n",
+                netmc_samples, nr.po_nets.size(), nr.shards,
+                nr.runtime_seconds);
+    if (nr.worst_po >= 0) {
+      std::printf("worst PO %s: mu %.1f ps sigma %.2f ps gamma %.2f "
+                  "kappa %.2f\n",
+                  nl.net(nr.worst_po).name.c_str(),
+                  to_ps(nr.worst_po_moments.mu),
+                  to_ps(nr.worst_po_moments.sigma), nr.worst_po_moments.gamma,
+                  nr.worst_po_moments.kappa);
+      std::printf("worst PO quantiles (ps):");
+      for (double q : nr.worst_po_quantiles) std::printf(" %.1f", to_ps(q));
+      std::printf("\ncircuit max quantiles (ps):");
+      for (double q : nr.circuit_quantiles) std::printf(" %.1f", to_ps(q));
+      std::printf("\n");
+    }
+  }
 
   PathMcConfig mcc;
   mcc.samples = 250;

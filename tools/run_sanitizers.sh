@@ -9,7 +9,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-REGEX="Threading|ThreadPool|Sta|Netlist|GoldenSta|Statistical|Lint|Spef|Bench"
+REGEX="Threading|ThreadPool|Sta|NetMc|Netlist|GoldenSta|Statistical|Lint|Spef|Bench"
 SANS=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -20,8 +20,8 @@ while [[ $# -gt 0 ]]; do
 done
 [[ ${#SANS[@]} -gt 0 ]] || SANS=(tsan asan ubsan)
 
-TARGETS=(test_util test_threading test_netlist test_sta test_statprop
-         test_golden_sta test_lint test_spef test_benchio)
+TARGETS=(test_util test_threading test_netlist test_sta test_netmc
+         test_statprop test_golden_sta test_lint test_spef test_benchio)
 
 for SAN in "${SANS[@]}"; do
   echo "=== ${SAN} ==="
