@@ -2,9 +2,11 @@
 // device evaluation, transient stepping, Elmore extraction and model
 // evaluation — the terms behind the Table III runtime columns. The custom
 // main() additionally runs serial-vs-parallel scaling measurements for the
-// levelized STA engine (sta_parallel_perf.json, skip with --no_sta_scaling)
-// and the sharded netlist Monte Carlo including a grain sweep
-// (netmc_parallel_perf.json, skip with --no_netmc_scaling).
+// levelized STA engine (sta_parallel_perf.json, skip with --no_sta_scaling),
+// the sharded netlist Monte Carlo including a grain sweep
+// (netmc_parallel_perf.json, skip with --no_netmc_scaling), and the
+// per-edit cost of the incremental STA engine across fanout-cone sizes
+// (incremental_sta_perf.json, skip with --no_incremental_scaling).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -21,6 +23,7 @@
 #include "core/nsigma_wire.hpp"
 #include "sta/annotate.hpp"
 #include "sta/engine.hpp"
+#include "sta/incremental.hpp"
 #include "sta/netmc.hpp"
 #include "stats/regression.hpp"
 #include "synthetic_charlib.hpp"
@@ -325,14 +328,130 @@ int run_netmc_scaling(const std::string& json_path) {
   return 0;
 }
 
+// --------------------------------------------- incremental STA cost -----
+
+/// Per-edit cost of the incremental engine versus a full re-run, across
+/// cone sizes. Retypes one cell per sampled level of a ≥5k-cell design:
+/// a cell near the primary inputs has a large fanout cone (expensive
+/// update), one near the outputs a small cone (cheap update). Each timed
+/// update is checked bit-identical to a fresh full run; the JSON record
+/// lands in incremental_sta_perf.json.
+int run_incremental_scaling(const std::string& json_path) {
+  using clock = std::chrono::steady_clock;
+  const TechParams tech = TechParams::nominal28();
+  const CellLibrary lib = CellLibrary::standard();
+  const CharLib charlib = testfix::make_charlib();
+  const NSigmaCellModel model = NSigmaCellModel::fit(charlib);
+
+  int bits = 28;
+  GateNetlist netlist = generate_array_multiplier(bits, lib);
+  while (netlist.num_cells() < 5000 && bits < 64) {
+    netlist = generate_array_multiplier(++bits, lib);
+  }
+  const ParasiticDb parasitics = generate_parasitics(netlist, tech);
+  const std::size_t num_levels = netlist.levelization().levels.size();
+  std::cerr << "[inc-scaling] design MUL" << bits << ": "
+            << netlist.num_cells() << " cells, " << num_levels
+            << " levels\n";
+
+  // Serial on both engines: the comparison is algorithmic work (cone vs
+  // whole design), not lane scaling — that is run_sta_scaling's job.
+  StaConfig cfg;
+  cfg.exec.threads = 1;
+  cfg.min_parallel_cells = netlist.num_cells() + 1;
+  const StaEngine full_engine(model, tech, cfg);
+
+  double full_s = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = clock::now();
+    const auto res = full_engine.run(netlist, parasitics);
+    full_s = std::min(full_s,
+                      std::chrono::duration<double>(clock::now() - t0).count());
+  }
+
+  IncrementalSta inc(model, tech, cfg);
+  inc.bind(netlist, parasitics);
+
+  auto identical = [](const StaEngine::Result& got,
+                      const StaEngine::Result& want) {
+    if (got.nets.size() != want.nets.size() ||
+        got.max_arrival != want.max_arrival) {
+      return false;
+    }
+    for (std::size_t n = 0; n < want.nets.size(); ++n) {
+      if (std::memcmp(&got.nets[n].arrival, &want.nets[n].arrival,
+                      sizeof(want.nets[n].arrival)) != 0 ||
+          std::memcmp(&got.nets[n].slew, &want.nets[n].slew,
+                      sizeof(want.nets[n].slew)) != 0) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  std::ofstream json(json_path);
+  json << "{\n  \"design\": \"" << netlist.name() << "\",\n"
+       << "  \"cells\": " << netlist.num_cells() << ",\n"
+       << "  \"levels\": " << num_levels << ",\n"
+       << "  \"full_run_seconds\": " << full_s << ",\n"
+       << "  \"edits\": [";
+  bool first = true;
+  bool all_identical = true;
+  constexpr int kSampledLevels = 10;
+  for (int s = 0; s < kSampledLevels; ++s) {
+    const std::size_t level =
+        s * (num_levels - 1) / (kSampledLevels - 1);
+    const int cell = netlist.levelization().levels[level].front();
+    const CellType* orig = netlist.cell(cell).type;
+    const CellType& bigger = lib.by_func(orig->func(), orig->strength() * 2);
+
+    const auto t0 = clock::now();
+    netlist.set_cell_type(cell, bigger);
+    inc.update();
+    const double edit_s =
+        std::chrono::duration<double>(clock::now() - t0).count();
+    const auto stats = inc.last_stats();
+
+    // The incremental result after the retype must match a fresh full run
+    // of the edited netlist bit-for-bit.
+    const bool same =
+        identical(inc.result(), full_engine.run(netlist, parasitics));
+    all_identical = all_identical && same;
+
+    json << (first ? "" : ",") << "\n    {\"level\": " << level
+         << ", \"cone_cells\": " << stats.cells_recomputed
+         << ", \"seconds\": " << edit_s
+         << ", \"speedup_vs_full\": " << full_s / edit_s
+         << ", \"bit_identical\": " << (same ? "true" : "false") << "}";
+    first = false;
+    std::cerr << "[inc-scaling] level=" << level << "  cone="
+              << stats.cells_recomputed << "/" << netlist.num_cells()
+              << " cells  " << edit_s * 1e6 << " us  speedup="
+              << full_s / edit_s << (same ? "" : "  MISMATCH") << "\n";
+
+    netlist.set_cell_type(cell, *orig);  // roll back for the next sample
+    inc.update();
+  }
+  json << "\n  ]\n}\n";
+  std::cerr << "[inc-scaling] wrote " << json_path << "\n";
+  if (!all_identical) {
+    std::cerr << "[inc-scaling] ERROR: incremental result diverged from "
+                 "full re-run\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace nsdc
 
 int main(int argc, char** argv) {
   bool sta_scaling = true;
   bool netmc_scaling = true;
+  bool incremental_scaling = true;
   std::string json_path = "sta_parallel_perf.json";
   std::string netmc_json_path = "netmc_parallel_perf.json";
+  std::string incremental_json_path = "incremental_sta_perf.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--no_sta_scaling") == 0) {
       sta_scaling = false;
@@ -340,11 +459,17 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--no_netmc_scaling") == 0) {
       netmc_scaling = false;
       argv[i--] = argv[--argc];
+    } else if (std::strcmp(argv[i], "--no_incremental_scaling") == 0) {
+      incremental_scaling = false;
+      argv[i--] = argv[--argc];
     } else if (std::strncmp(argv[i], "--sta_json=", 11) == 0) {
       json_path = argv[i] + 11;
       argv[i--] = argv[--argc];
     } else if (std::strncmp(argv[i], "--netmc_json=", 13) == 0) {
       netmc_json_path = argv[i] + 13;
+      argv[i--] = argv[--argc];
+    } else if (std::strncmp(argv[i], "--incremental_json=", 19) == 0) {
+      incremental_json_path = argv[i] + 19;
       argv[i--] = argv[--argc];
     }
   }
@@ -354,5 +479,8 @@ int main(int argc, char** argv) {
   int rc = 0;
   if (sta_scaling) rc |= nsdc::run_sta_scaling(json_path);
   if (netmc_scaling) rc |= nsdc::run_netmc_scaling(netmc_json_path);
+  if (incremental_scaling) {
+    rc |= nsdc::run_incremental_scaling(incremental_json_path);
+  }
   return rc;
 }

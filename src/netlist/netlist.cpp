@@ -1,18 +1,42 @@
 #include "netlist/netlist.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
-#include <unordered_map>
 
 namespace nsdc {
 
-int GateNetlist::add_primary_input(const std::string& net_name) {
+void GateNetlist::record(NetlistEdit edit) {
+  journal_.push_back(edit);
+  ++generation_;
+}
+
+void GateNetlist::trim_edit_journal() {
+  journal_begin_ = generation_;
+  journal_.clear();
+}
+
+int GateNetlist::add_net_internal(const std::string& net_name) {
   Net n;
   n.name = net_name;
   nets_.push_back(std::move(n));
   const int idx = static_cast<int>(nets_.size()) - 1;
+  net_index_.emplace(net_name, idx);  // first creation wins on duplicates
+  return idx;
+}
+
+int GateNetlist::add_primary_input(const std::string& net_name) {
+  const int idx = add_net_internal(net_name);
   pi_nets_.push_back(idx);
-  levelization_.reset();
+  // Cell levels do not depend on PI nets, so the cached levelization (a
+  // cell-only structure) stays valid.
+  record({NetlistEdit::Kind::kAddPrimaryInput, -1, -1, -1, idx});
+  return idx;
+}
+
+int GateNetlist::add_net(const std::string& net_name) {
+  const int idx = add_net_internal(net_name);
+  record({NetlistEdit::Kind::kAddNet, -1, -1, -1, idx});
   return idx;
 }
 
@@ -29,11 +53,8 @@ int GateNetlist::add_cell(const std::string& inst_name, const CellType& type,
     }
   }
   const int cell_idx = static_cast<int>(cells_.size());
-  Net out;
-  out.name = out_net_name;
-  out.driver_cell = cell_idx;
-  nets_.push_back(std::move(out));
-  const int out_net = static_cast<int>(nets_.size()) - 1;
+  const int out_net = add_net_internal(out_net_name);
+  nets_[static_cast<std::size_t>(out_net)].driver_cell = cell_idx;
 
   CellInst inst;
   inst.name = inst_name;
@@ -46,12 +67,26 @@ int GateNetlist::add_cell(const std::string& inst_name, const CellType& type,
     nets_[static_cast<std::size_t>(fanin_nets[pin])].sinks.push_back(
         {cell_idx, static_cast<int>(pin)});
   }
-  levelization_.reset();
+  // Appending a cell extends the cached levelization in O(fanins): its
+  // level depends only on already-leveled drivers, and its fresh output
+  // net has no sinks yet, so no existing level can change. The new cell
+  // index is the largest, so push_back keeps buckets ascending.
+  if (levelization_) {
+    const int lv = computed_level(cell_idx);
+    levelization_->cell_level.push_back(lv);
+    if (static_cast<std::size_t>(lv) >= levelization_->levels.size()) {
+      levelization_->levels.resize(static_cast<std::size_t>(lv) + 1);
+    }
+    levelization_->levels[static_cast<std::size_t>(lv)].push_back(cell_idx);
+  }
+  record({NetlistEdit::Kind::kAddCell, cell_idx, -1, -1, out_net});
+  assert(net_links_ok(out_net));
   return cell_idx;
 }
 
 void GateNetlist::mark_primary_output(int net) {
   nets_.at(static_cast<std::size_t>(net)).is_primary_output = true;
+  record({NetlistEdit::Kind::kMarkPrimaryOutput, -1, -1, -1, net});
 }
 
 std::vector<int> GateNetlist::primary_outputs() const {
@@ -63,10 +98,8 @@ std::vector<int> GateNetlist::primary_outputs() const {
 }
 
 int GateNetlist::find_net(const std::string& net_name) const {
-  for (std::size_t i = 0; i < nets_.size(); ++i) {
-    if (nets_[i].name == net_name) return static_cast<int>(i);
-  }
-  return -1;
+  const auto it = net_index_.find(net_name);
+  return it == net_index_.end() ? -1 : it->second;
 }
 
 void GateNetlist::set_cell_type(int cell_idx, const CellType& type) {
@@ -76,6 +109,7 @@ void GateNetlist::set_cell_type(int cell_idx, const CellType& type) {
                                 inst.name);
   }
   inst.type = &type;
+  record({NetlistEdit::Kind::kSetCellType, cell_idx, -1, -1, -1});
 }
 
 void GateNetlist::rewire_fanin(int cell_idx, int pin, int new_net) {
@@ -88,6 +122,7 @@ void GateNetlist::rewire_fanin(int cell_idx, int pin, int new_net) {
     throw std::out_of_range("rewire_fanin: bad net for " + inst.name);
   }
   const int old_net = fanins[static_cast<std::size_t>(pin)];
+  if (old_net == new_net) return;  // keep sink order / caches untouched
   if (old_net >= 0) {
     auto& sinks = nets_[static_cast<std::size_t>(old_net)].sinks;
     std::erase_if(sinks, [&](const NetSink& s) {
@@ -98,7 +133,10 @@ void GateNetlist::rewire_fanin(int cell_idx, int pin, int new_net) {
   if (new_net >= 0) {
     nets_[static_cast<std::size_t>(new_net)].sinks.push_back({cell_idx, pin});
   }
-  levelization_.reset();
+  repair_levels({cell_idx});
+  record({NetlistEdit::Kind::kRewireFanin, cell_idx, pin, old_net, new_net});
+  assert(old_net < 0 || net_links_ok(old_net));
+  assert(new_net < 0 || net_links_ok(new_net));
 }
 
 void GateNetlist::set_cell_out_net(int cell_idx, int net) {
@@ -106,8 +144,85 @@ void GateNetlist::set_cell_out_net(int cell_idx, int net) {
   if (net < 0 || net >= static_cast<int>(nets_.size())) {
     throw std::out_of_range("set_cell_out_net: bad net for " + inst.name);
   }
+  const int old_net = inst.out_net;
+  if (old_net == net) return;
+  Net& target = nets_[static_cast<std::size_t>(net)];
+  if (target.driver_cell >= 0) {
+    throw std::invalid_argument(
+        "set_cell_out_net: net '" + target.name + "' is already driven by " +
+        cells_[static_cast<std::size_t>(target.driver_cell)].name);
+  }
+  if (std::find(pi_nets_.begin(), pi_nets_.end(), net) != pi_nets_.end()) {
+    throw std::invalid_argument("set_cell_out_net: net '" + target.name +
+                                "' is a primary input");
+  }
+  nets_[static_cast<std::size_t>(old_net)].driver_cell = -1;
+  target.driver_cell = cell_idx;
   inst.out_net = net;
+  // The cell's own level is unchanged (fanins untouched); the sinks of
+  // both nets gained/lost a driven fanin.
+  std::vector<int> seeds;
+  for (const auto& s : nets_[static_cast<std::size_t>(old_net)].sinks) {
+    seeds.push_back(s.cell);
+  }
+  for (const auto& s : target.sinks) seeds.push_back(s.cell);
+  repair_levels(seeds);
+  record({NetlistEdit::Kind::kSetCellOutNet, cell_idx, -1, old_net, net});
+  assert(net_links_ok(old_net));
+  assert(net_links_ok(net));
+}
+
+void GateNetlist::set_cell_out_net_raw(int cell_idx, int net) {
+  CellInst& inst = cells_.at(static_cast<std::size_t>(cell_idx));
+  if (net < 0 || net >= static_cast<int>(nets_.size())) {
+    throw std::out_of_range("set_cell_out_net_raw: bad net for " + inst.name);
+  }
+  inst.out_net = net;
+  record({NetlistEdit::Kind::kRawOutNetRebind, cell_idx, -1, -1, net});
+  // The graph is now deliberately inconsistent; drop the level cache
+  // rather than repairing over broken links.
   levelization_.reset();
+}
+
+bool GateNetlist::net_links_ok(int net) const {
+  const Net& n = nets_[static_cast<std::size_t>(net)];
+  if (n.driver_cell >= 0 &&
+      cells_[static_cast<std::size_t>(n.driver_cell)].out_net != net) {
+    return false;
+  }
+  for (const auto& s : n.sinks) {
+    if (s.cell < 0 || s.cell >= static_cast<int>(cells_.size())) return false;
+    const auto& fanins = cells_[static_cast<std::size_t>(s.cell)].fanin_nets;
+    if (s.pin < 0 || s.pin >= static_cast<int>(fanins.size())) return false;
+    if (fanins[static_cast<std::size_t>(s.pin)] != net) return false;
+  }
+  return true;
+}
+
+bool GateNetlist::invariants_ok() const {
+  for (std::size_t n = 0; n < nets_.size(); ++n) {
+    if (!net_links_ok(static_cast<int>(n))) return false;
+  }
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    const CellInst& inst = cells_[c];
+    if (inst.out_net < 0 || inst.out_net >= static_cast<int>(nets_.size()) ||
+        nets_[static_cast<std::size_t>(inst.out_net)].driver_cell !=
+            static_cast<int>(c)) {
+      return false;
+    }
+    for (std::size_t pin = 0; pin < inst.fanin_nets.size(); ++pin) {
+      const int f = inst.fanin_nets[pin];
+      if (f < 0) continue;  // unconnected pin: legal, lint warns
+      const auto& sinks = nets_[static_cast<std::size_t>(f)].sinks;
+      const auto hit = std::count_if(
+          sinks.begin(), sinks.end(), [&](const NetSink& s) {
+            return s.cell == static_cast<int>(c) &&
+                   s.pin == static_cast<int>(pin);
+          });
+      if (hit != 1) return false;
+    }
+  }
+  return true;
 }
 
 std::vector<int> GateNetlist::topological_order() const {
@@ -118,7 +233,9 @@ std::vector<int> GateNetlist::topological_order() const {
   for (std::size_t c = 0; c < cells_.size(); ++c) {
     int deps = 0;
     for (int f : cells_[c].fanin_nets) {
-      if (nets_[static_cast<std::size_t>(f)].driver_cell >= 0) ++deps;
+      if (f >= 0 && nets_[static_cast<std::size_t>(f)].driver_cell >= 0) {
+        ++deps;
+      }
     }
     pending[c] = deps;
     if (deps == 0) ready.push_back(static_cast<int>(c));
@@ -142,6 +259,67 @@ std::vector<int> GateNetlist::topological_order() const {
   return order;
 }
 
+int GateNetlist::computed_level(int cell) const {
+  const CellInst& inst = cells_[static_cast<std::size_t>(cell)];
+  int lv = 0;
+  for (int f : inst.fanin_nets) {
+    if (f < 0) continue;
+    const int d = nets_[static_cast<std::size_t>(f)].driver_cell;
+    if (d < 0) continue;
+    lv = std::max(lv,
+                  levelization_->cell_level[static_cast<std::size_t>(d)] + 1);
+  }
+  return lv;
+}
+
+void GateNetlist::move_level_bucket(int cell, int old_level, int new_level) {
+  auto& levels = levelization_->levels;
+  auto& from = levels[static_cast<std::size_t>(old_level)];
+  from.erase(std::lower_bound(from.begin(), from.end(), cell));
+  if (static_cast<std::size_t>(new_level) >= levels.size()) {
+    levels.resize(static_cast<std::size_t>(new_level) + 1);
+  }
+  auto& to = levels[static_cast<std::size_t>(new_level)];
+  to.insert(std::lower_bound(to.begin(), to.end(), cell), cell);
+}
+
+void GateNetlist::repair_levels(const std::vector<int>& seed_cells) {
+  if (!levelization_) return;
+  // Worklist fixpoint over the affected cone: a cell's level is a pure
+  // function of its fanin drivers' levels, so re-evaluating until nothing
+  // changes reaches the same unique fixpoint (longest distance from the
+  // PIs) a from-scratch levelization computes — but touching only the
+  // cone. On a DAG a cell's level is < num_cells; seeing one reach that
+  // bound means the edit created a combinational cycle, in which case the
+  // cache is dropped and the next levelization() call reports it.
+  std::vector<int> work(seed_cells);
+  std::vector<char> queued(cells_.size(), 0);
+  for (int c : work) queued[static_cast<std::size_t>(c)] = 1;
+  const int level_bound = static_cast<int>(cells_.size());
+  for (std::size_t head = 0; head < work.size(); ++head) {
+    const int c = work[head];
+    queued[static_cast<std::size_t>(c)] = 0;
+    const int old_lv = levelization_->cell_level[static_cast<std::size_t>(c)];
+    const int new_lv = computed_level(c);
+    if (new_lv == old_lv) continue;
+    if (new_lv >= level_bound) {
+      levelization_.reset();
+      return;
+    }
+    levelization_->cell_level[static_cast<std::size_t>(c)] = new_lv;
+    move_level_bucket(c, old_lv, new_lv);
+    const int out = cells_[static_cast<std::size_t>(c)].out_net;
+    for (const auto& sink : nets_[static_cast<std::size_t>(out)].sinks) {
+      if (!queued[static_cast<std::size_t>(sink.cell)]) {
+        queued[static_cast<std::size_t>(sink.cell)] = 1;
+        work.push_back(sink.cell);
+      }
+    }
+  }
+  auto& levels = levelization_->levels;
+  while (!levels.empty() && levels.back().empty()) levels.pop_back();
+}
+
 const GateNetlist::Levelization& GateNetlist::levelization() const {
   if (levelization_) return *levelization_;
   Levelization lev;
@@ -154,7 +332,9 @@ const GateNetlist::Levelization& GateNetlist::levelization() const {
   for (std::size_t c = 0; c < cells_.size(); ++c) {
     int deps = 0;
     for (int f : cells_[c].fanin_nets) {
-      if (nets_[static_cast<std::size_t>(f)].driver_cell >= 0) ++deps;
+      if (f >= 0 && nets_[static_cast<std::size_t>(f)].driver_cell >= 0) {
+        ++deps;
+      }
     }
     pending[c] = deps;
     if (deps == 0) {

@@ -6,9 +6,16 @@
 //
 // Lifetime note: instances hold `const CellType*` into a caller-owned
 // CellLibrary, which must outlive the netlist.
+//
+// Every mutator bumps a monotonic generation counter and appends a record
+// to an edit journal, so downstream caches (StaEngine results held by
+// IncrementalSta, annotation state) can detect staleness and replay only
+// the edits instead of re-deriving everything from scratch.
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "pdk/cells.hpp"
@@ -29,9 +36,29 @@ struct NetSink {
 
 struct Net {
   std::string name;
-  int driver_cell = -1;  ///< -1 => primary input
+  int driver_cell = -1;  ///< -1 => primary input (or undriven)
   std::vector<NetSink> sinks;
   bool is_primary_output = false;
+};
+
+/// One entry in the netlist edit journal. `cell`/`pin`/`old_net`/`new_net`
+/// are populated where meaningful for the edit kind (-1 otherwise).
+struct NetlistEdit {
+  enum class Kind {
+    kAddPrimaryInput,  ///< new_net = created net
+    kAddNet,           ///< new_net = created (undriven, sinkless) net
+    kAddCell,          ///< cell = created cell, new_net = its output net
+    kMarkPrimaryOutput,  ///< new_net = the marked net
+    kSetCellType,        ///< cell retyped (topology unchanged)
+    kRewireFanin,        ///< cell/pin moved from old_net to new_net
+    kSetCellOutNet,      ///< cell's output moved from old_net to new_net
+    kRawOutNetRebind,    ///< unchecked rebind (defect injection)
+  };
+  Kind kind;
+  int cell = -1;
+  int pin = -1;
+  int old_net = -1;
+  int new_net = -1;
 };
 
 class GateNetlist {
@@ -42,6 +69,10 @@ class GateNetlist {
 
   /// Creates a primary input; returns its net index.
   int add_primary_input(const std::string& net_name);
+
+  /// Creates a plain net with no driver and no sinks (for graph surgery:
+  /// a legal target for set_cell_out_net). Returns its net index.
+  int add_net(const std::string& net_name);
 
   /// Creates a cell instance driving a fresh net `out_net_name`.
   /// Returns the cell index. Fanin arity must match the cell type.
@@ -60,29 +91,64 @@ class GateNetlist {
   const std::vector<int>& primary_inputs() const { return pi_nets_; }
   std::vector<int> primary_outputs() const;
 
-  /// Net index by name; -1 if absent.
+  /// Net index by name; -1 if absent. O(1) via a name map maintained on
+  /// net creation. Duplicate names resolve to the first net created with
+  /// the name (the historical linear-scan behavior).
   int find_net(const std::string& net_name) const;
 
   /// Swaps a cell's library type (re-sizing). The new type must have the
-  /// same input arity.
+  /// same input arity. Topology (and thus levelization) is unchanged.
   void set_cell_type(int cell_idx, const CellType& type);
 
   // --- ECO / graph-surgery hooks -----------------------------------------
-  // Low-level edits for net stitching and for constructing the defective
-  // graphs the lint engine detects. Unlike add_cell, these can produce
-  // malformed netlists (combinational loops, multi-driver nets, floating
-  // nets, unconnected pins) — run the lint rules (src/lint) after editing.
-  // Both invalidate the cached levelization.
+  // Low-level edits for net stitching. The checked mutators keep the
+  // driver/sink back-link invariant intact (asserted in debug builds), so
+  // lint's structural rules only ever fire on defects that came in from a
+  // file. set_cell_out_net_raw is the unchecked escape hatch for
+  // constructing intentionally-defective graphs (lint fixtures).
 
   /// Reconnects input `pin` of `cell_idx` to `new_net` (sink lists are kept
-  /// consistent). `new_net == -1` leaves the pin unconnected.
+  /// consistent). `new_net == -1` leaves the pin unconnected. A no-op when
+  /// the pin already reads `new_net`.
   void rewire_fanin(int cell_idx, int pin, int new_net);
+
+  /// Moves a cell's output onto an existing undriven net. The old output
+  /// net is left undriven (its sinks keep sinking it); the target net's
+  /// declared driver becomes this cell. Throws std::invalid_argument when
+  /// the target already has a driver (would create a multi-driver net).
+  /// A no-op when the cell already drives `net`.
+  void set_cell_out_net(int cell_idx, int net);
 
   /// Raw rebind of a cell's output onto an existing net. The target net's
   /// declared driver and the cell's previous output net are NOT updated —
   /// exactly the inconsistencies the `net.multi-driver` / `net.undriven` /
-  /// `net.driver-mismatch` lint rules exist to catch.
-  void set_cell_out_net(int cell_idx, int net);
+  /// `net.driver-mismatch` lint rules exist to catch. Defect injection
+  /// only; journaled as kRawOutNetRebind so incremental consumers fall
+  /// back to a full rebuild.
+  void set_cell_out_net_raw(int cell_idx, int net);
+
+  // --- Staleness detection & edit journal --------------------------------
+
+  /// Monotonic edit counter: bumped by every mutator. A consumer holding
+  /// derived state (e.g. a StaEngine::Result) records the generation it
+  /// was computed at and compares to detect staleness.
+  std::uint64_t generation() const { return generation_; }
+
+  /// Edits recorded since the journal was last trimmed, oldest first.
+  /// Entry i was applied at generation journal_begin() + i + 1.
+  const std::vector<NetlistEdit>& edit_journal() const { return journal_; }
+
+  /// Generation value the journal starts after (journal_[0] is the edit
+  /// that produced generation journal_begin() + 1).
+  std::uint64_t journal_begin() const { return journal_begin_; }
+
+  /// Drops journal records (generation keeps counting). Consumers synced
+  /// before the trim point must fall back to a full rebuild.
+  void trim_edit_journal();
+
+  /// Full O(V+E) driver/sink back-link consistency check (tests; the
+  /// mutators assert the cheaper local version in debug builds).
+  bool invariants_ok() const;
 
   /// Cells in topological order (fanin before fanout). Throws
   /// std::runtime_error if the netlist has a combinational cycle.
@@ -99,10 +165,12 @@ class GateNetlist {
                                            ///< ascending cell index
   };
 
-  /// Cached levelization; computed once and invalidated by topology edits
-  /// (add_primary_input / add_cell). Throws std::runtime_error on a
-  /// combinational cycle. NOT thread-safe on first call: compute it before
-  /// handing the netlist to concurrent readers.
+  /// Cached levelization; computed once. Topology edits repair the cache
+  /// in place (cone-local re-leveling for rewire_fanin/set_cell_out_net,
+  /// an O(1) append for add_cell) instead of discarding it, so sizing/ECO
+  /// loops do not pay an O(design) re-levelization per edit. Throws
+  /// std::runtime_error on a combinational cycle. NOT thread-safe on first
+  /// call: compute it before handing the netlist to concurrent readers.
   const Levelization& levelization() const;
 
   /// Logic depth (cell count on the longest PI->PO path).
@@ -112,10 +180,27 @@ class GateNetlist {
   double net_pin_cap(int net, const TechParams& tech) const;
 
  private:
+  void record(NetlistEdit edit);
+  int add_net_internal(const std::string& net_name);
+  /// Recomputes a cell's level from its fanin drivers (cache must exist).
+  int computed_level(int cell) const;
+  /// Repairs the cached levelization after the fanins feeding `seed_cells`
+  /// changed. Falls back to a full reset when a combinational cycle is
+  /// detected (the next levelization() call then throws).
+  void repair_levels(const std::vector<int>& seed_cells);
+  /// Moves `cell` between level buckets, keeping buckets sorted.
+  void move_level_bucket(int cell, int old_level, int new_level);
+  /// Debug-only local back-link consistency check around one net.
+  bool net_links_ok(int net) const;
+
   std::string name_;
   std::vector<CellInst> cells_;
   std::vector<Net> nets_;
   std::vector<int> pi_nets_;
+  std::unordered_map<std::string, int> net_index_;  ///< first-wins name map
+  std::uint64_t generation_ = 0;
+  std::uint64_t journal_begin_ = 0;
+  std::vector<NetlistEdit> journal_;
   mutable std::optional<Levelization> levelization_;  ///< lazy cache
 };
 

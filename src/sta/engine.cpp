@@ -7,6 +7,105 @@
 
 namespace nsdc {
 
+namespace sta_kernel {
+
+void annotate_net(const GateNetlist& netlist, const ParasiticDb& parasitics,
+                  const TechParams& tech, std::size_t n,
+                  StaEngine::Result& res) {
+  const Net& net = netlist.net(static_cast<int>(n));
+  double load = 0.0;
+  if (parasitics.contains(net.name)) {
+    RcTree tree = parasitics.net(net.name);
+    for (const auto& sink : net.sinks) {
+      const auto& inst = netlist.cell(sink.cell);
+      const double pin_cap = inst.type->input_cap(tech, sink.pin);
+      tree.add_cap(tree.sink_node(sink_pin_name(inst, sink.pin)), pin_cap);
+    }
+    load = tree.total_cap();
+    res.annotated[n] = std::move(tree);
+  } else {
+    res.annotated[n] = RcTree{};
+    load = netlist.net_pin_cap(static_cast<int>(n), tech);
+  }
+  res.net_load[n] = load;
+}
+
+void propagate_cell(const GateNetlist& netlist, const NSigmaCellModel& model,
+                    int c, StaEngine::Result& res) {
+  const CellInst& inst = netlist.cell(c);
+  const auto out = static_cast<std::size_t>(inst.out_net);
+  // Reset so stale state from a prior propagation of this slot can never
+  // leak through (an unreachable edge keeps the default fields).
+  res.nets[out] = StaEngine::NetTime{};
+  auto& out_time = res.nets[out];
+  const double load = res.net_load[out];
+  const bool inverting = inst.type->inverting();
+
+  for (int edge = 0; edge < 2; ++edge) {       // 0: output rises
+    const bool out_rising = edge == 0;
+    const bool in_rising = inverting ? !out_rising : out_rising;
+    const int in_edge = in_rising ? 0 : 1;
+    double best = -1.0;
+    int best_pin = -1;
+    double best_slew = 10e-12;
+    for (std::size_t pin = 0; pin < inst.fanin_nets.size(); ++pin) {
+      if (inst.fanin_nets[pin] < 0) continue;  // unconnected pin
+      const auto fan = static_cast<std::size_t>(inst.fanin_nets[pin]);
+      const auto& fan_time = res.nets[fan];
+      if (!fan_time.reachable) continue;
+      // Wire delay from the fanin driver to this pin.
+      double wire_delay = 0.0;
+      const RcTree& tree = res.annotated[fan];
+      if (tree.num_nodes() > 1) {
+        wire_delay = tree.elmore(
+            tree.sink_node(sink_pin_name(inst, static_cast<int>(pin))));
+      }
+      const double slew_in = fan_time.slew[static_cast<std::size_t>(in_edge)];
+      const double cell_delay = model.mean_delay(
+          inst.type->name(), static_cast<int>(pin), in_rising, slew_in, load);
+      const double arr =
+          fan_time.arrival[static_cast<std::size_t>(in_edge)] + wire_delay +
+          cell_delay;
+      if (arr > best) {
+        best = arr;
+        best_pin = static_cast<int>(pin);
+        best_slew = slew_in;
+      }
+    }
+    if (best_pin < 0) continue;  // edge unreachable
+    out_time.reachable = true;
+    out_time.arrival[static_cast<std::size_t>(edge)] = best;
+    out_time.from_pin[static_cast<std::size_t>(edge)] = best_pin;
+    out_time.slew[static_cast<std::size_t>(edge)] = model.mean_out_slew(
+        inst.type->name(), best_pin, inverting ? !out_rising : out_rising,
+        best_slew, load);
+  }
+}
+
+void select_critical(const GateNetlist& netlist, StaEngine::Result& res) {
+  res.max_arrival = 0.0;
+  res.critical_net = -1;
+  res.critical_edge = 0;
+  for (int po : netlist.primary_outputs()) {
+    const auto& nt = res.nets[static_cast<std::size_t>(po)];
+    if (!nt.reachable) continue;
+    for (int edge = 0; edge < 2; ++edge) {
+      const double arr = nt.arrival[static_cast<std::size_t>(edge)];
+      if (arr > res.max_arrival) {
+        res.max_arrival = arr;
+        res.critical_net = po;
+        res.critical_edge = edge;
+      }
+    }
+  }
+  if (res.critical_net < 0) {
+    throw std::runtime_error("StaEngine: no reachable primary output in " +
+                             netlist.name());
+  }
+}
+
+}  // namespace sta_kernel
+
 StaEngine::Result StaEngine::run(const GateNetlist& netlist,
                                  const ParasiticDb& parasitics) const {
   Result res;
@@ -25,21 +124,7 @@ StaEngine::Result StaEngine::run(const GateNetlist& netlist,
   // Annotate: copy each tree and add receiver pin caps at its sinks; the
   // total cap is what the driving cell sees. Nets are independent.
   exec.parallel_for(netlist.num_nets(), [&](std::size_t n) {
-    const Net& net = netlist.net(static_cast<int>(n));
-    double load = 0.0;
-    if (parasitics.contains(net.name)) {
-      RcTree tree = parasitics.net(net.name);
-      for (const auto& sink : net.sinks) {
-        const auto& inst = netlist.cell(sink.cell);
-        const double pin_cap = inst.type->input_cap(tech_, sink.pin);
-        tree.add_cap(tree.sink_node(sink_pin_name(inst, sink.pin)), pin_cap);
-      }
-      load = tree.total_cap();
-      res.annotated[n] = std::move(tree);
-    } else {
-      load = netlist.net_pin_cap(static_cast<int>(n), tech_);
-    }
-    res.net_load[n] = load;
+    sta_kernel::annotate_net(netlist, parasitics, tech_, n, res);
   });
 
   // Primary inputs: both edges arrive at t=0 with the reference slew.
@@ -52,74 +137,14 @@ StaEngine::Result StaEngine::run(const GateNetlist& netlist,
 
   // Each cell reads only fanin slots (strictly lower levels) and writes
   // only its own output-net slot, so cells within a level run in parallel.
-  auto propagate_cell = [&](int c) {
-    const CellInst& inst = netlist.cell(c);
-    const auto out = static_cast<std::size_t>(inst.out_net);
-    auto& out_time = res.nets[out];
-    const double load = res.net_load[out];
-    const bool inverting = inst.type->inverting();
-
-    for (int edge = 0; edge < 2; ++edge) {       // 0: output rises
-      const bool out_rising = edge == 0;
-      const bool in_rising = inverting ? !out_rising : out_rising;
-      const int in_edge = in_rising ? 0 : 1;
-      double best = -1.0;
-      int best_pin = -1;
-      double best_slew = 10e-12;
-      for (std::size_t pin = 0; pin < inst.fanin_nets.size(); ++pin) {
-        const auto fan = static_cast<std::size_t>(inst.fanin_nets[pin]);
-        const auto& fan_time = res.nets[fan];
-        if (!fan_time.reachable) continue;
-        // Wire delay from the fanin driver to this pin.
-        double wire_delay = 0.0;
-        const RcTree& tree = res.annotated[fan];
-        if (tree.num_nodes() > 1) {
-          wire_delay = tree.elmore(
-              tree.sink_node(sink_pin_name(inst, static_cast<int>(pin))));
-        }
-        const double slew_in = fan_time.slew[static_cast<std::size_t>(in_edge)];
-        const double cell_delay = model_.mean_delay(
-            inst.type->name(), static_cast<int>(pin), in_rising, slew_in, load);
-        const double arr =
-            fan_time.arrival[static_cast<std::size_t>(in_edge)] + wire_delay +
-            cell_delay;
-        if (arr > best) {
-          best = arr;
-          best_pin = static_cast<int>(pin);
-          best_slew = slew_in;
-        }
-      }
-      if (best_pin < 0) continue;  // edge unreachable
-      out_time.reachable = true;
-      out_time.arrival[static_cast<std::size_t>(edge)] = best;
-      out_time.from_pin[static_cast<std::size_t>(edge)] = best_pin;
-      out_time.slew[static_cast<std::size_t>(edge)] = model_.mean_out_slew(
-          inst.type->name(), best_pin, inverting ? !out_rising : out_rising,
-          best_slew, load);
-    }
-  };
   for (const auto& level : lev.levels) {
-    exec.parallel_for(level.size(),
-                      [&](std::size_t i) { propagate_cell(level[i]); });
+    exec.parallel_for(level.size(), [&](std::size_t i) {
+      sta_kernel::propagate_cell(netlist, model_, level[i], res);
+    });
   }
 
   // Worst primary-output arrival.
-  for (int po : netlist.primary_outputs()) {
-    const auto& nt = res.nets[static_cast<std::size_t>(po)];
-    if (!nt.reachable) continue;
-    for (int edge = 0; edge < 2; ++edge) {
-      const double arr = nt.arrival[static_cast<std::size_t>(edge)];
-      if (arr > res.max_arrival) {
-        res.max_arrival = arr;
-        res.critical_net = po;
-        res.critical_edge = edge;
-      }
-    }
-  }
-  if (res.critical_net < 0) {
-    throw std::runtime_error("StaEngine: no reachable primary output in " +
-                             netlist.name());
-  }
+  sta_kernel::select_critical(netlist, res);
   return res;
 }
 

@@ -81,4 +81,29 @@ class StaEngine {
   StaConfig config_{};
 };
 
+/// Shared propagation kernels. The full engine and IncrementalSta both run
+/// these exact functions, which is what makes incremental re-propagation
+/// bit-identical to a from-scratch run: every slot of a Result is produced
+/// by the same floating-point operations on the same inputs either way.
+namespace sta_kernel {
+
+/// (Re)annotates net `n` into `res`: copies the parasitic tree, adds
+/// receiver pin caps at its sinks, and records the total driver load
+/// (pin-cap sum when the net has no parasitics).
+void annotate_net(const GateNetlist& netlist, const ParasiticDb& parasitics,
+                  const TechParams& tech, std::size_t n,
+                  StaEngine::Result& res);
+
+/// Recomputes cell `c`'s output-net NetTime from its fanin slots and the
+/// annotated loads. Resets the slot first, so re-running on an
+/// already-propagated result reproduces the full-run value exactly.
+void propagate_cell(const GateNetlist& netlist, const NSigmaCellModel& model,
+                    int c, StaEngine::Result& res);
+
+/// Scans the primary outputs into max_arrival / critical_net /
+/// critical_edge. Throws when no PO is reachable (matching run()).
+void select_critical(const GateNetlist& netlist, StaEngine::Result& res);
+
+}  // namespace sta_kernel
+
 }  // namespace nsdc

@@ -1,0 +1,233 @@
+#include "sta/incremental.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace nsdc {
+
+namespace {
+
+/// Exact-equality NetTime comparison for the convergence cut. Arrivals and
+/// slews are pure functions of the fanin slots, so "exactly equal" means
+/// "identical to what a full run would compute here".
+bool net_time_equal(const StaEngine::NetTime& a, const StaEngine::NetTime& b) {
+  return a.reachable == b.reachable && a.arrival == b.arrival &&
+         a.slew == b.slew && a.from_pin == b.from_pin;
+}
+
+}  // namespace
+
+IncrementalSta::IncrementalSta(const NSigmaCellModel& model,
+                               const TechParams& tech, StaConfig config)
+    : model_(model),
+      tech_(tech),
+      config_(config),
+      engine_(model, tech, config) {}
+
+const StaEngine::Result& IncrementalSta::bind(const GateNetlist& netlist,
+                                              const ParasiticDb& parasitics) {
+  netlist_ = &netlist;
+  parasitics_ = &parasitics;
+  pending_parasitics_.clear();
+  return full_rerun();
+}
+
+const StaEngine::Result& IncrementalSta::full_rerun() {
+  result_ = engine_.run(*netlist_, *parasitics_);
+  synced_gen_ = netlist_->generation();
+  pending_parasitics_.clear();
+  po_cache_ = netlist_->primary_outputs();
+  stats_.full_rerun = true;
+  return result_;
+}
+
+void IncrementalSta::invalidate_parasitics(int net) {
+  if (!netlist_) {
+    throw std::logic_error("IncrementalSta: invalidate before bind");
+  }
+  if (net < 0 || net >= static_cast<int>(netlist_->num_nets())) {
+    throw std::out_of_range("IncrementalSta: bad net in invalidate");
+  }
+  pending_parasitics_.insert(net);
+}
+
+bool IncrementalSta::in_sync() const {
+  return netlist_ && synced_gen_ == netlist_->generation() &&
+         pending_parasitics_.empty();
+}
+
+void IncrementalSta::seed_reannotated_net(int net,
+                                          std::set<int>* dirty_cells) const {
+  // A re-annotated net changes the load its driver sees (driver delay and
+  // output slew) and the RC tree every sink reads its wire delay from, so
+  // both sides of the net re-propagate.
+  const Net& n = netlist_->net(net);
+  if (n.driver_cell >= 0) dirty_cells->insert(n.driver_cell);
+  for (const auto& s : n.sinks) dirty_cells->insert(s.cell);
+}
+
+const StaEngine::Result& IncrementalSta::update() {
+  if (!netlist_) throw std::logic_error("IncrementalSta: update before bind");
+  stats_ = UpdateStats{};
+  const std::uint64_t gen = netlist_->generation();
+  if (gen == synced_gen_ && pending_parasitics_.empty()) return result_;
+
+  // A generation behind our sync point (the netlist object was replaced
+  // wholesale) or a journal trimmed past it leaves nothing to replay.
+  const auto& journal = netlist_->edit_journal();
+  if (gen < synced_gen_ || synced_gen_ < netlist_->journal_begin()) {
+    return full_rerun();
+  }
+  const std::size_t first =
+      static_cast<std::size_t>(synced_gen_ - netlist_->journal_begin());
+
+  std::set<int> reannotate(pending_parasitics_.begin(),
+                           pending_parasitics_.end());
+  std::set<int> dirty_cells;
+  std::set<int> moved_nets;  // out-net move endpoints (final-state triage)
+  bool po_set_changed = false;
+  stats_.edits = journal.size() - first;
+  for (std::size_t i = first; i < journal.size(); ++i) {
+    const NetlistEdit& e = journal[i];
+    switch (e.kind) {
+      case NetlistEdit::Kind::kAddPrimaryInput:
+      case NetlistEdit::Kind::kAddNet:
+      case NetlistEdit::Kind::kAddCell:
+      case NetlistEdit::Kind::kRawOutNetRebind:
+        // Structural growth resizes every per-net array; raw surgery
+        // voids the one-driver invariant the cone walk relies on.
+        return full_rerun();
+      case NetlistEdit::Kind::kMarkPrimaryOutput:
+        po_set_changed = true;
+        break;
+      case NetlistEdit::Kind::kSetCellType:
+        // New pin caps load every fanin net; the cell's own tables change.
+        for (int f : netlist_->cell(e.cell).fanin_nets) {
+          if (f >= 0) reannotate.insert(f);
+        }
+        dirty_cells.insert(e.cell);
+        break;
+      case NetlistEdit::Kind::kRewireFanin:
+        if (e.old_net >= 0) reannotate.insert(e.old_net);
+        if (e.new_net >= 0) reannotate.insert(e.new_net);
+        dirty_cells.insert(e.cell);
+        break;
+      case NetlistEdit::Kind::kSetCellOutNet:
+        if (e.old_net >= 0) moved_nets.insert(e.old_net);
+        if (e.new_net >= 0) moved_nets.insert(e.new_net);
+        dirty_cells.insert(e.cell);
+        break;
+    }
+  }
+
+  // Cone-local level repair happened inside the netlist; this is cheap.
+  const auto& lev = netlist_->levelization();
+
+  // Re-annotate dirty nets with the shared kernel (independent slots).
+  if (!reannotate.empty()) {
+    const std::vector<int> nets(reannotate.begin(), reannotate.end());
+    const bool parallel = config_.parallel_for_size(nets.size());
+    const ExecContext exec =
+        parallel ? config_.exec : ExecContext{config_.exec.pool, 1};
+    exec.parallel_for(nets.size(), [&](std::size_t i) {
+      sta_kernel::annotate_net(*netlist_, *parasitics_, tech_,
+                               static_cast<std::size_t>(nets[i]), result_);
+    });
+    stats_.nets_reannotated = nets.size();
+    for (int n : nets) seed_reannotated_net(n, &dirty_cells);
+  }
+
+  // Out-net moves, judged against the final netlist state: a moved net
+  // that ended up with a driver re-propagates through it; one that ended
+  // up undriven must return to the default (unreachable) state a full run
+  // would leave, waking its sinks.
+  for (int n : moved_nets) {
+    const Net& net = netlist_->net(n);
+    if (net.driver_cell >= 0) {
+      dirty_cells.insert(net.driver_cell);
+    } else {
+      result_.nets[static_cast<std::size_t>(n)] = StaEngine::NetTime{};
+      for (const auto& s : net.sinks) dirty_cells.insert(s.cell);
+    }
+  }
+
+  // Cone worklist, ordered by (level, cell). All cells of one level are
+  // mutually independent, so each level front fans out over the pool;
+  // convergence checks and new insertions stay serial and index-ordered,
+  // keeping the traversal deterministic (results are bit-identical at any
+  // thread count regardless — per-cell propagation is pure).
+  std::set<std::pair<int, int>> worklist;
+  for (int c : dirty_cells) {
+    worklist.emplace(lev.cell_level[static_cast<std::size_t>(c)], c);
+  }
+  std::vector<int> batch;
+  std::vector<StaEngine::NetTime> before;
+  while (!worklist.empty()) {
+    const int level = worklist.begin()->first;
+    batch.clear();
+    before.clear();
+    auto it = worklist.begin();
+    while (it != worklist.end() && it->first == level) {
+      batch.push_back(it->second);
+      it = worklist.erase(it);
+    }
+    for (int c : batch) {
+      before.push_back(
+          result_.nets[static_cast<std::size_t>(netlist_->cell(c).out_net)]);
+    }
+    const bool parallel = config_.parallel_for_size(batch.size());
+    const ExecContext exec =
+        parallel ? config_.exec : ExecContext{config_.exec.pool, 1};
+    exec.parallel_for(batch.size(), [&](std::size_t i) {
+      sta_kernel::propagate_cell(*netlist_, model_, batch[i], result_);
+    });
+    stats_.cells_recomputed += batch.size();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const int out = netlist_->cell(batch[i]).out_net;
+      if (net_time_equal(before[i],
+                         result_.nets[static_cast<std::size_t>(out)])) {
+        ++stats_.cells_converged;  // dominance cut: wave stops here
+        continue;
+      }
+      for (const auto& s : netlist_->net(out).sinks) {
+        worklist.emplace(lev.cell_level[static_cast<std::size_t>(s.cell)],
+                         s.cell);
+      }
+    }
+  }
+
+  // Endpoint selection over the (cached) PO list — same comparisons as
+  // sta_kernel::select_critical.
+  if (po_set_changed) po_cache_ = netlist_->primary_outputs();
+  result_.max_arrival = 0.0;
+  result_.critical_net = -1;
+  result_.critical_edge = 0;
+  for (int po : po_cache_) {
+    const auto& nt = result_.nets[static_cast<std::size_t>(po)];
+    if (!nt.reachable) continue;
+    for (int edge = 0; edge < 2; ++edge) {
+      const double arr = nt.arrival[static_cast<std::size_t>(edge)];
+      if (arr > result_.max_arrival) {
+        result_.max_arrival = arr;
+        result_.critical_net = po;
+        result_.critical_edge = edge;
+      }
+    }
+  }
+  if (result_.critical_net < 0) {
+    throw std::runtime_error("IncrementalSta: no reachable primary output in " +
+                             netlist_->name());
+  }
+
+  synced_gen_ = gen;
+  pending_parasitics_.clear();
+  return result_;
+}
+
+PathDescription IncrementalSta::extract_critical_path() const {
+  if (!netlist_) throw std::logic_error("IncrementalSta: extract before bind");
+  return engine_.extract_critical_path(*netlist_, result_);
+}
+
+}  // namespace nsdc

@@ -1,0 +1,98 @@
+#include "sta/sizer.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace nsdc {
+
+namespace {
+
+struct PathCell {
+  int cell;
+  double stage_delay;
+};
+
+/// Critical-path cells with their stage contribution (wire + cell delay),
+/// backtracked through from_pin exactly like path extraction.
+std::vector<PathCell> critical_cells(const GateNetlist& netlist,
+                                     const StaEngine::Result& res) {
+  std::vector<PathCell> cells;
+  int net = res.critical_net;
+  int edge = res.critical_edge;
+  while (net >= 0) {
+    const Net& n = netlist.net(net);
+    if (n.driver_cell < 0) break;  // reached a primary input
+    const CellInst& inst = netlist.cell(n.driver_cell);
+    const int pin = res.nets[static_cast<std::size_t>(net)]
+                        .from_pin[static_cast<std::size_t>(edge)];
+    if (pin < 0) break;
+    const bool out_rising = edge == 0;
+    const bool in_rising = inst.type->inverting() ? !out_rising : out_rising;
+    const int in_edge = in_rising ? 0 : 1;
+    const int fan = inst.fanin_nets[static_cast<std::size_t>(pin)];
+    const double stage =
+        res.nets[static_cast<std::size_t>(net)]
+            .arrival[static_cast<std::size_t>(edge)] -
+        res.nets[static_cast<std::size_t>(fan)]
+            .arrival[static_cast<std::size_t>(in_edge)];
+    cells.push_back({n.driver_cell, stage});
+    net = fan;
+    edge = in_edge;
+  }
+  return cells;
+}
+
+}  // namespace
+
+TimingSizerReport size_for_timing(GateNetlist& netlist, const CellLibrary& lib,
+                                  const NSigmaCellModel& model,
+                                  const TechParams& tech,
+                                  const ParasiticDb& parasitics,
+                                  const TimingSizerConfig& config) {
+  TimingSizerReport report;
+  IncrementalSta inc(model, tech, config.sta);
+  inc.bind(netlist, parasitics);
+  report.initial_arrival = inc.result().max_arrival;
+
+  auto account = [&] {
+    report.cells_recomputed += inc.last_stats().cells_recomputed;
+    report.full_sta_equivalent += netlist.num_cells();
+  };
+
+  while (report.upsizes < config.max_upsizes) {
+    std::vector<PathCell> candidates = critical_cells(netlist, inc.result());
+    // Largest stage delay first; cell index breaks ties deterministically.
+    std::sort(candidates.begin(), candidates.end(),
+              [](const PathCell& a, const PathCell& b) {
+                if (a.stage_delay != b.stage_delay) {
+                  return a.stage_delay > b.stage_delay;
+                }
+                return a.cell < b.cell;
+              });
+    bool improved = false;
+    for (const PathCell& pc : candidates) {
+      const CellType* current = netlist.cell(pc.cell).type;
+      if (current->strength() >= config.max_strength) continue;
+      const CellType& bigger =
+          lib.by_func(current->func(), current->strength() * 2);
+      const double prev = inc.result().max_arrival;
+      netlist.set_cell_type(pc.cell, bigger);
+      inc.update();
+      account();
+      if (inc.result().max_arrival < prev) {
+        ++report.upsizes;
+        improved = true;
+        break;
+      }
+      netlist.set_cell_type(pc.cell, *current);  // roll back the trial
+      inc.update();
+      account();
+      ++report.rejected;
+    }
+    if (!improved) break;
+  }
+  report.final_arrival = inc.result().max_arrival;
+  return report;
+}
+
+}  // namespace nsdc

@@ -1,0 +1,44 @@
+#pragma once
+// Timing-driven sizing on the incremental engine. designgen's
+// size_cells() is the load-based synthesis pass (netlist layer, no timing
+// feedback); this is the optimization-loop counterpart the incremental
+// engine exists for: walk the current critical path, upsize the stage
+// contributing the most delay, and let IncrementalSta re-propagate just
+// the edit's fanout cone instead of re-running STA over the whole design.
+// It lives in the sta layer because the netlist library cannot depend on
+// the timing engine.
+
+#include "netlist/netlist.hpp"
+#include "sta/incremental.hpp"
+
+namespace nsdc {
+
+struct TimingSizerConfig {
+  int max_upsizes = 64;       ///< total accepted upsizes across the loop
+  int max_strength = 8;       ///< library strength ceiling
+  StaConfig sta{};            ///< execution policy for the engine
+};
+
+struct TimingSizerReport {
+  int upsizes = 0;            ///< accepted retypes
+  int rejected = 0;           ///< trial retypes rolled back
+  double initial_arrival = 0.0;
+  double final_arrival = 0.0;
+  std::size_t cells_recomputed = 0;  ///< incremental work across all trials
+  std::size_t full_sta_equivalent = 0;  ///< trials x design size (the work a
+                                        ///< non-incremental loop would do)
+};
+
+/// Greedy critical-path upsizing: per round, try doubling the strength of
+/// critical-path cells in decreasing order of stage delay; keep the first
+/// retype that improves the worst arrival, roll back the rest. Stops when
+/// no critical-path cell improves timing or the upsize budget is spent.
+/// Deterministic for a given netlist/model/config.
+TimingSizerReport size_for_timing(GateNetlist& netlist,
+                                  const CellLibrary& lib,
+                                  const NSigmaCellModel& model,
+                                  const TechParams& tech,
+                                  const ParasiticDb& parasitics,
+                                  const TimingSizerConfig& config = {});
+
+}  // namespace nsdc

@@ -160,4 +160,34 @@ inline CharLib make_charlib() {
   return lib;
 }
 
+/// Synthetic arcs for EVERY cell of CellLibrary::standard() (6 functions x
+/// strengths 1/2/4/8), so STA can run over generate_iscas_like /
+/// generate_random_mapped netlists, which draw from the whole library.
+/// Quantiles still follow true_table1(), so model fits stay exact.
+inline CharLib make_full_charlib() {
+  CharLib lib;
+  lib.set_tech(TechParams::nominal28());
+  const std::vector<std::pair<std::string, double>> funcs = {
+      {"INV", 35e-12},   {"BUF", 45e-12},   {"NAND2", 55e-12},
+      {"NOR2", 60e-12},  {"AOI21", 70e-12}, {"OAI21", 72e-12},
+  };
+  for (const auto& [func, mu_base] : funcs) {
+    for (const int strength : {1, 2, 4, 8}) {
+      for (bool rising : {true, false}) {
+        SyntheticArcSpec spec;
+        spec.cell = func + "x" + std::to_string(strength);
+        spec.in_rising = rising;
+        // Stronger drive -> lower intrinsic delay, so timing-driven
+        // upsizing has a real gradient to follow.
+        spec.mu0 = mu_base * (0.5 + 1.0 / strength) * (rising ? 1.0 : 1.1);
+        spec.sigma0 = spec.mu0 * 0.30 / std::sqrt(static_cast<double>(strength));
+        spec.gamma0 = 0.8 + 0.1 * (rising ? 1.0 : -1.0);
+        spec.kappa0 = 1.2;
+        lib.add_arc(make_arc(spec));
+      }
+    }
+  }
+  return lib;
+}
+
 }  // namespace nsdc::testfix

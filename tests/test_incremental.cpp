@@ -1,0 +1,314 @@
+// IncrementalSta correctness: after any sequence of netlist edits, the
+// incrementally-updated result must be byte-identical to a fresh full
+// StaEngine::run() on the edited netlist, at any thread count — while
+// doing work proportional to the edit's fanout cone, not the design.
+#include "sta/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "netlist/designgen.hpp"
+#include "sta/annotate.hpp"
+#include "sta/sizer.hpp"
+#include "synthetic_charlib.hpp"
+#include "util/rng.hpp"
+
+namespace nsdc {
+namespace {
+
+/// StaConfig that actually exercises the pool at `threads` lanes (the
+/// default min_parallel_cells would keep small cones serial).
+StaConfig exec_config(unsigned threads) {
+  StaConfig cfg;
+  cfg.exec.threads = threads;
+  cfg.min_parallel_cells = threads > 1 ? 1 : 1u << 30;
+  return cfg;
+}
+
+class IncrementalStaTest : public ::testing::Test {
+ protected:
+  IncrementalStaTest()
+      : charlib(testfix::make_full_charlib()),
+        lib(CellLibrary::standard()),
+        model(NSigmaCellModel::fit(charlib)),
+        tech(TechParams::nominal28()) {}
+
+  CharLib charlib;
+  CellLibrary lib;
+  NSigmaCellModel model;
+  TechParams tech;
+};
+
+/// Byte-level equality of everything STA consumers read from a Result.
+void expect_results_identical(const StaEngine::Result& got,
+                              const StaEngine::Result& ref,
+                              const std::string& what) {
+  ASSERT_EQ(got.nets.size(), ref.nets.size()) << what;
+  ASSERT_EQ(got.net_load.size(), ref.net_load.size()) << what;
+  EXPECT_EQ(got.max_arrival, ref.max_arrival) << what;
+  EXPECT_EQ(got.critical_net, ref.critical_net) << what;
+  EXPECT_EQ(got.critical_edge, ref.critical_edge) << what;
+  for (std::size_t n = 0; n < ref.nets.size(); ++n) {
+    const auto& g = got.nets[n];
+    const auto& r = ref.nets[n];
+    ASSERT_TRUE(std::memcmp(g.arrival.data(), r.arrival.data(),
+                            sizeof(g.arrival)) == 0 &&
+                std::memcmp(g.slew.data(), r.slew.data(), sizeof(g.slew)) ==
+                    0 &&
+                g.from_pin == r.from_pin && g.reachable == r.reachable &&
+                got.net_load[n] == ref.net_load[n])
+        << what << ": net " << n << " diverged (arrival " << g.arrival[0]
+        << "/" << g.arrival[1] << " vs " << r.arrival[0] << "/" << r.arrival[1]
+        << ")";
+  }
+}
+
+/// Random retype edit: a random cell to a random strength of its function.
+void random_retype(GateNetlist& nl, const CellLibrary& lib, Rng& rng) {
+  const int c = static_cast<int>(
+      rng.uniform_int(0, static_cast<std::int64_t>(nl.num_cells()) - 1));
+  const int strengths[] = {1, 2, 4, 8};
+  const int s = strengths[rng.uniform_int(0, 3)];
+  nl.set_cell_type(c, lib.by_func(nl.cell(c).type->func(), s));
+}
+
+/// Random rewire edit that provably keeps the graph acyclic: pick a cell
+/// and reconnect a random pin to a net whose driver sits at a strictly
+/// lower level (or to a primary input).
+void random_rewire(GateNetlist& nl, const CellLibrary& lib, Rng& rng) {
+  (void)lib;
+  const auto& lev = nl.levelization();
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const int c = static_cast<int>(
+        rng.uniform_int(0, static_cast<std::int64_t>(nl.num_cells()) - 1));
+    const int my_level = lev.cell_level[static_cast<std::size_t>(c)];
+    const int pin = static_cast<int>(rng.uniform_int(
+        0, static_cast<std::int64_t>(nl.cell(c).fanin_nets.size()) - 1));
+    const int target = static_cast<int>(
+        rng.uniform_int(0, static_cast<std::int64_t>(nl.num_nets()) - 1));
+    const int d = nl.net(target).driver_cell;
+    if (d >= 0 && lev.cell_level[static_cast<std::size_t>(d)] >= my_level) {
+      continue;  // could create a cycle or lengthen into itself
+    }
+    nl.rewire_fanin(c, pin, target);
+    return;
+  }
+}
+
+/// Drives `edits` random edits through two incremental timers (1 and 4
+/// lanes) and checks both against a fresh full run after every edit.
+void run_equivalence(const GateNetlist& base, const CellLibrary& lib,
+                     const NSigmaCellModel& model, const TechParams& tech,
+                     const ParasiticDb& parasitics, int edits,
+                     double rewire_fraction, std::uint64_t seed) {
+  GateNetlist nl = base;
+  IncrementalSta inc1(model, tech, exec_config(1));
+  IncrementalSta inc4(model, tech, exec_config(4));
+  inc1.bind(nl, parasitics);
+  inc4.bind(nl, parasitics);
+  const StaEngine full_engine(model, tech);
+
+  Rng rng(seed);
+  std::size_t recomputed = 0;
+  for (int e = 0; e < edits; ++e) {
+    if (rng.uniform() < rewire_fraction) {
+      random_rewire(nl, lib, rng);
+    } else {
+      random_retype(nl, lib, rng);
+    }
+    ASSERT_TRUE(nl.invariants_ok()) << "edit " << e;
+    const auto& got1 = inc1.update();
+    const auto& got4 = inc4.update();
+    EXPECT_FALSE(inc1.last_stats().full_rerun) << "edit " << e;
+    recomputed += inc1.last_stats().cells_recomputed;
+    const StaEngine::Result ref = full_engine.run(nl, parasitics);
+    expect_results_identical(got1, ref,
+                             "edit " + std::to_string(e) + " (1 lane)");
+    expect_results_identical(got4, ref,
+                             "edit " + std::to_string(e) + " (4 lanes)");
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  // The point of the exercise: total incremental work must be far below
+  // one full propagation per edit.
+  EXPECT_LT(recomputed, static_cast<std::size_t>(edits) * nl.num_cells() / 4)
+      << "incremental updates recomputed almost the whole design per edit";
+}
+
+TEST_F(IncrementalStaTest, RandomRetypesMatchFullRunC432) {
+  GateNetlist nl = generate_iscas_like("C432", lib);
+  const ParasiticDb parasitics = generate_parasitics(nl, tech);
+  run_equivalence(nl, lib, model, tech, parasitics, /*edits=*/100,
+                  /*rewire_fraction=*/0.0, /*seed=*/11);
+}
+
+TEST_F(IncrementalStaTest, RandomMixedEditsMatchFullRunDesigngen) {
+  RandomNetlistSpec spec;
+  spec.name = "incmix";
+  spec.target_cells = 420;
+  spec.num_primary_inputs = 24;
+  spec.target_depth = 18;
+  spec.seed = 5;
+  GateNetlist nl = generate_random_mapped(spec, lib);
+  // Wireless (pin-cap loads): rewired sinks have no pre-extracted RC pin
+  // to land on, which matches how full STA treats un-annotated nets.
+  const ParasiticDb empty;
+  run_equivalence(nl, lib, model, tech, empty, /*edits=*/120,
+                  /*rewire_fraction=*/0.4, /*seed=*/23);
+}
+
+TEST_F(IncrementalStaTest, ConvergenceCutStopsUnchangedCone) {
+  // Re-applying a cell's existing type is journaled like any retype, but
+  // every recomputed value converges immediately: the wave must die at the
+  // seeds instead of sweeping the fanout cone.
+  GateNetlist nl("chain");
+  int net = nl.add_primary_input("a");
+  std::vector<int> cells;
+  for (int i = 0; i < 50; ++i) {
+    cells.push_back(nl.add_cell("u" + std::to_string(i),
+                                lib.by_name("INVx2"), {net},
+                                "w" + std::to_string(i)));
+    net = nl.cell(cells.back()).out_net;
+  }
+  nl.mark_primary_output(net);
+  const ParasiticDb empty;
+  IncrementalSta inc(model, tech);
+  inc.bind(nl, empty);
+
+  nl.set_cell_type(cells[25], lib.by_name("INVx2"));  // no-change retype
+  inc.update();
+  EXPECT_FALSE(inc.last_stats().full_rerun);
+  // Seeds: the retyped cell and the driver of its fanin net.
+  EXPECT_LE(inc.last_stats().cells_recomputed, 3u);
+  EXPECT_GE(inc.last_stats().cells_converged, 1u);
+
+  // A real retype near the tail touches only the short remaining cone.
+  nl.set_cell_type(cells[47], lib.by_name("INVx8"));
+  inc.update();
+  EXPECT_FALSE(inc.last_stats().full_rerun);
+  EXPECT_LE(inc.last_stats().cells_recomputed, 6u);
+  const StaEngine engine(model, tech);
+  expect_results_identical(inc.result(), engine.run(nl, empty), "tail edit");
+}
+
+TEST_F(IncrementalStaTest, OutNetMoveMatchesFullRun) {
+  GateNetlist nl("move");
+  const int a = nl.add_primary_input("a");
+  const int u0 = nl.add_cell("u0", lib.by_name("INVx1"), {a}, "n0");
+  const int u1 = nl.add_cell("u1", lib.by_name("INVx2"),
+                             {nl.cell(u0).out_net}, "y");
+  const int y = nl.cell(u1).out_net;
+  nl.mark_primary_output(y);
+  const ParasiticDb empty;
+  IncrementalSta inc(model, tech);
+  inc.bind(nl, empty);
+  const StaEngine engine(model, tech);
+
+  const int spare = nl.add_net("spare");  // structural growth: full rerun
+  nl.mark_primary_output(spare);
+  inc.update();
+  EXPECT_TRUE(inc.last_stats().full_rerun);
+
+  // Moving u1's output onto the spare net leaves y undriven (and its PO
+  // unreachable) — full and incremental must agree on all of it.
+  nl.set_cell_out_net(u1, spare);
+  EXPECT_TRUE(nl.invariants_ok());
+  inc.update();
+  EXPECT_FALSE(inc.last_stats().full_rerun);
+  expect_results_identical(inc.result(), engine.run(nl, empty), "move");
+  EXPECT_FALSE(inc.result().nets[static_cast<std::size_t>(y)].reachable);
+
+  nl.set_cell_out_net(u1, y);  // and back
+  inc.update();
+  EXPECT_FALSE(inc.last_stats().full_rerun);
+  expect_results_identical(inc.result(), engine.run(nl, empty), "move back");
+}
+
+TEST_F(IncrementalStaTest, ParasiticInvalidationReannotates) {
+  GateNetlist nl = generate_iscas_like("C432", lib);
+  ParasiticDb parasitics = generate_parasitics(nl, tech);
+  IncrementalSta inc(model, tech);
+  inc.bind(nl, parasitics);
+
+  // Regenerate one net's tree with a different wire seed and re-annotate.
+  const int victim = nl.cell(static_cast<int>(nl.num_cells()) / 2).out_net;
+  AnnotateConfig cfg;
+  cfg.seed = 1234567;
+  const ParasiticDb redo = generate_parasitics(nl, tech, cfg);
+  const std::string& name = nl.net(victim).name;
+  ASSERT_TRUE(redo.contains(name));
+  parasitics.add(name, redo.net(name));
+
+  EXPECT_TRUE(inc.in_sync());  // netlist untouched...
+  inc.invalidate_parasitics(victim);
+  EXPECT_FALSE(inc.in_sync());  // ...but annotation is pending
+  inc.update();
+  EXPECT_FALSE(inc.last_stats().full_rerun);
+  EXPECT_EQ(inc.last_stats().nets_reannotated, 1u);
+  const StaEngine engine(model, tech);
+  expect_results_identical(inc.result(), engine.run(nl, parasitics),
+                           "reannotate");
+}
+
+TEST_F(IncrementalStaTest, GenerationTracksStaleness) {
+  GateNetlist nl("g");
+  const int a = nl.add_primary_input("a");
+  const int u = nl.add_cell("u", lib.by_name("INVx1"), {a}, "y");
+  nl.mark_primary_output(nl.cell(u).out_net);
+  const ParasiticDb empty;
+  IncrementalSta inc(model, tech);
+  inc.bind(nl, empty);
+  EXPECT_TRUE(inc.in_sync());
+  EXPECT_EQ(inc.synced_generation(), nl.generation());
+
+  nl.set_cell_type(u, lib.by_name("INVx4"));
+  EXPECT_FALSE(inc.in_sync());
+  inc.update();
+  EXPECT_TRUE(inc.in_sync());
+  EXPECT_EQ(inc.synced_generation(), nl.generation());
+
+  // A trimmed journal past the sync point forces (and survives as) a full
+  // rebuild instead of silently replaying nothing.
+  nl.set_cell_type(u, lib.by_name("INVx2"));
+  nl.trim_edit_journal();
+  inc.update();
+  EXPECT_TRUE(inc.last_stats().full_rerun);
+  EXPECT_TRUE(inc.in_sync());
+}
+
+TEST_F(IncrementalStaTest, UpdateBeforeBindThrows) {
+  IncrementalSta inc(model, tech);
+  EXPECT_THROW(inc.update(), std::logic_error);
+  EXPECT_THROW(inc.invalidate_parasitics(0), std::logic_error);
+}
+
+TEST_F(IncrementalStaTest, TimingSizerImprovesArrivalIncrementally) {
+  RandomNetlistSpec spec;
+  spec.name = "sizeme";
+  spec.target_cells = 300;
+  spec.num_primary_inputs = 16;
+  spec.target_depth = 14;
+  spec.seed = 9;
+  GateNetlist nl = generate_random_mapped(spec, lib);
+  const ParasiticDb parasitics = generate_parasitics(nl, tech);
+
+  TimingSizerConfig cfg;
+  cfg.max_upsizes = 16;
+  const TimingSizerReport report =
+      size_for_timing(nl, lib, model, tech, parasitics, cfg);
+  EXPECT_GT(report.upsizes, 0);
+  EXPECT_LE(report.final_arrival, report.initial_arrival);
+  EXPECT_TRUE(nl.invariants_ok());
+  // The incremental loop must have done less propagation work than the
+  // equivalent full-STA-per-trial loop.
+  EXPECT_LT(report.cells_recomputed, report.full_sta_equivalent);
+
+  // Sized netlist still times identically to a fresh engine run.
+  IncrementalSta inc(model, tech);
+  const StaEngine engine(model, tech);
+  expect_results_identical(inc.bind(nl, parasitics),
+                           engine.run(nl, parasitics), "after sizing");
+}
+
+}  // namespace
+}  // namespace nsdc

@@ -176,7 +176,7 @@ TEST(LintStructural, MultiDriverAndDriverMismatchAndUndriven) {
   GateNetlist nl = inv_chain(cells);
   // Rebind u1's output onto n0: n0 gains a second driver, y (a PO) loses
   // its only driver, and both declared-driver links go stale.
-  nl.set_cell_out_net(1, nl.cell(0).out_net);
+  nl.set_cell_out_net_raw(1, nl.cell(0).out_net);
   LintInput in;
   in.netlist = &nl;
   const LintReport report = run_lint(in);
@@ -190,7 +190,7 @@ TEST(LintStructural, MultiDriverAndDriverMismatchAndUndriven) {
 TEST(LintStructural, DeadNetIsInfoOnly) {
   const CellLibrary cells = CellLibrary::standard();
   GateNetlist nl = inv_chain(cells, /*mark_po=*/false);
-  nl.set_cell_out_net(1, nl.cell(0).out_net);
+  nl.set_cell_out_net_raw(1, nl.cell(0).out_net);
   LintInput in;
   in.netlist = &nl;
   const LintReport report = run_lint(in);
@@ -440,7 +440,7 @@ TEST(LintEngine, ReportsAreByteIdenticalAcrossThreadCounts) {
   const CellLibrary cells = CellLibrary::standard();
   const TechParams tech = TechParams::nominal28();
   GateNetlist nl = inv_chain(cells);
-  nl.set_cell_out_net(1, nl.cell(0).out_net);  // seed a defect cluster
+  nl.set_cell_out_net_raw(1, nl.cell(0).out_net);  // seed a defect cluster
   ParasiticDb db;
   RcTree tree;
   tree.add_node(0, 0.0, 0.0);

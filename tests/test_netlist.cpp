@@ -256,5 +256,201 @@ TEST_F(LevelizationPropertyTest, MatchesTopologicalOrderPositions) {
   }
 }
 
+// ------------------------------------------- mutators & edit journal ----
+
+// Checked graph-surgery mutators must keep the driver/sink back-link
+// invariant, tick the generation counter once per edit, and journal the
+// edit, so incremental consumers can replay instead of rebuilding.
+class MutatorTest : public ::testing::Test {
+ protected:
+  /// a,b -> u1=NAND2(a,b) -> w1; u2=INV(w1) -> w2; u3=NAND2(w1,w2) -> w3.
+  GateNetlist make_diamond() {
+    GateNetlist nl("d");
+    const int a = nl.add_primary_input("a");
+    const int b = nl.add_primary_input("b");
+    const int g1 = nl.add_cell("u1", lib.by_name("NAND2x1"), {a, b}, "w1");
+    const int g2 =
+        nl.add_cell("u2", lib.by_name("INVx1"), {nl.cell(g1).out_net}, "w2");
+    nl.add_cell("u3", lib.by_name("NAND2x1"),
+                {nl.cell(g1).out_net, nl.cell(g2).out_net}, "w3");
+    nl.mark_primary_output(nl.find_net("w3"));
+    return nl;
+  }
+  CellLibrary lib = CellLibrary::standard();
+};
+
+TEST_F(MutatorTest, FindNetDuplicateNamesFirstWins) {
+  GateNetlist nl("d");
+  const int a = nl.add_primary_input("a");
+  const int g1 = nl.add_cell("u1", lib.by_name("INVx1"), {a}, "dup");
+  const int g2 = nl.add_cell("u2", lib.by_name("INVx1"), {a}, "dup");
+  ASSERT_NE(nl.cell(g1).out_net, nl.cell(g2).out_net);
+  // The historical linear scan returned the earliest match; the name map
+  // must preserve that.
+  EXPECT_EQ(nl.find_net("dup"), nl.cell(g1).out_net);
+  EXPECT_EQ(nl.find_net("a"), a);
+  EXPECT_EQ(nl.find_net("absent"), -1);
+}
+
+TEST_F(MutatorTest, GenerationTicksOncePerEdit) {
+  GateNetlist nl = make_diamond();
+  const std::uint64_t g0 = nl.generation();
+  // Building the diamond was 6 edits (2 PIs + 3 cells + 1 PO mark).
+  EXPECT_EQ(g0, 6u);
+  ASSERT_EQ(nl.edit_journal().size(), 6u);
+  EXPECT_EQ(nl.journal_begin(), 0u);
+
+  nl.set_cell_type(1, lib.by_name("INVx4"));
+  EXPECT_EQ(nl.generation(), g0 + 1);
+  EXPECT_EQ(nl.edit_journal().back().kind, NetlistEdit::Kind::kSetCellType);
+  EXPECT_EQ(nl.edit_journal().back().cell, 1);
+
+  const int spare = nl.add_net("spare");
+  EXPECT_EQ(nl.generation(), g0 + 2);
+  EXPECT_EQ(nl.edit_journal().back().kind, NetlistEdit::Kind::kAddNet);
+  EXPECT_EQ(nl.edit_journal().back().new_net, spare);
+
+  nl.rewire_fanin(2, 1, nl.find_net("w1"));
+  EXPECT_EQ(nl.generation(), g0 + 3);
+  EXPECT_EQ(nl.edit_journal().back().kind, NetlistEdit::Kind::kRewireFanin);
+
+  // Journal index i corresponds to generation journal_begin() + i + 1.
+  EXPECT_EQ(nl.journal_begin() + nl.edit_journal().size(), nl.generation());
+
+  // No-op edits (same net, same type handled by caller) don't tick.
+  nl.rewire_fanin(2, 1, nl.find_net("w1"));
+  EXPECT_EQ(nl.generation(), g0 + 3);
+
+  nl.trim_edit_journal();
+  EXPECT_TRUE(nl.edit_journal().empty());
+  EXPECT_EQ(nl.journal_begin(), nl.generation());
+}
+
+TEST_F(MutatorTest, RewireFaninMaintainsSinkLists) {
+  GateNetlist nl = make_diamond();
+  const int w1 = nl.find_net("w1");
+  const int w2 = nl.find_net("w2");
+  ASSERT_TRUE(nl.invariants_ok());
+
+  // Move u3's pin 1 from w2 onto w1: w2 loses the sink, w1 gains it.
+  nl.rewire_fanin(2, 1, w1);
+  EXPECT_TRUE(nl.invariants_ok());
+  EXPECT_TRUE(nl.net(w2).sinks.empty());
+  int found = 0;
+  for (const NetSink& s : nl.net(w1).sinks) {
+    found += (s.cell == 2 && s.pin == 1) ? 1 : 0;
+  }
+  EXPECT_EQ(found, 1);
+  EXPECT_EQ(nl.cell(2).fanin_nets[1], w1);
+
+  // Disconnect, then reconnect.
+  nl.rewire_fanin(2, 1, -1);
+  EXPECT_TRUE(nl.invariants_ok());
+  EXPECT_EQ(nl.cell(2).fanin_nets[1], -1);
+  nl.rewire_fanin(2, 1, w2);
+  EXPECT_TRUE(nl.invariants_ok());
+  ASSERT_EQ(nl.net(w2).sinks.size(), 1u);
+  EXPECT_EQ(nl.net(w2).sinks[0].cell, 2);
+}
+
+TEST_F(MutatorTest, SetCellOutNetMovesDriverAndChecksTarget) {
+  GateNetlist nl = make_diamond();
+  const int w2 = nl.find_net("w2");
+  const int spare = nl.add_net("spare");
+
+  // Moving onto a driven net or a primary input must throw (would create
+  // a multi-driver net), leaving the netlist untouched.
+  EXPECT_THROW(nl.set_cell_out_net(1, nl.find_net("w3")),
+               std::invalid_argument);
+  EXPECT_THROW(nl.set_cell_out_net(1, nl.find_net("a")),
+               std::invalid_argument);
+  EXPECT_TRUE(nl.invariants_ok());
+
+  nl.set_cell_out_net(1, spare);
+  EXPECT_TRUE(nl.invariants_ok());
+  EXPECT_EQ(nl.cell(1).out_net, spare);
+  EXPECT_EQ(nl.net(spare).driver_cell, 1);
+  EXPECT_EQ(nl.net(w2).driver_cell, -1);  // old net left undriven
+  // u3 still sinks w2 (now floating) — that is the caller's stitch to do.
+  ASSERT_EQ(nl.net(w2).sinks.size(), 1u);
+
+  // Raw rebind does NOT maintain links (defect injection for lint).
+  GateNetlist raw = make_diamond();
+  raw.set_cell_out_net_raw(1, raw.find_net("w3"));
+  EXPECT_FALSE(raw.invariants_ok());
+  EXPECT_EQ(raw.edit_journal().back().kind,
+            NetlistEdit::Kind::kRawOutNetRebind);
+}
+
+TEST_F(MutatorTest, LevelizationRepairedInPlaceAfterRandomEdits) {
+  Rng rng(20260807);
+  RandomNetlistSpec spec;
+  spec.name = "lvl";
+  spec.target_cells = 160;
+  spec.num_primary_inputs = 12;
+  spec.seed = 99;
+  GateNetlist nl = generate_random_mapped(spec, lib);
+  (void)nl.levelization();  // warm the cache so edits repair in place
+
+  for (int edit = 0; edit < 60; ++edit) {
+    const int c = rng.uniform_int(0, static_cast<int>(nl.num_cells()) - 1);
+    const int pin =
+        rng.uniform_int(0, static_cast<int>(nl.cell(c).fanin_nets.size()) - 1);
+    // Acyclic by construction: only rewire to nets whose driver sits at a
+    // strictly lower level than the edited cell.
+    const auto& lev = nl.levelization();
+    const int cl = lev.cell_level[static_cast<std::size_t>(c)];
+    std::vector<int> candidates;
+    for (std::size_t n = 0; n < nl.num_nets(); ++n) {
+      const int d = nl.net(static_cast<int>(n)).driver_cell;
+      if (d < 0 || lev.cell_level[static_cast<std::size_t>(d)] < cl) {
+        candidates.push_back(static_cast<int>(n));
+      }
+    }
+    nl.rewire_fanin(c, pin,
+                    candidates[static_cast<std::size_t>(rng.uniform_int(
+                        0, static_cast<int>(candidates.size()) - 1))]);
+
+    // The repaired cache must equal a from-scratch levelization: level ==
+    // 1 + max fanin driver level, buckets sorted and covering every cell.
+    const auto& fixed = nl.levelization();
+    std::size_t covered = 0;
+    for (std::size_t l = 0; l < fixed.levels.size(); ++l) {
+      EXPECT_TRUE(std::is_sorted(fixed.levels[l].begin(),
+                                 fixed.levels[l].end()));
+      for (const int cc : fixed.levels[l]) {
+        EXPECT_EQ(fixed.cell_level[static_cast<std::size_t>(cc)],
+                  static_cast<int>(l));
+        ++covered;
+      }
+    }
+    EXPECT_EQ(covered, nl.num_cells());
+    for (std::size_t cc = 0; cc < nl.num_cells(); ++cc) {
+      int want = 0;
+      for (const int f : nl.cell(static_cast<int>(cc)).fanin_nets) {
+        if (f < 0) continue;
+        const int d = nl.net(f).driver_cell;
+        if (d >= 0) {
+          want = std::max(want,
+                          1 + fixed.cell_level[static_cast<std::size_t>(d)]);
+        }
+      }
+      EXPECT_EQ(fixed.cell_level[cc], want) << "cell " << cc;
+    }
+  }
+  EXPECT_TRUE(nl.invariants_ok());
+}
+
+TEST_F(MutatorTest, CycleViaRewireThrowsOnLevelization) {
+  GateNetlist nl = make_diamond();
+  (void)nl.levelization();
+  // u1 reads u3's output while u3 reads u1's: a combinational cycle. The
+  // in-place repair must detect it and poison the cache so the next
+  // levelization() call reports it.
+  nl.rewire_fanin(0, 0, nl.find_net("w3"));
+  EXPECT_THROW(nl.levelization(), std::runtime_error);
+  EXPECT_THROW(nl.topological_order(), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace nsdc

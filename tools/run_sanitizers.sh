@@ -9,7 +9,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-REGEX="Threading|ThreadPool|Sta|NetMc|Netlist|GoldenSta|Statistical|Lint|Spef|Bench"
+REGEX="Threading|ThreadPool|Sta|NetMc|Netlist|GoldenSta|Statistical|Lint|Spef|Bench|Incremental|Mutator|TimingSizer"
 SANS=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -21,7 +21,8 @@ done
 [[ ${#SANS[@]} -gt 0 ]] || SANS=(tsan asan ubsan)
 
 TARGETS=(test_util test_threading test_netlist test_sta test_netmc
-         test_statprop test_golden_sta test_lint test_spef test_benchio)
+         test_statprop test_golden_sta test_lint test_incremental
+         test_spef test_benchio)
 
 for SAN in "${SANS[@]}"; do
   echo "=== ${SAN} ==="
