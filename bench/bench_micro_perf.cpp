@@ -4,13 +4,17 @@
 // main() additionally runs serial-vs-parallel scaling measurements for the
 // levelized STA engine (sta_parallel_perf.json, skip with --no_sta_scaling),
 // the sharded netlist Monte Carlo including a grain sweep
-// (netmc_parallel_perf.json, skip with --no_netmc_scaling), and the
+// (netmc_parallel_perf.json, skip with --no_netmc_scaling), the
 // per-edit cost of the incremental STA engine across fanout-cone sizes
-// (incremental_sta_perf.json, skip with --no_incremental_scaling).
+// (incremental_sta_perf.json, skip with --no_incremental_scaling), and the
+// write/restore overhead of the netlist-MC checkpoint layer
+// (netmc_checkpoint_perf.json, skip with --no_checkpoint_perf).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -336,6 +340,118 @@ int run_netmc_scaling(const std::string& json_path) {
 /// update), one near the outputs a small cone (cheap update). Each timed
 /// update is checked bit-identical to a fresh full run; the JSON record
 /// lands in incremental_sta_perf.json.
+/// Checkpoint overhead of the netlist MC: baseline vs checkpointed run
+/// (the per-block serialization + flush cost), checkpoint file size, load
+/// time, and the time a resumed run takes when every block is already on
+/// disk. Written to netmc_checkpoint_perf.json.
+int run_checkpoint_perf(const std::string& json_path) {
+  using clock = std::chrono::steady_clock;
+  const TechParams tech = TechParams::nominal28();
+  const CellLibrary lib = CellLibrary::standard();
+  const CharLib charlib = testfix::make_charlib();
+  const NSigmaCellModel model = NSigmaCellModel::fit(charlib);
+  const NSigmaWireModel wire_model = NSigmaWireModel::fit(charlib, lib);
+
+  int bits = 12;
+  GateNetlist netlist = generate_array_multiplier(bits, lib);
+  while (netlist.num_cells() < 1000 && bits < 64) {
+    netlist = generate_array_multiplier(++bits, lib);
+  }
+  const ParasiticDb parasitics = generate_parasitics(netlist, tech);
+  const std::string ck_path = "netmc_checkpoint_perf.ck";
+  constexpr int kSamples = 512;
+  std::cerr << "[checkpoint-perf] design MUL" << bits << ": "
+            << netlist.num_cells() << " cells, " << kSamples << " samples\n";
+
+  McConfig cfg;
+  cfg.samples = kSamples;
+  cfg.seed = 4242;
+  cfg.threads = 1;
+
+  auto timed = [&](const NetMcOptions& opt, NetlistMonteCarlo::Result* out) {
+    const NetlistMonteCarlo mc(model, wire_model, tech, opt);
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = clock::now();
+      auto res = mc.run(netlist, parasitics, cfg);
+      best = std::min(best, std::chrono::duration<double>(
+                                clock::now() - t0).count());
+      if (out) *out = std::move(res);
+    }
+    return best;
+  };
+
+  NetlistMonteCarlo::Result base_res;
+  const double base_s = timed({}, &base_res);
+
+  NetMcOptions ck_opt;
+  ck_opt.checkpoint_path = ck_path;
+  NetlistMonteCarlo::Result ck_res;
+  const double ck_s = timed(ck_opt, &ck_res);
+
+  std::uintmax_t ck_bytes = 0;
+  {
+    std::error_code ec;
+    ck_bytes = std::filesystem::file_size(ck_path, ec);
+    if (ec) ck_bytes = 0;
+  }
+  const std::size_t n_blocks =
+      std::min<std::size_t>(NetlistMonteCarlo::kAccumBlocks, kSamples);
+
+  // Pure load cost of a complete checkpoint.
+  double load_s = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    std::vector<Diagnostic> diags;
+    const auto t0 = clock::now();
+    const auto data = load_mc_checkpoint(ck_path, nullptr, &diags);
+    load_s = std::min(load_s, std::chrono::duration<double>(
+                                  clock::now() - t0).count());
+    if (!data || data->blocks.size() != n_blocks) {
+      std::cerr << "[checkpoint-perf] FAIL: load returned "
+                << (data ? data->blocks.size() : 0) << " of " << n_blocks
+                << " blocks\n";
+      return 1;
+    }
+  }
+
+  // Resume with everything on disk: restore + re-append, no sampling.
+  ck_opt.resume = true;
+  NetlistMonteCarlo::Result resumed;
+  const double resume_s = timed(ck_opt, &resumed);
+  const bool identical =
+      resumed.circuit_samples.size() == base_res.circuit_samples.size() &&
+      std::memcmp(resumed.circuit_samples.data(),
+                  base_res.circuit_samples.data(),
+                  base_res.circuit_samples.size() * sizeof(double)) == 0;
+  std::remove(ck_path.c_str());
+  if (!identical) {
+    std::cerr << "[checkpoint-perf] FAIL: resumed run is not byte-identical"
+              << "\n";
+    return 1;
+  }
+
+  std::ofstream json(json_path);
+  json << "{\n  \"design\": \"" << netlist.name() << "\",\n"
+       << "  \"cells\": " << netlist.num_cells() << ",\n"
+       << "  \"samples\": " << kSamples << ",\n"
+       << "  \"blocks\": " << n_blocks << ",\n"
+       << "  \"baseline_seconds\": " << base_s << ",\n"
+       << "  \"checkpointed_seconds\": " << ck_s << ",\n"
+       << "  \"write_overhead_seconds\": " << (ck_s - base_s) << ",\n"
+       << "  \"write_overhead_per_block_seconds\": "
+       << (ck_s - base_s) / static_cast<double>(n_blocks) << ",\n"
+       << "  \"checkpoint_bytes\": " << ck_bytes << ",\n"
+       << "  \"load_seconds\": " << load_s << ",\n"
+       << "  \"full_resume_seconds\": " << resume_s << ",\n"
+       << "  \"resume_byte_identical\": " << (identical ? "true" : "false")
+       << "\n}\n";
+  std::cerr << "[checkpoint-perf] baseline " << base_s << "s, checkpointed "
+            << ck_s << "s (+" << 100.0 * (ck_s - base_s) / base_s
+            << "%), file " << ck_bytes << " bytes, load " << load_s
+            << "s, full resume " << resume_s << "s -> " << json_path << "\n";
+  return 0;
+}
+
 int run_incremental_scaling(const std::string& json_path) {
   using clock = std::chrono::steady_clock;
   const TechParams tech = TechParams::nominal28();
@@ -449,9 +565,11 @@ int main(int argc, char** argv) {
   bool sta_scaling = true;
   bool netmc_scaling = true;
   bool incremental_scaling = true;
+  bool checkpoint_perf = true;
   std::string json_path = "sta_parallel_perf.json";
   std::string netmc_json_path = "netmc_parallel_perf.json";
   std::string incremental_json_path = "incremental_sta_perf.json";
+  std::string checkpoint_json_path = "netmc_checkpoint_perf.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--no_sta_scaling") == 0) {
       sta_scaling = false;
@@ -462,6 +580,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--no_incremental_scaling") == 0) {
       incremental_scaling = false;
       argv[i--] = argv[--argc];
+    } else if (std::strcmp(argv[i], "--no_checkpoint_perf") == 0) {
+      checkpoint_perf = false;
+      argv[i--] = argv[--argc];
     } else if (std::strncmp(argv[i], "--sta_json=", 11) == 0) {
       json_path = argv[i] + 11;
       argv[i--] = argv[--argc];
@@ -470,6 +591,9 @@ int main(int argc, char** argv) {
       argv[i--] = argv[--argc];
     } else if (std::strncmp(argv[i], "--incremental_json=", 19) == 0) {
       incremental_json_path = argv[i] + 19;
+      argv[i--] = argv[--argc];
+    } else if (std::strncmp(argv[i], "--checkpoint_json=", 18) == 0) {
+      checkpoint_json_path = argv[i] + 18;
       argv[i--] = argv[--argc];
     }
   }
@@ -482,5 +606,6 @@ int main(int argc, char** argv) {
   if (incremental_scaling) {
     rc |= nsdc::run_incremental_scaling(incremental_json_path);
   }
+  if (checkpoint_perf) rc |= nsdc::run_checkpoint_perf(checkpoint_json_path);
   return rc;
 }

@@ -1,10 +1,13 @@
 #include "baselines/mc_reference.hpp"
 
 #include <chrono>
+#include <cmath>
+#include <limits>
 
 #include "liberty/stagesim.hpp"
 #include "pdk/varmodel.hpp"
 #include "stats/quantiles.hpp"
+#include "util/faultinject.hpp"
 #include "util/log.hpp"
 #include "util/threading.hpp"
 
@@ -37,7 +40,16 @@ PathMcResult PathMonteCarlo::run(const PathDescription& path,
   };
   std::vector<SampleOut> results(static_cast<std::size_t>(config.samples));
 
+  const ExecContext exec = config.resolved_exec();
+  CancellationToken* token = exec.cancel;
+
   auto run_sample = [&](std::size_t idx) {
+    if (token != nullptr) {
+      token->charge(1);
+      token->throw_if_cancelled();
+    }
+    const bool poison =
+        fault_fire("pathmc.sample", idx, token) == FaultAction::kNan;
     Rng sample_rng = base.fork("s" + std::to_string(idx));
     const GlobalCorner corner = vm.sample_global(sample_rng);
     Rng local = sample_rng.split();
@@ -107,11 +119,11 @@ PathMcResult PathMonteCarlo::run(const PathDescription& path,
     }
     if (!failed) {
       out_s.ok = true;
-      out_s.total = total;
+      out_s.total =
+          poison ? std::numeric_limits<double>::quiet_NaN() : total;
     }
   };
-  config.exec.with_threads(config.threads)
-      .parallel_for(static_cast<std::size_t>(config.samples), run_sample);
+  exec.parallel_for(static_cast<std::size_t>(config.samples), run_sample);
 
   MomentAccumulator total_acc;
   std::vector<std::vector<double>> cell_samples(n_stages),
@@ -119,6 +131,10 @@ PathMcResult PathMonteCarlo::run(const PathDescription& path,
   for (const auto& r : results) {
     if (!r.ok) {
       ++out.failures;
+      continue;
+    }
+    if (!std::isfinite(r.total)) {
+      ++out.quarantined;
       continue;
     }
     out.samples.push_back(r.total);
@@ -129,6 +145,10 @@ PathMcResult PathMonteCarlo::run(const PathDescription& path,
     }
   }
 
+  if (out.quarantined > 0) {
+    log_warn() << "PathMonteCarlo: quarantined " << out.quarantined
+               << " non-finite samples";
+  }
   if (out.samples.size() >= 8) {
     out.moments = total_acc.moments();
     out.quantiles = sigma_quantiles_smoothed(out.samples);

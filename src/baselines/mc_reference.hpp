@@ -9,6 +9,7 @@
 // delays are recorded so Fig. 11's per-wire comparison falls out directly.
 
 #include <array>
+#include <cstdint>
 #include <vector>
 
 #include "core/mcconfig.hpp"
@@ -32,6 +33,10 @@ struct PathMcResult {
   std::vector<std::array<double, 7>> stage_wire_quantiles;
   std::vector<double> stage_wire_elmore;  ///< nominal Elmore per stage
   int failures = 0;
+  /// Samples whose total delay came out non-finite (numeric blow-up or an
+  /// injected "pathmc.sample" NaN fault): counted here and excluded from
+  /// moments/quantiles so the reported statistics stay finite.
+  std::uint64_t quarantined = 0;
   double runtime_seconds = 0.0;
 };
 

@@ -9,6 +9,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "util/errors.hpp"
+
 namespace nsdc {
 namespace {
 
@@ -111,7 +113,7 @@ GateNetlist parse_bench(const std::string& text, const CellLibrary& lib,
   auto report = [&](int line, const std::string& object,
                     const std::string& message, const std::string& hint) {
     if (diags == nullptr) {
-      throw std::runtime_error("bench: " + message + " at line " +
+      throw ParseError("bench: " + message + " at line " +
                                std::to_string(line));
     }
     diags->push_back(
@@ -294,7 +296,7 @@ GateNetlist parse_bench(const std::string& text, const CellLibrary& lib,
 GateNetlist load_bench(const std::string& path, const CellLibrary& lib,
                        std::vector<Diagnostic>* diags) {
   std::ifstream f(path);
-  if (!f) throw std::runtime_error("load_bench: cannot open " + path);
+  if (!f) throw IoError("load_bench: cannot open " + path);
   std::ostringstream ss;
   ss << f.rdbuf();
   // Design name = basename without extension.

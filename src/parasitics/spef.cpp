@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/errors.hpp"
+
 namespace nsdc {
 
 void ParasiticDb::add(const std::string& net, RcTree tree) {
@@ -60,7 +62,7 @@ ParasiticDb ParasiticDb::from_spef(const std::string& text,
   auto report = [&](Severity sev, const std::string& why,
                     const std::string& hint) {
     if (diags == nullptr) {
-      throw std::runtime_error("SPEF-lite parse error at line " +
+      throw ParseError("SPEF-lite parse error at line " +
                                std::to_string(lineno) + ": " + why);
     }
     diags->push_back({sev, "parse.spef",
@@ -169,7 +171,7 @@ ParasiticDb ParasiticDb::from_spef(const std::string& text,
   }
   if (!cur_net.empty()) {
     if (diags == nullptr) {
-      throw std::runtime_error("SPEF-lite parse error: missing final *END");
+      throw ParseError("SPEF-lite parse error: missing final *END");
     }
     report(Severity::kError, "missing final *END", "net kept");
     db.add(cur_net, std::move(cur_tree));

@@ -119,7 +119,7 @@ StaEngine::Result StaEngine::run(const GateNetlist& netlist,
   // One lane when serial: ExecContext::parallel_for then runs the loop
   // inline on the calling thread, so both modes share one code path.
   const ExecContext exec =
-      parallel ? config_.exec : ExecContext{config_.exec.pool, 1};
+      parallel ? config_.exec : config_.exec.with_threads(1);
 
   // Annotate: copy each tree and add receiver pin caps at its sinks; the
   // total cap is what the driving cell sees. Nets are independent.

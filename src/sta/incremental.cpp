@@ -30,6 +30,7 @@ const StaEngine::Result& IncrementalSta::bind(const GateNetlist& netlist,
   netlist_ = &netlist;
   parasitics_ = &parasitics;
   pending_parasitics_.clear();
+  diags_.clear();
   return full_rerun();
 }
 
@@ -40,6 +41,17 @@ const StaEngine::Result& IncrementalSta::full_rerun() {
   po_cache_ = netlist_->primary_outputs();
   stats_.full_rerun = true;
   return result_;
+}
+
+const StaEngine::Result& IncrementalSta::fallback(const std::string& why) {
+  Diagnostic d;
+  d.severity = Severity::kWarn;
+  d.rule = "incremental.fallback";
+  d.object = "netlist:" + netlist_->name();
+  d.message = why + "; degraded to a full engine run";
+  d.hint = "the result is still exact, only the per-edit cost saving is lost";
+  diags_.push_back(std::move(d));
+  return full_rerun();
 }
 
 void IncrementalSta::invalidate_parasitics(int net) {
@@ -70,14 +82,19 @@ void IncrementalSta::seed_reannotated_net(int net,
 const StaEngine::Result& IncrementalSta::update() {
   if (!netlist_) throw std::logic_error("IncrementalSta: update before bind");
   stats_ = UpdateStats{};
+  diags_.clear();
   const std::uint64_t gen = netlist_->generation();
   if (gen == synced_gen_ && pending_parasitics_.empty()) return result_;
 
   // A generation behind our sync point (the netlist object was replaced
   // wholesale) or a journal trimmed past it leaves nothing to replay.
   const auto& journal = netlist_->edit_journal();
-  if (gen < synced_gen_ || synced_gen_ < netlist_->journal_begin()) {
-    return full_rerun();
+  if (gen < synced_gen_) {
+    return fallback("netlist generation moved backwards (wholesale netlist "
+                    "replacement)");
+  }
+  if (synced_gen_ < netlist_->journal_begin()) {
+    return fallback("edit journal trimmed past the sync point");
   }
   const std::size_t first =
       static_cast<std::size_t>(synced_gen_ - netlist_->journal_begin());
@@ -94,10 +111,12 @@ const StaEngine::Result& IncrementalSta::update() {
       case NetlistEdit::Kind::kAddPrimaryInput:
       case NetlistEdit::Kind::kAddNet:
       case NetlistEdit::Kind::kAddCell:
+        // Structural growth resizes every per-net array.
+        return fallback("structural growth in the edit journal");
       case NetlistEdit::Kind::kRawOutNetRebind:
-        // Structural growth resizes every per-net array; raw surgery
-        // voids the one-driver invariant the cone walk relies on.
-        return full_rerun();
+        // Raw surgery voids the one-driver invariant the cone walk
+        // relies on.
+        return fallback("raw output-net surgery in the edit journal");
       case NetlistEdit::Kind::kMarkPrimaryOutput:
         po_set_changed = true;
         break;
@@ -129,7 +148,7 @@ const StaEngine::Result& IncrementalSta::update() {
     const std::vector<int> nets(reannotate.begin(), reannotate.end());
     const bool parallel = config_.parallel_for_size(nets.size());
     const ExecContext exec =
-        parallel ? config_.exec : ExecContext{config_.exec.pool, 1};
+        parallel ? config_.exec : config_.exec.with_threads(1);
     exec.parallel_for(nets.size(), [&](std::size_t i) {
       sta_kernel::annotate_net(*netlist_, *parasitics_, tech_,
                                static_cast<std::size_t>(nets[i]), result_);
@@ -178,7 +197,7 @@ const StaEngine::Result& IncrementalSta::update() {
     }
     const bool parallel = config_.parallel_for_size(batch.size());
     const ExecContext exec =
-        parallel ? config_.exec : ExecContext{config_.exec.pool, 1};
+        parallel ? config_.exec : config_.exec.with_threads(1);
     exec.parallel_for(batch.size(), [&](std::size_t i) {
       sta_kernel::propagate_cell(*netlist_, model_, batch[i], result_);
     });

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "sta/engine.hpp"
+#include "util/diag.hpp"
 
 namespace nsdc {
 
@@ -79,8 +80,17 @@ class IncrementalSta {
   };
   const UpdateStats& last_stats() const { return stats_; }
 
+  /// Diagnostics of the most recent update(): one "incremental.fallback"
+  /// record (rule + reason) whenever the journal could not be replayed and
+  /// the update degraded to a full engine run. Cleared on every update();
+  /// empty when the incremental path ran. The degradation is silent in the
+  /// Result itself — same bits either way — so this is the observable
+  /// signal that the cheap path was skipped.
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+
  private:
   const StaEngine::Result& full_rerun();
+  const StaEngine::Result& fallback(const std::string& why);
   void seed_reannotated_net(int net, std::set<int>* dirty_cells) const;
 
   const NSigmaCellModel& model_;
@@ -95,6 +105,7 @@ class IncrementalSta {
   std::set<int> pending_parasitics_;
   std::vector<int> po_cache_;
   UpdateStats stats_;
+  std::vector<Diagnostic> diags_;
 };
 
 }  // namespace nsdc

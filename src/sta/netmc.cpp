@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
 #include <string>
 
 #include "sta/annotate.hpp"
 #include "stats/quantiles.hpp"
+#include "util/faultinject.hpp"
 #include "util/rng.hpp"
 
 namespace nsdc {
@@ -38,6 +42,74 @@ struct McTask {
   std::uint32_t first_arc = 0;
   std::uint32_t num_arcs = 0;
 };
+
+/// Fingerprint over the sampler options that change drawn values; bound
+/// into the checkpoint header so a file never resumes a different model
+/// configuration. Scheduling knobs (threads/grain) are excluded — they do
+/// not affect results.
+std::uint64_t options_fingerprint(const NetMcOptions& o) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &o.die_to_die_share, sizeof(bits));
+  mix(bits);
+  std::memcpy(&bits, &o.variation_scale, sizeof(bits));
+  mix(bits);
+  mix(o.moment_shaping ? 1 : 0);
+  return h;
+}
+
+/// Seven sigma-level quantiles over the finite entries of `v`; all-zero
+/// when nothing finite remains. Quarantined (NaN-poisoned) samples stay in
+/// the retained vectors for checkpoint fidelity but must never reach the
+/// order statistics.
+std::array<double, 7> finite_quantiles(const std::vector<double>& v) {
+  bool all_finite = true;
+  for (double x : v) {
+    if (!std::isfinite(x)) {
+      all_finite = false;
+      break;
+    }
+  }
+  if (all_finite) {
+    return v.empty() ? std::array<double, 7>{} : sigma_quantiles_smoothed(v);
+  }
+  std::vector<double> filtered;
+  filtered.reserve(v.size());
+  for (double x : v) {
+    if (std::isfinite(x)) filtered.push_back(x);
+  }
+  if (filtered.empty()) return {};
+  return sigma_quantiles_smoothed(filtered);
+}
+
+/// Endpoint distributions from the retained sample vectors (shared by a
+/// finished run and a checkpoint-restored partial result).
+void finalize_endpoints(NetlistMonteCarlo::Result* out) {
+  const std::size_t n_pos = out->po_nets.size();
+  out->po_moments.resize(n_pos);
+  out->po_quantiles.resize(n_pos);
+  double worst_mean = -1.0;
+  for (std::size_t p = 0; p < n_pos; ++p) {
+    out->po_moments[p] = compute_moments(out->po_samples[p]);
+    out->po_quantiles[p] = finite_quantiles(out->po_samples[p]);
+    if (out->po_moments[p].mu > worst_mean) {
+      worst_mean = out->po_moments[p].mu;
+      out->worst_po = out->po_nets[p];
+      out->worst_po_moments = out->po_moments[p];
+      out->worst_po_quantiles = out->po_quantiles[p];
+    }
+  }
+  if (!out->circuit_samples.empty()) {
+    out->circuit_moments = compute_moments(out->circuit_samples);
+    out->circuit_quantiles = finite_quantiles(out->circuit_samples);
+  }
+}
 
 }  // namespace
 
@@ -136,13 +208,74 @@ NetlistMonteCarlo::Result NetlistMonteCarlo::run(
   const std::size_t n_blocks = std::min(kAccumBlocks, n_samples);
   const std::size_t per_block = (n_samples + n_blocks - 1) / n_blocks;
   std::vector<std::array<MomentAccumulator, 2>> block_acc(n_blocks * n_nets);
+  std::vector<std::array<std::uint64_t, 2>> block_quar(n_blocks * n_nets,
+                                                       {0, 0});
+  // Blocks restored from a checkpoint; the parallel loop skips them. Set
+  // before the loop starts, each in-loop element only touched by the one
+  // chunk that owns its block.
+  std::vector<char> block_done(n_blocks, 0);
+
+  // Checkpoint plumbing: the header binds the file to this exact run; a
+  // resume restores every intact block (re-appending it to the rewritten
+  // file) and the loop computes only what is missing.
+  std::unique_ptr<McCheckpointWriter> writer;
+  if (!options_.checkpoint_path.empty()) {
+    McCheckpointHeader header;
+    header.seed = config.seed;
+    header.samples = n_samples;
+    header.nets = n_nets;
+    header.pos = n_pos;
+    header.blocks = n_blocks;
+    header.options_fp = options_fingerprint(options_);
+    header.po_nets.reserve(n_pos);
+    for (int po : po_nets) header.po_nets.push_back(po);
+
+    std::optional<McCheckpointData> restored;
+    if (options_.resume) {
+      restored = load_mc_checkpoint(options_.checkpoint_path, &header,
+                                    &out.diagnostics);
+    }
+    writer = std::make_unique<McCheckpointWriter>(options_.checkpoint_path,
+                                                  header);
+    if (restored) {
+      for (const McBlockState& blk : restored->blocks) {
+        const auto b = static_cast<std::size_t>(blk.block);
+        for (std::size_t n = 0; n < n_nets; ++n) {
+          for (std::size_t e = 0; e < 2; ++e) {
+            block_acc[b * n_nets + n][e] =
+                MomentAccumulator::from_state(blk.acc[n * 2 + e]);
+            block_quar[b * n_nets + n][e] = blk.quarantine[n * 2 + e];
+          }
+        }
+        std::uint64_t sb = 0, se = 0;
+        mc_block_range(header, blk.block, &sb, &se);
+        const std::size_t len = static_cast<std::size_t>(se - sb);
+        for (std::size_t p = 0; p < n_pos; ++p) {
+          for (std::size_t k = 0; k < len; ++k) {
+            out.po_samples[p][static_cast<std::size_t>(sb) + k] =
+                blk.po_samples[p * len + k];
+          }
+        }
+        for (std::size_t k = 0; k < len; ++k) {
+          out.circuit_samples[static_cast<std::size_t>(sb) + k] =
+              blk.circuit_samples[k];
+        }
+        writer->append(blk);
+        block_done[b] = 1;
+        ++out.blocks_resumed;
+      }
+    }
+  }
 
   const double rho = std::clamp(options_.die_to_die_share, 0.0, 1.0);
   const double w_g = std::sqrt(rho);
   const double w_l = std::sqrt(1.0 - rho);
   const Rng base(config.seed);
+  const ExecContext exec = config.resolved_exec();
+  CancellationToken* token = exec.cancel;
+  constexpr double kQuietNan = std::numeric_limits<double>::quiet_NaN();
 
-  out.shards = config.resolved_exec().parallel_for_chunked(
+  out.shards = exec.parallel_for_chunked(
       n_blocks, options_.grain, [&](std::size_t b_begin, std::size_t b_end) {
         // Chunk-local scratch, reused across the chunk's blocks/samples.
         // PI slots stay 0 (their arrival) for the whole chunk; every other
@@ -151,10 +284,24 @@ NetlistMonteCarlo::Result NetlistMonteCarlo::run(
         std::vector<double> z_cell(n_cells, 0.0);
         std::vector<double> z_wire(n_nets, 0.0);
         for (std::size_t b = b_begin; b < b_end; ++b) {
+          if (block_done[b]) continue;
+          fault_fire("netmc.block", b, token);
           auto* acc = &block_acc[b * n_nets];
-          const std::size_t s_begin = b * per_block;
+          auto* quar = &block_quar[b * n_nets];
+          // Clamp like mc_block_range: the last blocks can be empty when
+          // per_block * n_blocks overshoots the sample count.
+          const std::size_t s_begin = std::min(n_samples, b * per_block);
           const std::size_t s_end = std::min(n_samples, s_begin + per_block);
           for (std::size_t s = s_begin; s < s_end; ++s) {
+            // Cooperative preemption point: explicit cancel, deadline, and
+            // the per-sample budget all surface here as CancelledError.
+            // Completed blocks are already on disk, so nothing is lost.
+            if (token != nullptr) {
+              token->charge(1);
+              token->throw_if_cancelled();
+            }
+            const bool poison =
+                fault_fire("netmc.sample", s, token) == FaultAction::kNan;
             // Counter-based fork: the sample's stream depends only on
             // (seed, sample index), never on the executing thread.
             Rng rng = base.fork("s" + std::to_string(s));
@@ -192,29 +339,80 @@ NetlistMonteCarlo::Result NetlistMonteCarlo::run(
               arr[t.out_slot] = best;
             }
 
+            // Quarantine gate: a non-finite arrival (or a NaN-poisoned
+            // sample) bumps the per-net counter instead of poisoning the
+            // streamed moments. The raw value stays in the retained
+            // endpoint vectors (checkpoint fidelity); quantile extraction
+            // filters it out.
             for (std::size_t n = 0; n < n_nets; ++n) {
               if (!nom.nets[n].reachable) continue;
-              acc[n][0].add(arr[2 * n]);
-              acc[n][1].add(arr[2 * n + 1]);
+              const double rise = poison ? kQuietNan : arr[2 * n];
+              const double fall = poison ? kQuietNan : arr[2 * n + 1];
+              if (std::isfinite(rise)) {
+                acc[n][0].add(rise);
+              } else {
+                ++quar[n][0];
+              }
+              if (std::isfinite(fall)) {
+                acc[n][1].add(fall);
+              } else {
+                ++quar[n][1];
+              }
             }
             double circuit = 0.0;
+            bool circuit_finite = !poison;
             for (std::size_t p = 0; p < n_pos; ++p) {
               const auto po = static_cast<std::size_t>(po_nets[p]);
-              const double worst = std::max(arr[2 * po], arr[2 * po + 1]);
+              const double worst =
+                  poison ? kQuietNan
+                         : std::max(arr[2 * po], arr[2 * po + 1]);
               out.po_samples[p][s] = worst;
-              if (worst > circuit) circuit = worst;
+              if (!std::isfinite(worst)) {
+                circuit_finite = false;
+              } else if (worst > circuit) {
+                circuit = worst;
+              }
             }
-            out.circuit_samples[s] = circuit;
+            out.circuit_samples[s] = circuit_finite ? circuit : kQuietNan;
+          }
+          if (writer != nullptr) {
+            // Completed block -> durable record (append is thread-safe).
+            McBlockState blk;
+            blk.block = b;
+            blk.acc.resize(n_nets * 2);
+            blk.quarantine.resize(n_nets * 2);
+            for (std::size_t n = 0; n < n_nets; ++n) {
+              for (std::size_t e = 0; e < 2; ++e) {
+                blk.acc[n * 2 + e] = acc[n][e].state();
+                blk.quarantine[n * 2 + e] = quar[n][e];
+              }
+            }
+            const std::size_t len = s_end - s_begin;
+            blk.po_samples.resize(n_pos * len);
+            for (std::size_t p = 0; p < n_pos; ++p) {
+              for (std::size_t k = 0; k < len; ++k) {
+                blk.po_samples[p * len + k] = out.po_samples[p][s_begin + k];
+              }
+            }
+            blk.circuit_samples.assign(
+                out.circuit_samples.begin() +
+                    static_cast<std::ptrdiff_t>(s_begin),
+                out.circuit_samples.begin() +
+                    static_cast<std::ptrdiff_t>(s_end));
+            writer->append(blk);
           }
         }
       });
 
   // Deterministic merge: blocks in index order.
   std::vector<std::array<MomentAccumulator, 2>> merged(n_nets);
+  out.quarantined.assign(n_nets, {0, 0});
   for (std::size_t b = 0; b < n_blocks; ++b) {
     for (std::size_t n = 0; n < n_nets; ++n) {
       merged[n][0].merge(block_acc[b * n_nets + n][0]);
       merged[n][1].merge(block_acc[b * n_nets + n][1]);
+      out.quarantined[n][0] += block_quar[b * n_nets + n][0];
+      out.quarantined[n][1] += block_quar[b * n_nets + n][1];
     }
   }
   for (std::size_t n = 0; n < n_nets; ++n) {
@@ -223,31 +421,86 @@ NetlistMonteCarlo::Result NetlistMonteCarlo::run(
       if (merged[n][e].count() > 0) {
         out.nets[n][e].moments = merged[n][e].moments();
       }
+      out.total_quarantined += out.quarantined[n][e];
     }
   }
+  if (out.total_quarantined > 0) {
+    for (std::size_t n = 0; n < n_nets; ++n) {
+      const std::uint64_t r = out.quarantined[n][0];
+      const std::uint64_t f = out.quarantined[n][1];
+      if (r + f == 0) continue;
+      Diagnostic d;
+      d.severity = Severity::kWarn;
+      d.rule = "netmc.quarantine";
+      d.object = "net:" + netlist.net(static_cast<int>(n)).name;
+      d.message = "quarantined " + std::to_string(r + f) +
+                  " non-finite sample(s) (" + std::to_string(r) +
+                  " rise, " + std::to_string(f) +
+                  " fall); excluded from streamed moments";
+      out.diagnostics.push_back(std::move(d));
+    }
+  }
+  sort_diagnostics(out.diagnostics);
+  out.samples_done = n_samples;
 
   // Endpoint distributions from the retained sample vectors.
-  out.po_moments.resize(n_pos);
-  out.po_quantiles.resize(n_pos);
-  double worst_mean = -1.0;
-  for (std::size_t p = 0; p < n_pos; ++p) {
-    out.po_moments[p] = compute_moments(out.po_samples[p]);
-    out.po_quantiles[p] = sigma_quantiles_smoothed(out.po_samples[p]);
-    if (out.po_moments[p].mu > worst_mean) {
-      worst_mean = out.po_moments[p].mu;
-      out.worst_po = po_nets[p];
-      out.worst_po_moments = out.po_moments[p];
-      out.worst_po_quantiles = out.po_quantiles[p];
-    }
-  }
-  if (!out.circuit_samples.empty()) {
-    out.circuit_moments = compute_moments(out.circuit_samples);
-    out.circuit_quantiles = sigma_quantiles_smoothed(out.circuit_samples);
-  }
+  finalize_endpoints(&out);
 
   out.runtime_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  return out;
+}
+
+NetlistMonteCarlo::Result NetlistMonteCarlo::partial_result(
+    const McCheckpointData& data) {
+  Result out;
+  const McCheckpointHeader& h = data.header;
+  const auto n_nets = static_cast<std::size_t>(h.nets);
+  const auto n_pos = static_cast<std::size_t>(h.pos);
+  out.nets.assign(n_nets, {});
+  out.quarantined.assign(n_nets, {0, 0});
+  out.po_nets.reserve(n_pos);
+  for (std::int32_t po : h.po_nets) out.po_nets.push_back(po);
+  out.po_samples.assign(n_pos, {});
+  out.blocks_resumed = data.blocks.size();
+
+  // Merge restored blocks in index order (the loader pre-sorts), exactly
+  // as the run's final reduction would for those blocks.
+  std::vector<std::array<MomentAccumulator, 2>> merged(n_nets);
+  for (const McBlockState& blk : data.blocks) {
+    for (std::size_t n = 0; n < n_nets; ++n) {
+      for (std::size_t e = 0; e < 2; ++e) {
+        merged[n][e].merge(
+            MomentAccumulator::from_state(blk.acc[n * 2 + e]));
+        out.quarantined[n][e] += blk.quarantine[n * 2 + e];
+      }
+    }
+    std::uint64_t sb = 0, se = 0;
+    mc_block_range(h, blk.block, &sb, &se);
+    const std::size_t len = static_cast<std::size_t>(se - sb);
+    for (std::size_t p = 0; p < n_pos; ++p) {
+      out.po_samples[p].insert(out.po_samples[p].end(),
+                               blk.po_samples.begin() +
+                                   static_cast<std::ptrdiff_t>(p * len),
+                               blk.po_samples.begin() +
+                                   static_cast<std::ptrdiff_t>((p + 1) * len));
+    }
+    out.circuit_samples.insert(out.circuit_samples.end(),
+                               blk.circuit_samples.begin(),
+                               blk.circuit_samples.end());
+    out.samples_done += len;
+  }
+  for (std::size_t n = 0; n < n_nets; ++n) {
+    for (std::size_t e = 0; e < 2; ++e) {
+      out.nets[n][e].count = merged[n][e].count();
+      if (merged[n][e].count() > 0) {
+        out.nets[n][e].moments = merged[n][e].moments();
+      }
+      out.total_quarantined += out.quarantined[n][e];
+    }
+  }
+  finalize_endpoints(&out);
   return out;
 }
 

@@ -36,7 +36,9 @@
 #include "netlist/netlist.hpp"
 #include "parasitics/spef.hpp"
 #include "sta/engine.hpp"
+#include "sta/netmc_checkpoint.hpp"
 #include "stats/moments.hpp"
+#include "util/diag.hpp"
 
 namespace nsdc {
 
@@ -59,6 +61,16 @@ struct NetMcOptions {
   /// netmc_parallel_perf.json sweep shows per-block work is coarse enough
   /// that load balance beats scheduling overhead at every design size.
   std::size_t grain = 1;
+  /// When non-empty, stream completed accumulation blocks to this
+  /// checkpoint file (see sta/netmc_checkpoint.hpp for the format). A run
+  /// killed mid-flight — cancellation, deadline, crash — leaves every
+  /// completed block on disk.
+  std::string checkpoint_path;
+  /// With checkpoint_path set: restore completed blocks from the file and
+  /// compute only the remainder. A missing, mismatched, or damaged
+  /// checkpoint degrades to a fresh run with a Result diagnostic, never an
+  /// error; the resumed result is byte-identical to an uninterrupted run.
+  bool resume = false;
 };
 
 class NetlistMonteCarlo {
@@ -107,10 +119,27 @@ class NetlistMonteCarlo {
     std::array<double, 7> worst_po_quantiles{};
     unsigned shards = 0;  ///< chunks the sample blocks were scheduled into
     double runtime_seconds = 0.0;
+    /// Per net, per edge: non-finite samples quarantined instead of
+    /// accumulated (an injected fault or a numeric blow-up). Quarantined
+    /// samples bump these counters and the Result diagnostics but never
+    /// reach the streamed moments, so reported statistics stay finite.
+    std::vector<std::array<std::uint64_t, 2>> quarantined;
+    std::uint64_t total_quarantined = 0;
+    /// Checkpoint/quarantine events of this run (util/diag records,
+    /// deterministic order).
+    std::vector<Diagnostic> diagnostics;
+    std::uint64_t blocks_resumed = 0;  ///< blocks restored from checkpoint
+    std::uint64_t samples_done = 0;    ///< samples covered by the result
   };
 
   Result run(const GateNetlist& netlist, const ParasiticDb& parasitics,
              const McConfig& config) const;
+
+  /// Rebuilds the statistics a checkpoint holds — the "partial stats"
+  /// escape hatch after a cancelled or crashed run. Per-net moments merge
+  /// the restored blocks in index order; endpoint moments/quantiles cover
+  /// the completed sample ranges only (samples_done says how many).
+  static Result partial_result(const McCheckpointData& data);
 
  private:
   const NSigmaCellModel& cell_model_;

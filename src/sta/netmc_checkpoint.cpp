@@ -1,0 +1,327 @@
+#include "sta/netmc_checkpoint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "util/errors.hpp"
+#include "util/faultinject.hpp"
+
+namespace nsdc {
+
+namespace {
+
+constexpr char kMagic[8] = {'N', 'S', 'D', 'C', 'M', 'C', '0', '1'};
+constexpr std::uint64_t kRecordMagic = 0x4b434f4c42434d4eULL;  // "NMCBLOCK"
+
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void put_u64(std::vector<std::uint8_t>* buf, std::uint64_t v) {
+  const std::size_t at = buf->size();
+  buf->resize(at + sizeof(v));
+  std::memcpy(buf->data() + at, &v, sizeof(v));
+}
+
+void put_f64(std::vector<std::uint8_t>* buf, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(buf, bits);
+}
+
+void put_i32(std::vector<std::uint8_t>* buf, std::int32_t v) {
+  const std::size_t at = buf->size();
+  buf->resize(at + sizeof(v));
+  std::memcpy(buf->data() + at, &v, sizeof(v));
+}
+
+/// Bounds-unchecked readers — callers validate sizes first.
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+double get_f64(const std::uint8_t* p) {
+  const std::uint64_t bits = get_u64(p);
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::int32_t get_i32(const std::uint8_t* p) {
+  std::int32_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+constexpr std::size_t kFixedHeaderBytes = sizeof(kMagic) + 6 * 8;
+constexpr std::size_t kAccStateBytes = 6 * 8;  // n, rejected, mean, m2, m3, m4
+
+std::size_t header_bytes(std::uint64_t pos) {
+  return kFixedHeaderBytes + static_cast<std::size_t>(pos) * 4 + 8;
+}
+
+/// Record payload size for block `b` (excludes the 16-byte record prologue
+/// and the 8-byte checksum).
+std::size_t record_payload_bytes(const McCheckpointHeader& h,
+                                 std::uint64_t b) {
+  std::uint64_t begin = 0, end = 0;
+  mc_block_range(h, b, &begin, &end);
+  const std::size_t len = static_cast<std::size_t>(end - begin);
+  const auto nets = static_cast<std::size_t>(h.nets);
+  const auto pos = static_cast<std::size_t>(h.pos);
+  return nets * 2 * kAccStateBytes + nets * 2 * 8 + pos * len * 8 + len * 8;
+}
+
+std::vector<std::uint8_t> serialize_header(const McCheckpointHeader& h) {
+  std::vector<std::uint8_t> buf;
+  buf.insert(buf.end(), kMagic, kMagic + sizeof(kMagic));
+  put_u64(&buf, h.seed);
+  put_u64(&buf, h.samples);
+  put_u64(&buf, h.nets);
+  put_u64(&buf, h.pos);
+  put_u64(&buf, h.blocks);
+  put_u64(&buf, h.options_fp);
+  for (std::int32_t po : h.po_nets) put_i32(&buf, po);
+  put_u64(&buf, fnv1a(buf.data(), buf.size()));
+  return buf;
+}
+
+std::vector<std::uint8_t> serialize_record(const McBlockState& blk) {
+  std::vector<std::uint8_t> buf;
+  put_u64(&buf, kRecordMagic);
+  put_u64(&buf, blk.block);
+  for (const MomentAccumulator::State& s : blk.acc) {
+    put_u64(&buf, s.n);
+    put_u64(&buf, s.rejected);
+    put_f64(&buf, s.mean);
+    put_f64(&buf, s.m2);
+    put_f64(&buf, s.m3);
+    put_f64(&buf, s.m4);
+  }
+  for (std::uint64_t q : blk.quarantine) put_u64(&buf, q);
+  for (double v : blk.po_samples) put_f64(&buf, v);
+  for (double v : blk.circuit_samples) put_f64(&buf, v);
+  put_u64(&buf, fnv1a(buf.data(), buf.size()));
+  return buf;
+}
+
+void push_diag(std::vector<Diagnostic>* diags, Severity sev,
+               const std::string& path, std::string message) {
+  if (diags == nullptr) return;
+  Diagnostic d;
+  d.severity = sev;
+  d.rule = "netmc.checkpoint";
+  d.object = "file:" + path;
+  d.message = std::move(message);
+  diags->push_back(std::move(d));
+}
+
+}  // namespace
+
+bool McCheckpointHeader::matches(const McCheckpointHeader& other) const {
+  return seed == other.seed && samples == other.samples &&
+         nets == other.nets && pos == other.pos && blocks == other.blocks &&
+         options_fp == other.options_fp && po_nets == other.po_nets;
+}
+
+void mc_block_range(const McCheckpointHeader& header, std::uint64_t b,
+                    std::uint64_t* begin, std::uint64_t* end) {
+  const std::uint64_t blocks = std::max<std::uint64_t>(1, header.blocks);
+  const std::uint64_t per = (header.samples + blocks - 1) / blocks;
+  *begin = std::min(header.samples, b * per);
+  *end = std::min(header.samples, *begin + per);
+}
+
+McCheckpointWriter::McCheckpointWriter(std::string path,
+                                       const McCheckpointHeader& header)
+    : path_(std::move(path)) {
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    throw IoError("checkpoint: cannot open " + path_ + " for writing");
+  }
+  const std::vector<std::uint8_t> buf = serialize_header(header);
+  if (std::fwrite(buf.data(), 1, buf.size(), file_) != buf.size() ||
+      std::fflush(file_) != 0) {
+    throw IoError("checkpoint: header write failed for " + path_);
+  }
+}
+
+McCheckpointWriter::~McCheckpointWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void McCheckpointWriter::append(const McBlockState& block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // kThrow fires before the write (a failed append); kTruncate cuts the
+  // flushed file afterwards (a torn record on disk).
+  std::uint64_t trunc_bytes = 0;
+  const FaultAction fault =
+      fault_fire("checkpoint.write", block.block, nullptr, &trunc_bytes);
+  const std::vector<std::uint8_t> buf = serialize_record(block);
+  if (std::fwrite(buf.data(), 1, buf.size(), file_) != buf.size() ||
+      std::fflush(file_) != 0) {
+    throw IoError("checkpoint: block write failed for " + path_);
+  }
+  if (fault == FaultAction::kTruncate && trunc_bytes > 0) {
+    std::error_code ec;
+    const std::uintmax_t size = std::filesystem::file_size(path_, ec);
+    if (!ec) {
+      const std::uintmax_t cut = std::min<std::uintmax_t>(size, trunc_bytes);
+      std::filesystem::resize_file(path_, size - cut, ec);
+      // Keep appending at the new end; the torn record stays corrupt,
+      // which is exactly what the loader's prefix recovery is tested on.
+      std::fseek(file_, 0, SEEK_END);
+    }
+  }
+}
+
+std::optional<McCheckpointData> load_mc_checkpoint(
+    const std::string& path, const McCheckpointHeader* expect,
+    std::vector<Diagnostic>* diags) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    push_diag(diags, Severity::kWarn, path,
+              "checkpoint not found or unreadable; starting fresh");
+    return std::nullopt;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const auto* data = reinterpret_cast<const std::uint8_t*>(text.data());
+  const std::size_t size = text.size();
+
+  if (size < header_bytes(0) ||
+      std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    push_diag(diags, Severity::kWarn, path,
+              "not a netmc checkpoint (bad magic or version); starting "
+              "fresh");
+    return std::nullopt;
+  }
+  McCheckpointData out;
+  McCheckpointHeader& h = out.header;
+  h.seed = get_u64(data + 8);
+  h.samples = get_u64(data + 16);
+  h.nets = get_u64(data + 24);
+  h.pos = get_u64(data + 32);
+  h.blocks = get_u64(data + 40);
+  h.options_fp = get_u64(data + 48);
+  if (size < header_bytes(h.pos)) {
+    push_diag(diags, Severity::kWarn, path,
+              "checkpoint header truncated; starting fresh");
+    return std::nullopt;
+  }
+  const std::size_t po_end = kFixedHeaderBytes +
+                             static_cast<std::size_t>(h.pos) * 4;
+  if (fnv1a(data, po_end) != get_u64(data + po_end)) {
+    push_diag(diags, Severity::kWarn, path,
+              "checkpoint header checksum mismatch; starting fresh");
+    return std::nullopt;
+  }
+  h.po_nets.resize(static_cast<std::size_t>(h.pos));
+  for (std::size_t p = 0; p < h.po_nets.size(); ++p) {
+    h.po_nets[p] = get_i32(data + kFixedHeaderBytes + p * 4);
+  }
+  if (expect != nullptr && !h.matches(*expect)) {
+    push_diag(diags, Severity::kWarn, path,
+              "checkpoint was written by a different run configuration "
+              "(seed/samples/netlist/options); starting fresh");
+    return std::nullopt;
+  }
+
+  std::vector<char> seen(static_cast<std::size_t>(h.blocks), 0);
+  std::size_t offset = header_bytes(h.pos);
+  while (offset < size) {
+    if (size - offset < 16) {
+      push_diag(diags, Severity::kWarn, path,
+                "truncated trailing record dropped; resuming from " +
+                    std::to_string(out.blocks.size()) + " intact block(s)");
+      break;
+    }
+    const std::uint64_t magic = get_u64(data + offset);
+    const std::uint64_t block = get_u64(data + offset + 8);
+    if (magic != kRecordMagic || block >= h.blocks) {
+      push_diag(diags, Severity::kWarn, path,
+                "corrupt block record at byte " + std::to_string(offset) +
+                    "; keeping the " + std::to_string(out.blocks.size()) +
+                    " intact block(s) before it");
+      break;
+    }
+    const std::size_t payload = record_payload_bytes(h, block);
+    if (size - offset < 16 + payload + 8) {
+      push_diag(diags, Severity::kWarn, path,
+                "truncated trailing record dropped; resuming from " +
+                    std::to_string(out.blocks.size()) + " intact block(s)");
+      break;
+    }
+    if (fnv1a(data + offset, 16 + payload) !=
+        get_u64(data + offset + 16 + payload)) {
+      push_diag(diags, Severity::kWarn, path,
+                "block record checksum mismatch at byte " +
+                    std::to_string(offset) + "; keeping the " +
+                    std::to_string(out.blocks.size()) +
+                    " intact block(s) before it");
+      break;
+    }
+    if (seen[static_cast<std::size_t>(block)]) {
+      push_diag(diags, Severity::kInfo, path,
+                "duplicate record for block " + std::to_string(block) +
+                    " ignored");
+      offset += 16 + payload + 8;
+      continue;
+    }
+    seen[static_cast<std::size_t>(block)] = 1;
+
+    McBlockState blk;
+    blk.block = block;
+    std::uint64_t begin = 0, end = 0;
+    mc_block_range(h, block, &begin, &end);
+    const std::size_t len = static_cast<std::size_t>(end - begin);
+    const auto nets = static_cast<std::size_t>(h.nets);
+    const auto pos = static_cast<std::size_t>(h.pos);
+    const std::uint8_t* p = data + offset + 16;
+    blk.acc.resize(nets * 2);
+    for (MomentAccumulator::State& s : blk.acc) {
+      s.n = get_u64(p);
+      s.rejected = get_u64(p + 8);
+      s.mean = get_f64(p + 16);
+      s.m2 = get_f64(p + 24);
+      s.m3 = get_f64(p + 32);
+      s.m4 = get_f64(p + 40);
+      p += kAccStateBytes;
+    }
+    blk.quarantine.resize(nets * 2);
+    for (std::uint64_t& q : blk.quarantine) {
+      q = get_u64(p);
+      p += 8;
+    }
+    blk.po_samples.resize(pos * len);
+    for (double& v : blk.po_samples) {
+      v = get_f64(p);
+      p += 8;
+    }
+    blk.circuit_samples.resize(len);
+    for (double& v : blk.circuit_samples) {
+      v = get_f64(p);
+      p += 8;
+    }
+    out.blocks.push_back(std::move(blk));
+    offset += 16 + payload + 8;
+  }
+
+  std::sort(out.blocks.begin(), out.blocks.end(),
+            [](const McBlockState& a, const McBlockState& b) {
+              return a.block < b.block;
+            });
+  return out;
+}
+
+}  // namespace nsdc

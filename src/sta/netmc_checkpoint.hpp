@@ -1,0 +1,114 @@
+#pragma once
+// Checkpoint format for the whole-netlist Monte Carlo (sta/netmc).
+//
+// The fixed accumulation-block design makes per-block statistics
+// order-independent: block boundaries depend only on the sample count, and
+// the final reduction merges blocks in index order. A checkpoint is
+// therefore just the set of completed blocks — each one's raw moment
+// accumulator states (bit-exact), quarantine counters, and retained
+// endpoint sample slices — plus a header binding the file to one exact run
+// configuration. Restoring a subset of blocks and recomputing the rest
+// reproduces an uninterrupted run byte-for-byte at any thread count/grain.
+//
+// File layout (native-endian binary, version tag in the magic):
+//   header:  magic "NSDCMC01" | u64 seed, samples, nets, pos, blocks,
+//            options_fp | i32 po_net[pos] | u64 fnv1a checksum
+//   record*: u64 record magic | u64 block index | per net x {rise,fall}
+//            accumulator state (u64 n, u64 rejected, f64 mean/m2/m3/m4) |
+//            per net u64 quarantine[2] | per PO f64 sample slice |
+//            f64 circuit slice | u64 fnv1a checksum
+//
+// Records are appended (and flushed) as blocks complete, in completion
+// order — the loader re-orders by block index. Every record carries its
+// own checksum, so a checkpoint cut short by a crash, a full disk, or an
+// injected truncation fault degrades to its longest valid prefix: the
+// loader reports the damage as a Diagnostic and returns the intact blocks
+// instead of failing the resume. A header that does not match the resuming
+// run's configuration (different seed, sample count, netlist size, or
+// model options — the version policy: any semantic change to the sampler
+// bumps options_fp or the magic) is rejected the same way: diagnostic out,
+// fresh start, never an abort.
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stats/moments.hpp"
+#include "util/diag.hpp"
+
+namespace nsdc {
+
+struct McCheckpointHeader {
+  std::uint64_t seed = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t nets = 0;
+  std::uint64_t pos = 0;    ///< reachable primary outputs
+  std::uint64_t blocks = 0;
+  /// Fingerprint over the sampler options that change the drawn values
+  /// (die-to-die share, variation scale, moment shaping). Scheduling knobs
+  /// (threads, grain) are deliberately excluded — they do not affect
+  /// results.
+  std::uint64_t options_fp = 0;
+  /// Reachable PO net ids, ascending (Result::po_nets).
+  std::vector<std::int32_t> po_nets;
+
+  bool matches(const McCheckpointHeader& other) const;
+};
+
+/// One completed accumulation block, exactly as the run computed it.
+struct McBlockState {
+  std::uint64_t block = 0;
+  /// nets * 2 accumulator states, edge-minor: [net0 rise, net0 fall, ...].
+  std::vector<MomentAccumulator::State> acc;
+  /// nets * 2 quarantined (non-finite) sample counts, edge-minor.
+  std::vector<std::uint64_t> quarantine;
+  /// pos * block_len retained endpoint samples, PO-major.
+  std::vector<double> po_samples;
+  /// block_len per-sample circuit max values.
+  std::vector<double> circuit_samples;
+};
+
+/// Sample range [begin, end) of block `b` under `header`'s block layout —
+/// the same ceil-division the run uses.
+void mc_block_range(const McCheckpointHeader& header, std::uint64_t b,
+                    std::uint64_t* begin, std::uint64_t* end);
+
+/// Append-mode checkpoint writer. The constructor truncates `path` and
+/// writes the header; append() serializes one block record and flushes so
+/// every completed block survives a later crash. Thread-safe. Throws
+/// IoError when the filesystem fails (and on the "checkpoint.write" kThrow
+/// fault); honors the kTruncate fault by cutting the file after the flush.
+class McCheckpointWriter {
+ public:
+  McCheckpointWriter(std::string path, const McCheckpointHeader& header);
+  ~McCheckpointWriter();
+  McCheckpointWriter(const McCheckpointWriter&) = delete;
+  McCheckpointWriter& operator=(const McCheckpointWriter&) = delete;
+
+  void append(const McBlockState& block);
+  const std::string& path() const { return path_; }
+
+ private:
+  std::mutex mu_;
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+struct McCheckpointData {
+  McCheckpointHeader header;
+  /// Valid restored blocks, ascending block index, duplicates dropped.
+  std::vector<McBlockState> blocks;
+};
+
+/// Loads a checkpoint, tolerating a damaged tail (longest valid record
+/// prefix wins; the damage is reported into `diags`). Returns nullopt —
+/// again with a diagnostic, never a throw — when the file is missing,
+/// unreadable, has a corrupt header, or (when `expect` is non-null) was
+/// written by a different run configuration.
+std::optional<McCheckpointData> load_mc_checkpoint(
+    const std::string& path, const McCheckpointHeader* expect,
+    std::vector<Diagnostic>* diags);
+
+}  // namespace nsdc

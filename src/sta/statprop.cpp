@@ -50,7 +50,7 @@ StatisticalSta::Result StatisticalSta::run(
   const auto& lev = netlist.levelization();
   const bool parallel = config_.sta.parallel_for_size(netlist.num_cells());
   const ExecContext exec =
-      parallel ? config_.sta.exec : ExecContext{config_.sta.exec.pool, 1};
+      parallel ? config_.sta.exec : config_.sta.exec.with_threads(1);
 
   // Annotated loads/trees (same conventions as the mean engine).
   std::vector<RcTree> trees(netlist.num_nets());

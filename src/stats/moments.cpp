@@ -5,6 +5,10 @@
 namespace nsdc {
 
 void MomentAccumulator::add(double x) noexcept {
+  if (!std::isfinite(x)) {
+    ++rejected_;
+    return;
+  }
   const double n1 = static_cast<double>(n_);
   ++n_;
   const double n = static_cast<double>(n_);
@@ -20,9 +24,12 @@ void MomentAccumulator::add(double x) noexcept {
 }
 
 void MomentAccumulator::merge(const MomentAccumulator& other) noexcept {
+  rejected_ += other.rejected_;
   if (other.n_ == 0) return;
   if (n_ == 0) {
+    const std::size_t rejected = rejected_;
     *this = other;
+    rejected_ = rejected;
     return;
   }
   const double na = static_cast<double>(n_);
@@ -67,6 +74,28 @@ Moments MomentAccumulator::moments() const noexcept {
   m.gamma = (m3_ / n) / (sd_pop * sd_pop * sd_pop);
   m.kappa = (m4_ / n) / (var_pop * var_pop) - 3.0;
   return m;
+}
+
+MomentAccumulator::State MomentAccumulator::state() const noexcept {
+  State s;
+  s.n = n_;
+  s.rejected = rejected_;
+  s.mean = mean_;
+  s.m2 = m2_;
+  s.m3 = m3_;
+  s.m4 = m4_;
+  return s;
+}
+
+MomentAccumulator MomentAccumulator::from_state(const State& s) noexcept {
+  MomentAccumulator acc;
+  acc.n_ = static_cast<std::size_t>(s.n);
+  acc.rejected_ = static_cast<std::size_t>(s.rejected);
+  acc.mean_ = s.mean;
+  acc.m2_ = s.m2;
+  acc.m3_ = s.m3;
+  acc.m4_ = s.m4;
+  return acc;
 }
 
 Moments compute_moments(std::span<const double> samples) {

@@ -15,6 +15,7 @@
 // under which the model is unbiased for Gaussian inputs).
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 
 namespace nsdc {
@@ -32,20 +33,44 @@ struct Moments {
 
 /// One-pass numerically stable accumulator for the first four moments
 /// (Pebay's updating formulas — the 4th-order generalization of Welford).
+///
+/// Non-finite inputs (NaN/Inf — the signature of a diverged transient
+/// simulation or an injected fault) are rejected instead of accumulated:
+/// a single NaN would otherwise poison mean/variance/skew/kurtosis
+/// irrecoverably. Rejections are counted so callers can quarantine-report
+/// them (heavy-tailed delay distributions are exactly where rare overflow
+/// samples would corrupt moment accumulation unnoticed).
 class MomentAccumulator {
  public:
   void add(double x) noexcept;
   void merge(const MomentAccumulator& other) noexcept;
 
   std::size_t count() const noexcept { return n_; }
+  /// Non-finite inputs rejected by add() (merge() sums them).
+  std::size_t rejected() const noexcept { return rejected_; }
   /// Finalized moments; requires count() >= 2 for sigma, >= 4 recommended.
   Moments moments() const noexcept;
 
   double mean() const noexcept { return mean_; }
   double variance() const noexcept;  ///< unbiased (n-1)
 
+  /// Raw accumulator state, bit-exact — the checkpoint serialization unit.
+  /// Restoring a state and continuing yields byte-identical results to an
+  /// uninterrupted accumulation.
+  struct State {
+    std::uint64_t n = 0;
+    std::uint64_t rejected = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double m3 = 0.0;
+    double m4 = 0.0;
+  };
+  State state() const noexcept;
+  static MomentAccumulator from_state(const State& s) noexcept;
+
  private:
   std::size_t n_ = 0;
+  std::size_t rejected_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
   double m3_ = 0.0;

@@ -1,0 +1,85 @@
+#include "util/cancel.hpp"
+
+#include <string>
+
+#include "util/errors.hpp"
+
+namespace nsdc {
+
+const char* cancel_reason_name(CancelReason r) {
+  switch (r) {
+    case CancelReason::kNone:
+      return "none";
+    case CancelReason::kRequested:
+      return "requested";
+    case CancelReason::kDeadline:
+      return "deadline exceeded";
+    case CancelReason::kBudget:
+      return "sample budget exhausted";
+    case CancelReason::kFault:
+      return "fault injected";
+  }
+  return "unknown";
+}
+
+void CancellationToken::latch(CancelReason r) const noexcept {
+  int expected = static_cast<int>(CancelReason::kNone);
+  reason_.compare_exchange_strong(expected, static_cast<int>(r),
+                                  std::memory_order_acq_rel);
+}
+
+void CancellationToken::request_cancel(CancelReason reason) noexcept {
+  if (reason == CancelReason::kNone) reason = CancelReason::kRequested;
+  latch(reason);
+}
+
+void CancellationToken::set_deadline(Clock::time_point deadline) noexcept {
+  deadline_ = deadline;
+  has_deadline_.store(true, std::memory_order_release);
+}
+
+void CancellationToken::set_timeout(double seconds) noexcept {
+  if (seconds <= 0.0) {
+    latch(CancelReason::kDeadline);
+    return;
+  }
+  set_deadline(Clock::now() +
+               std::chrono::duration_cast<Clock::duration>(
+                   std::chrono::duration<double>(seconds)));
+}
+
+void CancellationToken::set_sample_budget(std::uint64_t samples) noexcept {
+  budget_.store(static_cast<std::int64_t>(samples), std::memory_order_release);
+}
+
+bool CancellationToken::charge(std::uint64_t n) noexcept {
+  if (budget_.load(std::memory_order_relaxed) < 0) return !cancelled();
+  const std::int64_t prev = budget_.fetch_sub(static_cast<std::int64_t>(n),
+                                              std::memory_order_acq_rel);
+  if (prev < static_cast<std::int64_t>(n)) {
+    latch(CancelReason::kBudget);
+    return false;
+  }
+  return !cancelled();
+}
+
+bool CancellationToken::cancelled() const noexcept {
+  if (reason_.load(std::memory_order_acquire) !=
+      static_cast<int>(CancelReason::kNone)) {
+    return true;
+  }
+  if (has_deadline_.load(std::memory_order_acquire) &&
+      Clock::now() >= deadline_) {
+    latch(CancelReason::kDeadline);
+    return true;
+  }
+  return false;
+}
+
+void CancellationToken::throw_if_cancelled() const {
+  if (!cancelled()) return;
+  throw CancelledError(std::string("run cancelled: ") +
+                       cancel_reason_name(reason()));
+}
+
+}  // namespace nsdc

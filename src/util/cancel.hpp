@@ -1,0 +1,89 @@
+#pragma once
+// Cooperative cancellation for long-running parallel flows.
+//
+// A CancellationToken is shared (by plain pointer, via ExecContext) between
+// the thread that wants to stop a run and the workers executing it. Workers
+// never block on it: they poll at natural preemption points — the start of
+// every ThreadPool block the ExecContext wrappers schedule, and every
+// Monte-Carlo sample in the MC inner loops — and bail out by throwing the
+// typed nsdc::CancelledError, which rides the pool's existing
+// first-exception rethrow to the caller. The pool itself stays reusable
+// after a cancelled job, exactly as after any other throwing job.
+//
+// Three trigger sources latch the same cancelled state:
+//   - request_cancel(): explicit, thread-safe, callable from anywhere
+//     (another thread, a signal-handler trampoline, a fault plan);
+//   - a deadline (set_deadline / set_timeout), evaluated on every poll;
+//   - a sample budget (set_sample_budget), decremented by charge() once
+//     per Monte-Carlo sample.
+// Setters are meant to be called before the run starts; request_cancel and
+// the polling side are safe at any time from any thread. Once cancelled, a
+// token stays cancelled (tokens are one-shot; use a fresh token per run).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace nsdc {
+
+enum class CancelReason : int {
+  kNone = 0,
+  kRequested,  ///< request_cancel()
+  kDeadline,   ///< set_deadline()/set_timeout() expired
+  kBudget,     ///< set_sample_budget() exhausted by charge()
+  kFault,      ///< cancelled by an injected fault (util/faultinject)
+};
+
+const char* cancel_reason_name(CancelReason r);
+
+class CancellationToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Latches the cancelled state (first reason wins). Thread-safe.
+  void request_cancel(CancelReason reason = CancelReason::kRequested) noexcept;
+
+  /// Polls after this instant report cancelled. Call before the run starts.
+  void set_deadline(Clock::time_point deadline) noexcept;
+
+  /// set_deadline(now + seconds); non-positive seconds cancel immediately.
+  void set_timeout(double seconds) noexcept;
+
+  /// Allows at most `samples` charge(1) calls before cancelling. Call
+  /// before the run starts; replaces any previous budget.
+  void set_sample_budget(std::uint64_t samples) noexcept;
+
+  /// Consumes `n` units of the sample budget. Returns true while within
+  /// budget (or when no budget is set); latches kBudget and returns false
+  /// once exhausted. Thread-safe, lock-free.
+  bool charge(std::uint64_t n = 1) noexcept;
+
+  /// True once any trigger fired. Evaluates the deadline, so polling this
+  /// is what makes deadlines observable. Thread-safe.
+  bool cancelled() const noexcept;
+
+  /// Throws CancelledError("...reason...") when cancelled(); else no-op.
+  void throw_if_cancelled() const;
+
+  /// The latched reason (kNone while not cancelled).
+  CancelReason reason() const noexcept {
+    return static_cast<CancelReason>(reason_.load(std::memory_order_acquire));
+  }
+
+ private:
+  void latch(CancelReason r) const noexcept;
+
+  /// Latched CancelReason; kNone until the first trigger. Mutable because
+  /// a const poll that observes an expired deadline records it.
+  mutable std::atomic<int> reason_{0};
+  std::atomic<bool> has_deadline_{false};
+  Clock::time_point deadline_{};
+  /// Remaining budget; < 0 means "no budget set".
+  std::atomic<std::int64_t> budget_{-1};
+};
+
+}  // namespace nsdc

@@ -1,0 +1,29 @@
+#include "util/errors.hpp"
+
+#include <cstdio>
+#include <exception>
+
+namespace nsdc {
+
+int handle_tool_exception(const char* tool) noexcept {
+  try {
+    throw;
+  } catch (const CancelledError& e) {
+    std::fprintf(stderr, "%s: cancelled: %s\n", tool, e.what());
+    return kExitCancelled;
+  } catch (const ParseError& e) {
+    std::fprintf(stderr, "%s: parse error: %s\n", tool, e.what());
+    return kExitParse;
+  } catch (const IoError& e) {
+    std::fprintf(stderr, "%s: i/o error: %s\n", tool, e.what());
+    return kExitIo;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: error: %s\n", tool, e.what());
+    return kExitInternal;
+  } catch (...) {
+    std::fprintf(stderr, "%s: unknown error\n", tool);
+    return kExitInternal;
+  }
+}
+
+}  // namespace nsdc

@@ -1,0 +1,62 @@
+#pragma once
+// Typed error hierarchy for the robustness layer. Every failure mode a
+// long-running flow must survive gets its own exception type so callers
+// (and the flow tools' top-level handlers) can tell cancellation apart
+// from a malformed input file or a disk problem, and map each to a stable
+// process exit code instead of a std::terminate backtrace.
+//
+// All types derive from std::runtime_error, so existing call sites that
+// catch the generic type keep working unchanged.
+
+#include <stdexcept>
+#include <string>
+
+namespace nsdc {
+
+/// Base of every nsdc-typed error.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A run was cancelled cooperatively: an explicit request, an expired
+/// deadline, an exhausted sample budget, or an injected fault. Partial
+/// results remain retrievable through whatever checkpoint the run kept.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what) : Error(what) {}
+};
+
+/// An input file (bench / Verilog / SPEF / checkpoint) is malformed beyond
+/// what recovery mode can absorb.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// The filesystem failed us: a file cannot be opened, read, or written.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown by an instrumented fault-injection site (util/faultinject) when
+/// the active plan demands a worker-thread exception.
+class FaultInjectedError : public Error {
+ public:
+  explicit FaultInjectedError(const std::string& what) : Error(what) {}
+};
+
+// Process exit codes shared by the flow tools (flow_smoke, nsdc_lint).
+// Tool-specific codes (usage errors, lint severity gates) stay below 10.
+inline constexpr int kExitCancelled = 10;  ///< CancelledError
+inline constexpr int kExitParse = 11;      ///< ParseError
+inline constexpr int kExitIo = 12;         ///< IoError
+inline constexpr int kExitInternal = 13;   ///< any other std::exception
+
+/// Top-level tool handler: call from inside a `catch (...)` block. Prints
+/// a one-line `tool: kind: message` diagnostic to stderr and returns the
+/// matching exit code. Never throws.
+int handle_tool_exception(const char* tool) noexcept;
+
+}  // namespace nsdc

@@ -27,13 +27,29 @@ ExecContext ExecContext::with_threads(unsigned override_threads) const {
 unsigned ExecContext::parallel_for(
     std::size_t count, const std::function<void(std::size_t)>& fn) const {
   if (count == 0) return 0;
-  if (pool == nullptr) return nsdc::parallel_for(count, fn, resolved_threads());
+  // Cooperative cancellation: poll the token before every index. The
+  // throwing path reuses the pool's first-exception machinery, so the pool
+  // is immediately reusable after a cancelled loop.
+  const std::function<void(std::size_t)>* body = &fn;
+  std::function<void(std::size_t)> guarded;
+  if (cancel != nullptr) {
+    CancellationToken* token = cancel;
+    guarded = [token, &fn](std::size_t i) {
+      token->throw_if_cancelled();
+      fn(i);
+    };
+    body = &guarded;
+  }
+  if (pool == nullptr) {
+    return nsdc::parallel_for(count, *body, resolved_threads());
+  }
   const std::size_t n =
       std::min<std::size_t>(std::max(1u, resolved_threads()), count);
   const std::size_t chunk = (count + n - 1) / n;
+  const std::function<void(std::size_t)>& run = *body;
   return pool->run_blocks(count, chunk,
-                          [&fn](std::size_t begin, std::size_t end) {
-                            for (std::size_t i = begin; i < end; ++i) fn(i);
+                          [&run](std::size_t begin, std::size_t end) {
+                            for (std::size_t i = begin; i < end; ++i) run(i);
                           });
 }
 
@@ -42,14 +58,26 @@ unsigned ExecContext::parallel_for_chunked(
     const std::function<void(std::size_t, std::size_t)>& fn) const {
   if (count == 0) return 0;
   const std::size_t g = resolved_grain(grain);
+  // Chunked loops poll once per chunk; bodies with long-running chunks
+  // (the MC sample loops) additionally poll per sample via check_cancel().
+  const std::function<void(std::size_t, std::size_t)>* body = &fn;
+  std::function<void(std::size_t, std::size_t)> guarded;
+  if (cancel != nullptr) {
+    CancellationToken* token = cancel;
+    guarded = [token, &fn](std::size_t begin, std::size_t end) {
+      token->throw_if_cancelled();
+      fn(begin, end);
+    };
+    body = &guarded;
+  }
   if (pool == nullptr) {
-    return nsdc::parallel_for_chunked(count, g, fn, resolved_threads());
+    return nsdc::parallel_for_chunked(count, g, *body, resolved_threads());
   }
   const std::size_t n =
       std::min<std::size_t>(std::max(1u, resolved_threads()), count);
   const std::size_t per_lane = (count + n - 1) / n;
   const std::size_t block = std::max(std::max<std::size_t>(1, g), per_lane);
-  return pool->run_blocks(count, block, fn);
+  return pool->run_blocks(count, block, *body);
 }
 
 }  // namespace nsdc

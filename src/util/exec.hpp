@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <functional>
 
+#include "util/cancel.hpp"
 #include "util/threading.hpp"
 
 namespace nsdc {
@@ -16,6 +17,13 @@ namespace nsdc {
 struct ExecContext {
   /// Pool to run on; nullptr means the process-global pool.
   ThreadPool* pool = nullptr;
+  /// Cooperative cancellation/deadline/sample-budget token; nullptr means
+  /// the run cannot be cancelled. Non-owning — the token must outlive
+  /// every loop issued through this context. The parallel_for wrappers
+  /// poll it once per index (per chunk for the chunked variant) and abort
+  /// by throwing nsdc::CancelledError through the pool's normal
+  /// first-exception rethrow, so a cancelled pool stays reusable.
+  CancellationToken* cancel = nullptr;
   /// Lane count for partitioning; 0 means default_threads().
   unsigned threads = 0;
   /// Grain override for parallel_for_chunked: when nonzero it replaces the
@@ -47,6 +55,17 @@ struct ExecContext {
   unsigned parallel_for_chunked(
       std::size_t count, std::size_t grain,
       const std::function<void(std::size_t, std::size_t)>& fn) const;
+
+  /// Throws CancelledError when the attached token (if any) has fired.
+  /// Inner loops with long per-index work call this between samples.
+  void check_cancel() const {
+    if (cancel != nullptr) cancel->throw_if_cancelled();
+  }
+
+  /// True when a token is attached and has fired (non-throwing poll).
+  bool cancelled() const noexcept {
+    return cancel != nullptr && cancel->cancelled();
+  }
 };
 
 }  // namespace nsdc

@@ -1,0 +1,175 @@
+#include "util/faultinject.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "util/errors.hpp"
+
+namespace nsdc {
+
+namespace {
+
+/// Trims ASCII whitespace from both ends of a token.
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::uint64_t parse_u64(std::string_view s, std::string_view what) {
+  if (s.empty()) {
+    throw ParseError("fault plan: empty " + std::string(what));
+  }
+  std::uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      throw ParseError("fault plan: bad " + std::string(what) + " '" +
+                       std::string(s) + "'");
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+FaultSpec parse_spec(std::string_view spec) {
+  const std::size_t at = spec.find('@');
+  const std::size_t eq = spec.find('=', at == std::string_view::npos ? 0 : at);
+  if (at == std::string_view::npos || eq == std::string_view::npos ||
+      at == 0 || eq <= at + 1) {
+    throw ParseError("fault plan: expected site@index=action, got '" +
+                     std::string(spec) + "'");
+  }
+  FaultSpec out;
+  out.site = std::string(trim(spec.substr(0, at)));
+  out.index = parse_u64(trim(spec.substr(at + 1, eq - at - 1)), "index");
+  std::string_view action = trim(spec.substr(eq + 1));
+  std::string_view arg;
+  if (const std::size_t colon = action.find(':');
+      colon != std::string_view::npos) {
+    arg = trim(action.substr(colon + 1));
+    action = trim(action.substr(0, colon));
+  }
+  if (action == "throw") {
+    out.action = FaultAction::kThrow;
+  } else if (action == "cancel") {
+    out.action = FaultAction::kCancel;
+  } else if (action == "nan") {
+    out.action = FaultAction::kNan;
+  } else if (action == "truncate") {
+    out.action = FaultAction::kTruncate;
+    out.arg = parse_u64(arg, "truncate byte count");
+  } else {
+    throw ParseError("fault plan: unknown action '" + std::string(action) +
+                     "'");
+  }
+  if (out.action != FaultAction::kTruncate && !arg.empty()) {
+    throw ParseError("fault plan: action '" + std::string(action) +
+                     "' takes no argument");
+  }
+  return out;
+}
+
+std::mutex g_plan_mu;
+std::shared_ptr<const FaultPlan> g_plan;  // guarded by g_plan_mu
+std::atomic<bool> g_active{false};
+std::once_flag g_env_once;
+
+void load_env_plan() {
+  std::call_once(g_env_once, [] {
+    const char* text = std::getenv("NSDC_FAULTS");
+    if (text == nullptr || text[0] == '\0') return;
+    // A malformed NSDC_FAULTS must not be silently ignored — the whole
+    // point of a fault plan is that it runs. Let ParseError propagate.
+    auto plan = std::make_shared<const FaultPlan>(FaultPlan::parse(text));
+    std::lock_guard<std::mutex> lock(g_plan_mu);
+    if (g_plan == nullptr && !plan->empty()) {
+      g_plan = std::move(plan);
+      g_active.store(true, std::memory_order_release);
+    }
+  });
+}
+
+std::shared_ptr<const FaultPlan> current_plan() {
+  std::lock_guard<std::mutex> lock(g_plan_mu);
+  return g_plan;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(std::string_view text) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t next = text.find(';', pos);
+    if (next == std::string_view::npos) next = text.size();
+    const std::string_view spec = trim(text.substr(pos, next - pos));
+    if (!spec.empty()) plan.add(parse_spec(spec));
+    pos = next + 1;
+  }
+  return plan;
+}
+
+FaultAction FaultPlan::at(std::string_view site, std::uint64_t index,
+                          std::uint64_t* arg) const noexcept {
+  for (const FaultSpec& s : specs_) {
+    if (s.index == index && s.site == site) {
+      if (arg != nullptr) *arg = s.arg;
+      return s.action;
+    }
+  }
+  return FaultAction::kNone;
+}
+
+void install_fault_plan(FaultPlan plan) {
+  auto shared = std::make_shared<const FaultPlan>(std::move(plan));
+  const bool active = !shared->empty();
+  std::lock_guard<std::mutex> lock(g_plan_mu);
+  g_plan = active ? std::move(shared) : nullptr;
+  g_active.store(active, std::memory_order_release);
+}
+
+void clear_fault_plan() {
+  std::lock_guard<std::mutex> lock(g_plan_mu);
+  g_plan = nullptr;
+  g_active.store(false, std::memory_order_release);
+}
+
+bool fault_plan_active() noexcept {
+  return g_active.load(std::memory_order_acquire);
+}
+
+FaultAction fault_at(std::string_view site, std::uint64_t index,
+                     std::uint64_t* arg) {
+  load_env_plan();
+  if (!fault_plan_active()) return FaultAction::kNone;
+  const auto plan = current_plan();
+  if (plan == nullptr) return FaultAction::kNone;
+  return plan->at(site, index, arg);
+}
+
+FaultAction fault_fire(std::string_view site, std::uint64_t index,
+                       CancellationToken* token, std::uint64_t* arg) {
+  const FaultAction action = fault_at(site, index, arg);
+  switch (action) {
+    case FaultAction::kThrow:
+      throw FaultInjectedError("injected fault at " + std::string(site) +
+                               "@" + std::to_string(index));
+    case FaultAction::kCancel:
+      if (token != nullptr) {
+        token->request_cancel(CancelReason::kFault);
+        token->throw_if_cancelled();
+      }
+      throw CancelledError("run cancelled: fault injected at " +
+                           std::string(site) + "@" + std::to_string(index));
+    default:
+      return action;
+  }
+}
+
+}  // namespace nsdc

@@ -1,0 +1,414 @@
+// Robustness-layer test matrix: the fault-plan grammar, cooperative
+// cancellation (explicit / deadline / sample budget), NaN quarantine,
+// netlist-MC checkpointing, and the kill/resume equivalence contract —
+// a run interrupted by an injected fault and resumed from its checkpoint
+// must be byte-identical to an uninterrupted run, at any thread count.
+#include "util/faultinject.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/mc_reference.hpp"
+#include "netlist/designgen.hpp"
+#include "sta/annotate.hpp"
+#include "sta/netmc.hpp"
+#include "synthetic_charlib.hpp"
+#include "util/cancel.hpp"
+#include "util/errors.hpp"
+#include "util/exec.hpp"
+
+namespace nsdc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fault-plan grammar.
+
+TEST(FaultPlan, ParsesFullGrammar) {
+  const FaultPlan plan = FaultPlan::parse(
+      "netmc.block@3=throw; netmc.sample@100=nan;"
+      "checkpoint.write@2=truncate:17;pathmc.sample@5=cancel");
+  ASSERT_EQ(plan.size(), 4u);
+  EXPECT_EQ(plan.at("netmc.block", 3), FaultAction::kThrow);
+  EXPECT_EQ(plan.at("netmc.block", 4), FaultAction::kNone);
+  EXPECT_EQ(plan.at("netmc.sample", 100), FaultAction::kNan);
+  EXPECT_EQ(plan.at("pathmc.sample", 5), FaultAction::kCancel);
+  std::uint64_t arg = 0;
+  EXPECT_EQ(plan.at("checkpoint.write", 2, &arg), FaultAction::kTruncate);
+  EXPECT_EQ(arg, 17u);
+}
+
+TEST(FaultPlan, EmptyStringIsInactive) {
+  EXPECT_TRUE(FaultPlan::parse("").empty());
+  EXPECT_TRUE(FaultPlan::parse("  ;  ").empty());
+}
+
+TEST(FaultPlan, MalformedSpecsThrowParseError) {
+  EXPECT_THROW(FaultPlan::parse("netmc.block=throw"), ParseError);  // no @
+  EXPECT_THROW(FaultPlan::parse("netmc.block@x=throw"), ParseError);
+  EXPECT_THROW(FaultPlan::parse("netmc.block@1=explode"), ParseError);
+  EXPECT_THROW(FaultPlan::parse("netmc.block@1"), ParseError);  // no action
+  EXPECT_THROW(FaultPlan::parse("netmc.block@1=truncate"), ParseError);
+  EXPECT_THROW(FaultPlan::parse("@1=throw"), ParseError);  // empty site
+}
+
+TEST(FaultPlan, GlobalInstallAndClear) {
+  EXPECT_FALSE(fault_plan_active());
+  install_fault_plan(FaultPlan::parse("netmc.block@1=throw"));
+  EXPECT_TRUE(fault_plan_active());
+  EXPECT_EQ(fault_at("netmc.block", 1), FaultAction::kThrow);
+  EXPECT_EQ(fault_at("netmc.block", 2), FaultAction::kNone);
+  clear_fault_plan();
+  EXPECT_FALSE(fault_plan_active());
+  EXPECT_EQ(fault_at("netmc.block", 1), FaultAction::kNone);
+}
+
+TEST(FaultPlan, FireExecutesThrowAndCancel) {
+  install_fault_plan(FaultPlan::parse("a@1=throw;b@2=cancel"));
+  EXPECT_THROW(fault_fire("a", 1), FaultInjectedError);
+  CancellationToken token;
+  EXPECT_THROW(fault_fire("b", 2, &token), CancelledError);
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kFault);
+  // Without a token the cancel action still surfaces as CancelledError.
+  EXPECT_THROW(fault_fire("b", 2), CancelledError);
+  clear_fault_plan();
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation token semantics.
+
+TEST(CancellationToken, LatchesFirstReason) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_NO_THROW(token.throw_if_cancelled());
+  token.request_cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kRequested);
+  token.request_cancel(CancelReason::kFault);  // first reason wins
+  EXPECT_EQ(token.reason(), CancelReason::kRequested);
+  EXPECT_THROW(token.throw_if_cancelled(), CancelledError);
+}
+
+TEST(CancellationToken, ExpiredDeadlineCancels) {
+  CancellationToken token;
+  token.set_timeout(0.0);  // non-positive = already expired
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kDeadline);
+}
+
+TEST(CancellationToken, FutureDeadlineDoesNotCancel) {
+  CancellationToken token;
+  token.set_timeout(3600.0);
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancellationToken, BudgetExhaustsAfterNCharges) {
+  CancellationToken token;
+  token.set_sample_budget(3);
+  EXPECT_TRUE(token.charge());
+  EXPECT_TRUE(token.charge());
+  EXPECT_TRUE(token.charge());
+  EXPECT_FALSE(token.charge());
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kBudget);
+}
+
+TEST(CancellationToken, NoBudgetMeansUnlimitedCharges) {
+  CancellationToken token;
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(token.charge());
+  EXPECT_FALSE(token.cancelled());
+}
+
+// ---------------------------------------------------------------------------
+// Whole-netlist MC: quarantine, checkpoint, kill/resume equivalence.
+
+class FaultNetMcTest : public ::testing::Test {
+ protected:
+  FaultNetMcTest()
+      : charlib(testfix::make_charlib()),
+        cells(CellLibrary::standard()),
+        model(NSigmaCellModel::fit(charlib)),
+        wire_model(NSigmaWireModel::fit(charlib, cells)),
+        tech(TechParams::nominal28()),
+        netlist(generate_array_multiplier(5, cells)),
+        parasitics(generate_parasitics(netlist, tech)) {}
+
+  ~FaultNetMcTest() override { clear_fault_plan(); }
+
+  NetlistMonteCarlo::Result run_at(unsigned threads, int samples,
+                                   NetMcOptions options = {},
+                                   CancellationToken* token = nullptr) const {
+    const NetlistMonteCarlo mc(model, wire_model, tech, options);
+    McConfig cfg;
+    cfg.samples = samples;
+    cfg.seed = 4242;
+    cfg.threads = threads;
+    cfg.exec.cancel = token;
+    return mc.run(netlist, parasitics, cfg);
+  }
+
+  std::string temp_path(const std::string& name) const {
+    return ::testing::TempDir() + "nsdc_" + name;
+  }
+
+  /// Byte-level equivalence of everything a resumed run must reproduce.
+  static void expect_identical(const NetlistMonteCarlo::Result& got,
+                               const NetlistMonteCarlo::Result& ref,
+                               const std::string& what) {
+    ASSERT_EQ(got.circuit_samples.size(), ref.circuit_samples.size()) << what;
+    for (std::size_t i = 0; i < ref.circuit_samples.size(); ++i) {
+      ASSERT_EQ(got.circuit_samples[i], ref.circuit_samples[i])
+          << what << " circuit sample " << i;
+    }
+    ASSERT_EQ(got.po_samples.size(), ref.po_samples.size()) << what;
+    for (std::size_t p = 0; p < ref.po_samples.size(); ++p) {
+      for (std::size_t i = 0; i < ref.po_samples[p].size(); ++i) {
+        ASSERT_EQ(got.po_samples[p][i], ref.po_samples[p][i])
+            << what << " po " << p << " sample " << i;
+      }
+    }
+    ASSERT_EQ(got.nets.size(), ref.nets.size()) << what;
+    for (std::size_t n = 0; n < ref.nets.size(); ++n) {
+      for (std::size_t e = 0; e < 2; ++e) {
+        ASSERT_EQ(got.nets[n][e].count, ref.nets[n][e].count) << what;
+        ASSERT_EQ(got.nets[n][e].moments.mu, ref.nets[n][e].moments.mu)
+            << what << " net " << n;
+        ASSERT_EQ(got.nets[n][e].moments.sigma, ref.nets[n][e].moments.sigma)
+            << what << " net " << n;
+        ASSERT_EQ(got.nets[n][e].moments.gamma, ref.nets[n][e].moments.gamma)
+            << what << " net " << n;
+        ASSERT_EQ(got.nets[n][e].moments.kappa, ref.nets[n][e].moments.kappa)
+            << what << " net " << n;
+      }
+    }
+    for (std::size_t q = 0; q < 7; ++q) {
+      ASSERT_EQ(got.circuit_quantiles[q], ref.circuit_quantiles[q]) << what;
+      ASSERT_EQ(got.worst_po_quantiles[q], ref.worst_po_quantiles[q]) << what;
+    }
+    ASSERT_EQ(got.worst_po, ref.worst_po) << what;
+    ASSERT_EQ(got.total_quarantined, ref.total_quarantined) << what;
+  }
+
+  CharLib charlib;
+  CellLibrary cells;
+  NSigmaCellModel model;
+  NSigmaWireModel wire_model;
+  TechParams tech;
+  GateNetlist netlist;
+  ParasiticDb parasitics;
+};
+
+TEST_F(FaultNetMcTest, NanPoisonQuarantinesWithoutBreakingMoments) {
+  install_fault_plan(FaultPlan::parse("netmc.sample@7=nan;netmc.sample@13=nan"));
+  const auto faulted = run_at(1, 64);
+  clear_fault_plan();
+  const auto clean = run_at(1, 64);
+
+  // Two poisoned samples: every reachable net quarantines both edges.
+  EXPECT_GT(faulted.total_quarantined, 0u);
+  bool saw_quarantine_diag = false;
+  for (const auto& d : faulted.diagnostics) {
+    if (d.rule == "netmc.quarantine") saw_quarantine_diag = true;
+  }
+  EXPECT_TRUE(saw_quarantine_diag);
+  EXPECT_EQ(clean.total_quarantined, 0u);
+
+  for (std::size_t n = 0; n < faulted.nets.size(); ++n) {
+    for (std::size_t e = 0; e < 2; ++e) {
+      const auto& st = faulted.nets[n][e];
+      if (st.count == 0) continue;
+      // Quarantined samples never reach the streamed moments...
+      EXPECT_TRUE(std::isfinite(st.moments.mu)) << n;
+      EXPECT_TRUE(std::isfinite(st.moments.sigma)) << n;
+      // ...and the clean run has exactly 2 more accumulated samples.
+      EXPECT_EQ(st.count + 2, clean.nets[n][e].count) << n;
+    }
+  }
+  // Reported endpoint statistics stay finite too.
+  EXPECT_TRUE(std::isfinite(faulted.circuit_moments.mu));
+  for (double q : faulted.circuit_quantiles) EXPECT_TRUE(std::isfinite(q));
+}
+
+TEST_F(FaultNetMcTest, ThrowAtBlockSurfacesFaultInjectedError) {
+  install_fault_plan(FaultPlan::parse("netmc.block@2=throw"));
+  EXPECT_THROW(run_at(1, 64), FaultInjectedError);
+}
+
+TEST_F(FaultNetMcTest, DeadlineExpiryThrowsCancelledError) {
+  CancellationToken token;
+  token.set_timeout(0.0);
+  try {
+    run_at(1, 64, {}, &token);
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError& e) {
+    EXPECT_NE(std::string(e.what()).find("deadline"), std::string::npos);
+  }
+}
+
+TEST_F(FaultNetMcTest, BudgetExpiryThrowsCancelledError) {
+  CancellationToken token;
+  token.set_sample_budget(10);
+  EXPECT_THROW(run_at(1, 64, {}, &token), CancelledError);
+}
+
+TEST_F(FaultNetMcTest, CancelledCheckpointedRunKeepsPartialStats) {
+  const std::string path = temp_path("cancel_partial.ck");
+  NetMcOptions opt;
+  opt.checkpoint_path = path;
+  install_fault_plan(FaultPlan::parse("netmc.block@20=cancel"));
+  CancellationToken token;
+  EXPECT_THROW(run_at(1, 64, opt, &token), CancelledError);
+  EXPECT_EQ(token.reason(), CancelReason::kFault);
+  clear_fault_plan();
+
+  // The checkpoint holds every block completed before the cancel; the
+  // partial statistics are retrievable and finite.
+  std::vector<Diagnostic> diags;
+  const auto data = load_mc_checkpoint(path, nullptr, &diags);
+  ASSERT_TRUE(data.has_value());
+  ASSERT_FALSE(data->blocks.empty());
+  EXPECT_LT(data->blocks.size(), data->header.blocks);
+  const auto part = NetlistMonteCarlo::partial_result(*data);
+  EXPECT_GT(part.samples_done, 0u);
+  EXPECT_LT(part.samples_done, 64u);
+  EXPECT_GE(part.worst_po, 0);
+  EXPECT_TRUE(std::isfinite(part.worst_po_moments.mu));
+  EXPECT_GT(part.worst_po_moments.mu, 0.0);
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultNetMcTest, KillResumeByteIdenticalAtAnyThreadCount) {
+  const auto uninterrupted = run_at(1, 96);
+  for (const unsigned threads : {1u, 4u}) {
+    const std::string path =
+        temp_path("kill_resume_" + std::to_string(threads) + ".ck");
+    NetMcOptions opt;
+    opt.checkpoint_path = path;
+
+    // Kill the run partway through via an injected mid-run cancellation.
+    install_fault_plan(FaultPlan::parse("netmc.block@11=cancel"));
+    CancellationToken token;
+    EXPECT_THROW(run_at(threads, 96, opt, &token), CancelledError);
+    clear_fault_plan();
+
+    // Resume from the checkpoint; the merged result must be byte-identical
+    // to the uninterrupted single-thread run.
+    opt.resume = true;
+    const auto resumed = run_at(threads, 96, opt);
+    EXPECT_GT(resumed.blocks_resumed, 0u);
+    expect_identical(resumed, uninterrupted,
+                     "resume@" + std::to_string(threads) + " threads");
+    std::remove(path.c_str());
+  }
+}
+
+TEST_F(FaultNetMcTest, TruncatedCheckpointRecoversPrefixAndStaysIdentical) {
+  const auto uninterrupted = run_at(1, 96);
+  const std::string path = temp_path("truncated.ck");
+  NetMcOptions opt;
+  opt.checkpoint_path = path;
+
+  // Tear the record of block 9 (cut bytes off the flushed file), then kill
+  // the run: the checkpoint ends in a corrupt record.
+  install_fault_plan(
+      FaultPlan::parse("checkpoint.write@9=truncate:40;netmc.block@15=cancel"));
+  CancellationToken token;
+  EXPECT_THROW(run_at(1, 96, opt, &token), CancelledError);
+  clear_fault_plan();
+
+  // The loader keeps the longest valid prefix and reports the damage.
+  std::vector<Diagnostic> diags;
+  const auto data = load_mc_checkpoint(path, nullptr, &diags);
+  ASSERT_TRUE(data.has_value());
+  ASSERT_FALSE(data->blocks.empty());
+  EXPECT_FALSE(diags.empty());
+
+  // Resuming over the damaged file still reproduces the uninterrupted run.
+  opt.resume = true;
+  const auto resumed = run_at(1, 96, opt);
+  expect_identical(resumed, uninterrupted, "resume over truncated checkpoint");
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultNetMcTest, MismatchedCheckpointDegradesToFreshRun) {
+  const std::string path = temp_path("mismatch.ck");
+  NetMcOptions opt;
+  opt.checkpoint_path = path;
+  (void)run_at(1, 64, opt);  // checkpoint for 64 samples
+
+  // Resuming a *different* run (other sample count) must not reuse it.
+  opt.resume = true;
+  const auto other = run_at(1, 96, opt);
+  EXPECT_EQ(other.blocks_resumed, 0u);
+  bool saw_mismatch_diag = false;
+  for (const auto& d : other.diagnostics) {
+    if (d.rule == "netmc.checkpoint") saw_mismatch_diag = true;
+  }
+  EXPECT_TRUE(saw_mismatch_diag);
+  expect_identical(other, run_at(1, 96), "fresh run after mismatch");
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultNetMcTest, MissingCheckpointDegradesToFreshRunWithDiagnostic) {
+  NetMcOptions opt;
+  opt.checkpoint_path = temp_path("never_written.ck");
+  opt.resume = true;
+  const auto result = run_at(1, 64, opt);
+  EXPECT_EQ(result.blocks_resumed, 0u);
+  bool saw_diag = false;
+  for (const auto& d : result.diagnostics) {
+    if (d.rule == "netmc.checkpoint") saw_diag = true;
+  }
+  EXPECT_TRUE(saw_diag);
+  expect_identical(result, run_at(1, 64), "fresh run, missing checkpoint");
+  std::remove(opt.checkpoint_path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Path-MC golden reference: quarantine + cancellation.
+
+TEST_F(FaultNetMcTest, PathMcQuarantinesPoisonedSamples) {
+  StaEngine engine(model, tech);
+  const auto sta = engine.run(netlist, parasitics);
+  const PathDescription path = engine.extract_critical_path(netlist, sta);
+
+  PathMonteCarlo mc(tech);
+  McConfig cfg;
+  cfg.samples = 32;
+  cfg.seed = 11;
+  cfg.threads = 1;
+
+  install_fault_plan(FaultPlan::parse("pathmc.sample@3=nan"));
+  const auto faulted = mc.run(path, cfg);
+  clear_fault_plan();
+  const auto clean = mc.run(path, cfg);
+
+  EXPECT_EQ(faulted.quarantined, 1u);
+  EXPECT_EQ(clean.quarantined, 0u);
+  EXPECT_EQ(faulted.samples.size() + 1, clean.samples.size());
+  EXPECT_TRUE(std::isfinite(faulted.moments.mu));
+}
+
+TEST_F(FaultNetMcTest, PathMcHonorsSampleBudget) {
+  StaEngine engine(model, tech);
+  const auto sta = engine.run(netlist, parasitics);
+  const PathDescription path = engine.extract_critical_path(netlist, sta);
+
+  PathMonteCarlo mc(tech);
+  McConfig cfg;
+  cfg.samples = 64;
+  cfg.seed = 11;
+  cfg.threads = 1;
+  CancellationToken token;
+  token.set_sample_budget(5);
+  cfg.exec.cancel = &token;
+  EXPECT_THROW(mc.run(path, cfg), CancelledError);
+  EXPECT_EQ(token.reason(), CancelReason::kBudget);
+}
+
+}  // namespace
+}  // namespace nsdc

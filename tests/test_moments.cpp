@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -86,6 +87,82 @@ TEST(Moments, MergeWithEmpty) {
   e2.merge(a);
   EXPECT_DOUBLE_EQ(e2.moments().mu, before.mu);
   EXPECT_EQ(e2.count(), 2u);
+}
+
+TEST(Moments, NonFiniteSamplesRejectedAndCounted) {
+  MomentAccumulator acc;
+  acc.add(1.0);
+  acc.add(2.0);
+  acc.add(3.0);
+  const Moments before = acc.moments();
+
+  acc.add(std::numeric_limits<double>::quiet_NaN());
+  acc.add(std::numeric_limits<double>::infinity());
+  acc.add(-std::numeric_limits<double>::infinity());
+
+  // Rejections are counted but leave count and moments bit-identical.
+  EXPECT_EQ(acc.rejected(), 3u);
+  EXPECT_EQ(acc.count(), 3u);
+  const Moments after = acc.moments();
+  EXPECT_EQ(after.mu, before.mu);
+  EXPECT_EQ(after.sigma, before.sigma);
+  EXPECT_EQ(after.gamma, before.gamma);
+  EXPECT_EQ(after.kappa, before.kappa);
+}
+
+TEST(Moments, MergeSumsRejectedCounts) {
+  MomentAccumulator a, b;
+  a.add(1.0);
+  a.add(std::numeric_limits<double>::quiet_NaN());
+  b.add(2.0);
+  b.add(std::numeric_limits<double>::infinity());
+  b.add(std::numeric_limits<double>::quiet_NaN());
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.rejected(), 3u);
+
+  // The empty-destination fast path must preserve the summed rejections.
+  MomentAccumulator empty;
+  empty.add(std::numeric_limits<double>::quiet_NaN());
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_EQ(empty.rejected(), 4u);
+}
+
+TEST(Moments, StateRoundTripIsBitExact) {
+  MomentAccumulator acc;
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) acc.add(rng.normal(3.0, 2.0));
+  acc.add(std::numeric_limits<double>::quiet_NaN());
+
+  const MomentAccumulator::State state = acc.state();
+  const MomentAccumulator restored = MomentAccumulator::from_state(state);
+  EXPECT_EQ(restored.count(), acc.count());
+  EXPECT_EQ(restored.rejected(), acc.rejected());
+  const Moments a = acc.moments(), b = restored.moments();
+  EXPECT_EQ(a.mu, b.mu);
+  EXPECT_EQ(a.sigma, b.sigma);
+  EXPECT_EQ(a.gamma, b.gamma);
+  EXPECT_EQ(a.kappa, b.kappa);
+
+  // Resume-grade contract: an accumulator restored mid-stream and fed the
+  // tail must end bit-identical to one that saw the whole stream.
+  MomentAccumulator whole, half;
+  Rng r2(9);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(r2.normal(0.0, 1.0));
+  for (double x : xs) whole.add(x);
+  for (int i = 0; i < 100; ++i) half.add(xs[static_cast<std::size_t>(i)]);
+  MomentAccumulator resumed = MomentAccumulator::from_state(half.state());
+  for (int i = 100; i < 200; ++i) {
+    resumed.add(xs[static_cast<std::size_t>(i)]);
+  }
+  const MomentAccumulator::State ws = whole.state(), rs = resumed.state();
+  EXPECT_EQ(ws.n, rs.n);
+  EXPECT_EQ(ws.mean, rs.mean);
+  EXPECT_EQ(ws.m2, rs.m2);
+  EXPECT_EQ(ws.m3, rs.m3);
+  EXPECT_EQ(ws.m4, rs.m4);
 }
 
 TEST(Moments, NumericalStabilityLargeOffset) {

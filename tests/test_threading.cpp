@@ -17,6 +17,8 @@
 #include "sta/engine.hpp"
 #include "sta/statprop.hpp"
 #include "synthetic_charlib.hpp"
+#include "util/cancel.hpp"
+#include "util/errors.hpp"
 #include "util/exec.hpp"
 
 namespace nsdc {
@@ -77,6 +79,60 @@ TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives) {
                     count.fetch_add(static_cast<int>(e - b));
                   });
   EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ExactlyFirstExceptionIsRethrown) {
+  // Zero-worker pool runs blocks on the caller in index order, so "first"
+  // is deterministic: index 10 throws before index 20 is ever visited.
+  ThreadPool pool(0);
+  try {
+    pool.run_blocks(64, 1, [](std::size_t b, std::size_t) {
+      if (b == 10) throw std::runtime_error("first");
+      if (b == 20) throw std::invalid_argument("second");
+    });
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+TEST(ThreadPool, ReusableAfterCancelledJob) {
+  ThreadPool pool(2);
+  ExecContext exec;
+  exec.pool = &pool;
+  CancellationToken token;
+  token.request_cancel();
+  exec.cancel = &token;
+  // A pre-cancelled token turns every index into a CancelledError; the
+  // first rethrow surfaces it and fail-fast skips the rest.
+  EXPECT_THROW(exec.parallel_for(64, [](std::size_t) {}), CancelledError);
+
+  // The pool (and the same ExecContext minus the token) must complete a
+  // fresh job afterwards — cancellation is a normal failed job.
+  exec.cancel = nullptr;
+  std::atomic<int> count{0};
+  exec.parallel_for(64, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, CancellationSkipsUnclaimedWork) {
+  // Serial pool: indices run in order, so everything after the cancel
+  // point must never execute.
+  ThreadPool pool(0);
+  ExecContext exec;
+  exec.pool = &pool;
+  CancellationToken token;
+  exec.cancel = &token;
+  std::atomic<int> ran{0};
+  EXPECT_THROW(exec.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   ran.fetch_add(1);
+                                   if (i == 4) token.request_cancel();
+                                 }),
+               CancelledError);
+  // Indices 0..4 ran; index 5's pre-check threw; nothing later ran.
+  EXPECT_EQ(ran.load(), 5);
+  EXPECT_EQ(token.reason(), CancelReason::kRequested);
 }
 
 // -------------------------------------------------- parallel_for facade ---

@@ -3,6 +3,8 @@
 //
 // Usage: flow_smoke [--threads N] [--cells N] [--netmc N]
 //                   [--lint | --lint-strict]
+//                   [--checkpoint FILE] [--resume]
+//                   [--deadline SECONDS] [--sample-budget N]
 //   --threads N   worker lanes for every parallel region (characterization
 //                 MC, STA, path MC, netlist MC). Defaults to the
 //                 NSDC_THREADS env var, then hardware concurrency.
@@ -13,6 +15,18 @@
 //                 and print the report.
 //   --lint-strict same, but exit with the lint status when errors are found
 //                 (gate mode for CI).
+//   --checkpoint FILE  stream completed netlist-MC blocks to FILE; a run
+//                 killed mid-flight keeps every finished block on disk.
+//   --resume      with --checkpoint: restore finished blocks from FILE and
+//                 compute only the remainder (byte-identical to an
+//                 uninterrupted run).
+//   --deadline SECONDS  cancel the run cooperatively after this wall-clock
+//                 budget (exit code 10; with --checkpoint the partial
+//                 statistics are recovered and printed first).
+//   --sample-budget N  cancel after N Monte-Carlo samples have been drawn.
+//
+// Exit codes: 0 success, 2 usage, 10 cancelled (deadline/budget), 11 parse
+// error, 12 I/O error, 13 internal error; 1/3 reserved for the lint gate.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,16 +39,51 @@
 #include "sta/annotate.hpp"
 #include "sta/netmc.hpp"
 #include "sta/timer.hpp"
+#include "util/cancel.hpp"
+#include "util/errors.hpp"
 #include "util/log.hpp"
 #include "util/threading.hpp"
 #include "util/units.hpp"
 
 using namespace nsdc;
 
-int main(int argc, char** argv) {
+namespace {
+
+/// After a cancelled checkpointed run: rebuild whatever statistics the
+/// checkpoint holds and print them, so a deadline kill still reports the
+/// completed blocks.
+void print_partial_netmc(const std::string& checkpoint_path,
+                         const GateNetlist& nl) {
+  std::vector<Diagnostic> diags;
+  const auto data = load_mc_checkpoint(checkpoint_path, nullptr, &diags);
+  for (const auto& d : diags) {
+    std::fprintf(stderr, "%s\n", format_diagnostic(d).c_str());
+  }
+  if (!data || data->blocks.empty()) {
+    std::fprintf(stderr, "flow_smoke: no completed blocks to recover\n");
+    return;
+  }
+  const auto part = NetlistMonteCarlo::partial_result(*data);
+  std::printf("partial netlist MC: %llu of %llu samples in %zu block(s)\n",
+              static_cast<unsigned long long>(part.samples_done),
+              static_cast<unsigned long long>(data->header.samples),
+              data->blocks.size());
+  if (part.worst_po >= 0) {
+    std::printf("partial worst PO %s: mu %.1f ps sigma %.2f ps\n",
+                nl.net(part.worst_po).name.c_str(),
+                to_ps(part.worst_po_moments.mu),
+                to_ps(part.worst_po_moments.sigma));
+  }
+}
+
+int tool_main(int argc, char** argv) {
   int target_cells = 120;
   int netmc_samples = 0;
   bool lint = false, lint_strict = false;
+  std::string checkpoint_path;
+  bool resume = false;
+  double deadline_s = 0.0;
+  long long sample_budget = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       set_default_threads(static_cast<unsigned>(std::atoi(argv[++i])));
@@ -42,6 +91,14 @@ int main(int argc, char** argv) {
       target_cells = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--netmc") == 0 && i + 1 < argc) {
       netmc_samples = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--checkpoint") == 0 && i + 1 < argc) {
+      checkpoint_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
+    } else if (std::strcmp(argv[i], "--deadline") == 0 && i + 1 < argc) {
+      deadline_s = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--sample-budget") == 0 && i + 1 < argc) {
+      sample_budget = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--lint") == 0) {
       lint = true;
     } else if (std::strcmp(argv[i], "--lint-strict") == 0) {
@@ -49,10 +106,17 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--threads N] [--cells N] [--netmc N] "
-                   "[--lint | --lint-strict]\n",
+                   "[--lint | --lint-strict] [--checkpoint FILE] [--resume] "
+                   "[--deadline S] [--sample-budget N]\n",
                    argv[0]);
       return 2;
     }
+  }
+  CancellationToken token;
+  const bool use_token = deadline_s > 0.0 || sample_budget > 0;
+  if (deadline_s > 0.0) token.set_timeout(deadline_s);
+  if (sample_budget > 0) {
+    token.set_sample_budget(static_cast<std::uint64_t>(sample_budget));
   }
   set_log_level(LogLevel::kInfo);
   std::printf("worker lanes: %u (pool: %u workers + caller)\n",
@@ -120,15 +184,39 @@ int main(int argc, char** argv) {
   std::printf("corner-STA +3s: %.1f ps\n", to_ps(ptq[6]));
 
   if (netmc_samples > 0) {
+    NetMcOptions nopt;
+    nopt.checkpoint_path = checkpoint_path;
+    nopt.resume = resume;
     const NetlistMonteCarlo netmc(timer.cell_model(), timer.wire_model(),
-                                  tech);
+                                  tech, nopt);
     McConfig nmc;
     nmc.samples = netmc_samples;
-    const auto nr = netmc.run(nl, spef, nmc);
+    if (use_token) nmc.exec.cancel = &token;
+    NetlistMonteCarlo::Result nr;
+    try {
+      nr = netmc.run(nl, spef, nmc);
+    } catch (const CancelledError& e) {
+      std::fprintf(stderr, "flow_smoke: netlist MC cancelled: %s\n",
+                   e.what());
+      if (!checkpoint_path.empty()) print_partial_netmc(checkpoint_path, nl);
+      throw;
+    }
+    for (const auto& d : nr.diagnostics) {
+      std::fprintf(stderr, "%s\n", format_diagnostic(d).c_str());
+    }
     std::printf("netlist MC: %d samples over %zu POs in %u shard(s), "
                 "runtime %.2fs\n",
                 netmc_samples, nr.po_nets.size(), nr.shards,
                 nr.runtime_seconds);
+    if (nr.blocks_resumed > 0) {
+      std::printf("netlist MC: resumed %llu block(s) from %s\n",
+                  static_cast<unsigned long long>(nr.blocks_resumed),
+                  checkpoint_path.c_str());
+    }
+    if (nr.total_quarantined > 0) {
+      std::printf("netlist MC: quarantined %llu non-finite sample value(s)\n",
+                  static_cast<unsigned long long>(nr.total_quarantined));
+    }
     if (nr.worst_po >= 0) {
       std::printf("worst PO %s: mu %.1f ps sigma %.2f ps gamma %.2f "
                   "kappa %.2f\n",
@@ -146,10 +234,13 @@ int main(int argc, char** argv) {
 
   PathMcConfig mcc;
   mcc.samples = 250;
+  if (use_token) mcc.exec.cancel = &token;
   PathMonteCarlo mc(tech);
   const auto mcr = mc.run(analysis.critical_path, mcc);
-  std::printf("MC: n=%zu fail=%d, runtime %.1fs\n", mcr.samples.size(),
-              mcr.failures, mcr.runtime_seconds);
+  std::printf("MC: n=%zu fail=%d quarantined=%llu, runtime %.1fs\n",
+              mcr.samples.size(), mcr.failures,
+              static_cast<unsigned long long>(mcr.quarantined),
+              mcr.runtime_seconds);
   std::printf("MC quantiles (ps):");
   for (double q : mcr.quantiles) std::printf(" %.1f", to_ps(q));
   std::printf("\n");
@@ -177,4 +268,14 @@ int main(int argc, char** argv) {
   std::printf("errors vs MC: ours +3s %.1f%%, -3s %.1f%%; PT +3s %.1f%%\n",
               e3p, e3m, ept);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return tool_main(argc, argv);
+  } catch (...) {
+    return handle_tool_exception("flow_smoke");
+  }
 }

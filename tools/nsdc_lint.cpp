@@ -20,7 +20,9 @@
 // Parser problems (malformed lines, undefined signals, negative RC, ...)
 // are reported as parse.* diagnostics with source line numbers and merged
 // into the same report. Exit status: 0 clean/info, 1 warnings, 2 errors,
-// 3 usage or load failure.
+// 3 usage or load failure; typed failures map to the shared robustness
+// codes (util/errors.hpp): 10 cancelled, 11 unrecoverable parse error,
+// 12 I/O error, 13 internal error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +35,7 @@
 #include "netlist/designgen.hpp"
 #include "netlist/verilogio.hpp"
 #include "sta/annotate.hpp"
+#include "util/errors.hpp"
 #include "util/log.hpp"
 #include "util/threading.hpp"
 
@@ -58,9 +61,7 @@ int list_rules() {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int tool_main(int argc, char** argv) {
   std::string bench_path, verilog_path, iscas_name, spef_path, charlib_path;
   int random_cells = 0;
   bool gen_spef = false, json = false;
@@ -124,6 +125,8 @@ int main(int argc, char** argv) {
       nl = generate_random_mapped(spec, cells);
       finalize_design(*nl, cells, tech);
     }
+  } catch (const Error&) {
+    throw;  // typed: the top-level handler maps it to its exit code
   } catch (const std::exception& e) {
     std::fprintf(stderr, "nsdc_lint: cannot load design: %s\n", e.what());
     return 3;
@@ -185,4 +188,14 @@ int main(int argc, char** argv) {
     std::fputs(report.to_text().c_str(), stdout);
   }
   return report.exit_code();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return tool_main(argc, argv);
+  } catch (...) {
+    return handle_tool_exception("nsdc_lint");
+  }
 }
