@@ -6,9 +6,11 @@
 // the sharded netlist Monte Carlo including a grain sweep
 // (netmc_parallel_perf.json, skip with --no_netmc_scaling), the
 // per-edit cost of the incremental STA engine across fanout-cone sizes
-// (incremental_sta_perf.json, skip with --no_incremental_scaling), and the
+// (incremental_sta_perf.json, skip with --no_incremental_scaling), the
 // write/restore overhead of the netlist-MC checkpoint layer
-// (netmc_checkpoint_perf.json, skip with --no_checkpoint_perf).
+// (netmc_checkpoint_perf.json, skip with --no_checkpoint_perf), and the
+// analytic-SSTA-vs-Monte-Carlo sweep across design sizes
+// (ssta_analytic_perf.json, skip with --no_ssta_sweep).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -29,6 +31,7 @@
 #include "sta/engine.hpp"
 #include "sta/incremental.hpp"
 #include "sta/netmc.hpp"
+#include "sta/ssta_analytic.hpp"
 #include "stats/regression.hpp"
 #include "synthetic_charlib.hpp"
 #include "util/rng.hpp"
@@ -332,6 +335,115 @@ int run_netmc_scaling(const std::string& json_path) {
   return 0;
 }
 
+// --------------------------------------------- analytic SSTA sweep ------
+
+/// Analytic four-moment SSTA vs the sharded netlist Monte Carlo across
+/// design sizes: wall time on both sides (MC at the 100k-sample reference
+/// count the acceptance contract uses), the speedup ratio, worst-case
+/// N-sigma quantile disagreement in sigma units, and the engine's
+/// thread-count determinism (1 vs 4 lanes byte-identical). The JSON perf
+/// record lands in ssta_analytic_perf.json.
+int run_ssta_sweep(const std::string& json_path) {
+  using clock = std::chrono::steady_clock;
+  const TechParams tech = TechParams::nominal28();
+  const CellLibrary lib = CellLibrary::standard();
+  // Random mapped designs draw from the full cell library, so the cell
+  // model fits the full synthetic charlib; only make_charlib() carries
+  // wire MC observations, so the wire model always fits from it.
+  const NSigmaCellModel model =
+      NSigmaCellModel::fit(testfix::make_full_charlib());
+  const NSigmaWireModel wire_model =
+      NSigmaWireModel::fit(testfix::make_charlib(), lib);
+  constexpr int kMcSamples = 100000;
+
+  std::ofstream json(json_path);
+  json << "{\n  \"mc_samples\": " << kMcSamples << ",\n"
+       << "  \"sweep\": [";
+  bool first = true;
+  bool ok = true;
+  for (const int target : {100, 250, 500}) {
+    RandomNetlistSpec spec;
+    spec.name = "ssta_sweep_" + std::to_string(target);
+    spec.target_cells = target;
+    spec.seed = 42;
+    const GateNetlist netlist = generate_random_mapped(spec, lib);
+    const ParasiticDb parasitics = generate_parasitics(netlist, tech);
+
+    AnalyticSstaOptions aopt;
+    aopt.sta.exec.threads = 1;
+    const AnalyticSsta engine(model, wire_model, tech, aopt);
+    AnalyticSsta::Result an;
+    double an_s = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = clock::now();
+      an = engine.run(netlist, parasitics);
+      an_s = std::min(an_s,
+                      std::chrono::duration<double>(clock::now() - t0).count());
+    }
+
+    // Determinism: 4 worker lanes must reproduce the serial run exactly.
+    AnalyticSstaOptions popt;
+    popt.sta.exec.threads = 4;
+    const AnalyticSsta par_engine(model, wire_model, tech, popt);
+    const auto par = par_engine.run(netlist, parasitics);
+    bool identical = par.nets.size() == an.nets.size();
+    for (std::size_t n = 0; identical && n < an.nets.size(); ++n) {
+      for (std::size_t e = 0; e < 2; ++e) {
+        identical = std::memcmp(&par.nets[n][e].moments,
+                                &an.nets[n][e].moments, sizeof(Moments)) == 0;
+        if (!identical) break;
+      }
+    }
+    ok = ok && identical;
+
+    const NetlistMonteCarlo mc(model, wire_model, tech);
+    McConfig cfg;
+    cfg.samples = kMcSamples;
+    cfg.seed = 0x55A11;
+    cfg.threads = 1;
+    const auto t0 = clock::now();
+    const auto mcr = mc.run(netlist, parasitics, cfg);
+    const double mc_s =
+        std::chrono::duration<double>(clock::now() - t0).count();
+
+    // Worst PO quantile disagreement, in units of that PO's sigma.
+    double worst_dq = 0.0;
+    for (std::size_t p = 0; p < mcr.po_nets.size(); ++p) {
+      const double sig = mcr.po_moments[p].sigma;
+      if (!(sig > 0.0)) continue;
+      for (std::size_t l = 0; l < 7; ++l) {
+        worst_dq = std::max(worst_dq,
+                            std::abs(an.po_quantiles[p][l] -
+                                     mcr.po_quantiles[p][l]) / sig);
+      }
+    }
+
+    json << (first ? "" : ",") << "\n    {\"design\": \"" << netlist.name()
+         << "\", \"cells\": " << netlist.num_cells()
+         << ", \"levels\": " << an.levels
+         << ", \"analytic_seconds\": " << an_s
+         << ", \"mc_seconds\": " << mc_s
+         << ", \"speedup\": " << mc_s / an_s
+         << ", \"worst_po_quantile_err_sigma\": " << worst_dq
+         << ", \"threads_byte_identical\": " << (identical ? "true" : "false")
+         << "}";
+    first = false;
+    std::cerr << "[ssta-sweep] " << netlist.name() << ": "
+              << netlist.num_cells() << " cells  analytic " << an_s * 1e3
+              << " ms  mc " << mc_s << " s  speedup " << mc_s / an_s
+              << "  worst dq " << worst_dq << " sigma"
+              << (identical ? "" : "  MISMATCH") << "\n";
+  }
+  json << "\n  ]\n}\n";
+  std::cerr << "[ssta-sweep] wrote " << json_path << "\n";
+  if (!ok) {
+    std::cerr << "[ssta-sweep] ERROR: parallel analytic result diverged "
+                 "from serial reference\n";
+    return 1;
+  }
+  return 0;
+}
+
 // --------------------------------------------- incremental STA cost -----
 
 /// Per-edit cost of the incremental engine versus a full re-run, across
@@ -566,10 +678,12 @@ int main(int argc, char** argv) {
   bool netmc_scaling = true;
   bool incremental_scaling = true;
   bool checkpoint_perf = true;
+  bool ssta_sweep = true;
   std::string json_path = "sta_parallel_perf.json";
   std::string netmc_json_path = "netmc_parallel_perf.json";
   std::string incremental_json_path = "incremental_sta_perf.json";
   std::string checkpoint_json_path = "netmc_checkpoint_perf.json";
+  std::string ssta_json_path = "ssta_analytic_perf.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--no_sta_scaling") == 0) {
       sta_scaling = false;
@@ -582,6 +696,12 @@ int main(int argc, char** argv) {
       argv[i--] = argv[--argc];
     } else if (std::strcmp(argv[i], "--no_checkpoint_perf") == 0) {
       checkpoint_perf = false;
+      argv[i--] = argv[--argc];
+    } else if (std::strcmp(argv[i], "--no_ssta_sweep") == 0) {
+      ssta_sweep = false;
+      argv[i--] = argv[--argc];
+    } else if (std::strncmp(argv[i], "--ssta_json=", 12) == 0) {
+      ssta_json_path = argv[i] + 12;
       argv[i--] = argv[--argc];
     } else if (std::strncmp(argv[i], "--sta_json=", 11) == 0) {
       json_path = argv[i] + 11;
@@ -607,5 +727,6 @@ int main(int argc, char** argv) {
     rc |= nsdc::run_incremental_scaling(incremental_json_path);
   }
   if (checkpoint_perf) rc |= nsdc::run_checkpoint_perf(checkpoint_json_path);
+  if (ssta_sweep) rc |= nsdc::run_ssta_sweep(ssta_json_path);
   return rc;
 }

@@ -26,11 +26,10 @@ struct McArc {
   int wire_z = -1;           ///< fanin net index for the wire draw, -1 = none
   double mu = 0.0;
   double sigma = 0.0;
-  /// Cornish-Fisher shaping coefficients (0 when moment_shaping is off):
-  /// x = z + g6*(z^2-1) + k24*(z^3-3z) - g36*(2z^3-5z).
-  double g6 = 0.0;
-  double k24 = 0.0;
-  double g36 = 0.0;
+  /// Cornish-Fisher shaping coefficients, shared with the analytic SSTA
+  /// engine via stats/quantiles (all 0 when moment_shaping is off, which
+  /// makes shape() the identity).
+  CornishFisher cf;
   double elmore = 0.0;
   double xw = 0.0;
 };
@@ -166,9 +165,9 @@ NetlistMonteCarlo::Result NetlistMonteCarlo::run(
           a.mu = m.mu;
           a.sigma = m.sigma * scale;
           if (options_.moment_shaping) {
-            a.g6 = m.gamma / 6.0;
-            a.k24 = m.kappa / 24.0;
-            a.g36 = m.gamma * m.gamma / 36.0;
+            a.cf.g6 = m.gamma / 6.0;
+            a.cf.k24 = m.kappa / 24.0;
+            a.cf.g36 = m.gamma * m.gamma / 36.0;
           }
           const RcTree& tree = nom.annotated[fan];
           if (tree.num_nodes() > 1) {
@@ -313,13 +312,10 @@ NetlistMonteCarlo::Result NetlistMonteCarlo::run(
             for (const McTask& t : tasks) {
               // One local draw per instance, shared by its edges and arcs.
               const double zc = w_g * zg_cell + w_l * z_cell[t.cell];
-              const double z2 = zc * zc;
               double best = -1.0;
               const McArc* arc = &arcs[t.first_arc];
               for (std::uint32_t i = 0; i < t.num_arcs; ++i, ++arc) {
-                const double x = zc + arc->g6 * (z2 - 1.0) +
-                                 arc->k24 * zc * (z2 - 3.0) -
-                                 arc->g36 * zc * (2.0 * z2 - 5.0);
+                const double x = arc->cf.shape(zc);
                 double cell_d = arc->mu + arc->sigma * x;
                 if (cell_d < 0.0) cell_d = 0.0;
                 double wire_d = arc->elmore;

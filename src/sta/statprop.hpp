@@ -9,6 +9,14 @@
 // al. [1]; it captures statistical averaging along paths (which the
 // quantile-sum of Eq. 10 does not) but drops the skewness/kurtosis
 // information the N-sigma model keeps.
+//
+// Positioning within the statistical-engine family: this two-moment
+// Gaussian propagator is the cheap lower bound of the accuracy ladder.
+// sta/ssta_analytic.hpp extends the same levelized graph walk to all four
+// moments (mean, sigma, skewness, kurtosis) with a skewness-aware
+// statistical max, recovering the N-sigma tails this engine flattens, at
+// a few times the cost; sta/netmc.hpp is the sampling reference both are
+// validated against. See the "choosing an engine" table in README.md.
 
 #include <array>
 #include <vector>

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <numbers>
 #include <stdexcept>
 
@@ -266,6 +267,120 @@ std::vector<double> sorted_copy(std::span<const double> samples) {
   std::vector<double> s(samples.begin(), samples.end());
   std::sort(s.begin(), s.end());
   return s;
+}
+
+CornishFisher CornishFisher::from_moments(double gamma, double kappa) {
+  const double g = std::clamp(gamma, -3.0, 3.0);
+  const double k = std::clamp(kappa, -2.0, 6.0);
+  CornishFisher cf;
+  cf.g6 = g / 6.0;
+  cf.k24 = k / 24.0;
+  cf.g36 = g * g / 36.0;
+  return cf;
+}
+
+double cornish_fisher_quantile(const Moments& m, double n_sigma) {
+  const CornishFisher cf = CornishFisher::from_moments(m.gamma, m.kappa);
+  return m.mu + m.sigma * cf.shape(n_sigma);
+}
+
+double cornish_fisher_density_at(const Moments& m, double n_sigma) {
+  const CornishFisher cf = CornishFisher::from_moments(m.gamma, m.kappa);
+  // dq/dn = sigma * shape'(n); density at q(n) is phi(n) / (dq/dn).
+  const double z = n_sigma;
+  const double dshape = 1.0 + cf.g6 * 2.0 * z + cf.k24 * (3.0 * z * z - 3.0) -
+                        cf.g36 * (6.0 * z * z - 5.0);
+  const double slope = m.sigma * std::max(dshape, 1e-6);
+  if (!(slope > 0.0)) return 0.0;
+  return normal_pdf(z) / slope;
+}
+
+namespace {
+
+// Probabilists' Hermite polynomial He_n(x) by the three-term recurrence.
+double hermite_he(int n, double x) {
+  double hm = 1.0;  // He_0
+  if (n == 0) return hm;
+  double h = x;  // He_1
+  for (int k = 1; k < n; ++k) {
+    const double next = x * h - static_cast<double>(k) * hm;
+    hm = h;
+    h = next;
+  }
+  return h;
+}
+
+GaussHermite build_gauss_hermite(int n) {
+  // Roots of He_n bracketed by the interlacing roots of He_{n-1} (plus the
+  // outer bound sqrt(4n+2) > largest root) and refined by bisection —
+  // deterministic to the last bit regardless of libm quirks in iterative
+  // polishers.
+  GaussHermite rule;
+  std::vector<double> prev;  // ascending roots of He_{n-1}
+  for (int m = 1; m <= n; ++m) {
+    std::vector<double> roots(static_cast<std::size_t>(m));
+    const double bound = std::sqrt(4.0 * m + 2.0);
+    for (int i = 0; i < m; ++i) {
+      double lo = (i == 0) ? -bound : prev[static_cast<std::size_t>(i - 1)];
+      double hi = (i == m - 1) ? bound : prev[static_cast<std::size_t>(i)];
+      double flo = hermite_he(m, lo);
+      for (int iter = 0; iter < 200; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (mid == lo || mid == hi) break;
+        const double fmid = hermite_he(m, mid);
+        if ((flo < 0.0) == (fmid < 0.0)) {
+          lo = mid;
+          flo = fmid;
+        } else {
+          hi = mid;
+        }
+      }
+      roots[static_cast<std::size_t>(i)] = 0.5 * (lo + hi);
+    }
+    prev = std::move(roots);
+  }
+  rule.nodes = prev;
+  rule.weights.resize(static_cast<std::size_t>(n));
+  // Probabilists' weights: w_i = (n-1)! / (n * He_{n-1}(x_i)^2), normalized
+  // so they sum to 1 (E[1] = 1). Compute in log space to dodge overflow.
+  double log_fact = 0.0;
+  for (int k = 2; k < n; ++k) log_fact += std::log(static_cast<double>(k));
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double h = hermite_he(n - 1, rule.nodes[static_cast<std::size_t>(i)]);
+    const double w = std::exp(log_fact - std::log(static_cast<double>(n)) -
+                              2.0 * std::log(std::fabs(h)));
+    rule.weights[static_cast<std::size_t>(i)] = w;
+    total += w;
+  }
+  for (double& w : rule.weights) w /= total;
+  // Symmetrize: average mirrored nodes/weights so the rule is exactly odd
+  // in nodes and even in weights (guards bisection's last-bit asymmetry).
+  for (int i = 0, j = n - 1; i < j; ++i, --j) {
+    const auto si = static_cast<std::size_t>(i);
+    const auto sj = static_cast<std::size_t>(j);
+    const double x = 0.5 * (rule.nodes[sj] - rule.nodes[si]);
+    rule.nodes[si] = -x;
+    rule.nodes[sj] = x;
+    const double w = 0.5 * (rule.weights[si] + rule.weights[sj]);
+    rule.weights[si] = w;
+    rule.weights[sj] = w;
+  }
+  if (n % 2 == 1) rule.nodes[static_cast<std::size_t>(n / 2)] = 0.0;
+  return rule;
+}
+
+}  // namespace
+
+const GaussHermite& GaussHermite::order(int n) {
+  if (n < 1 || n > 64) {
+    throw std::invalid_argument("GaussHermite::order: n must be in [1,64]");
+  }
+  static std::array<GaussHermite, 65> cache;
+  static std::array<std::once_flag, 65> flags;
+  const auto idx = static_cast<std::size_t>(n);
+  std::call_once(flags[idx], [idx, n] { cache[idx] = build_gauss_hermite(n); });
+  return cache[idx];
 }
 
 }  // namespace nsdc

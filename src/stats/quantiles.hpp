@@ -7,6 +7,8 @@
 #include <span>
 #include <vector>
 
+#include "stats/moments.hpp"
+
 namespace nsdc {
 
 /// Standard normal CDF.
@@ -63,5 +65,55 @@ std::array<double, 7> sigma_quantiles_smoothed(std::span<const double> samples);
 
 /// Sorted copy helper.
 std::vector<double> sorted_copy(std::span<const double> samples);
+
+/// Cornish-Fisher shaping polynomial: maps a standard normal score z to a
+/// score whose distribution approximates the target skewness/kurtosis,
+///   x(z) = z + g6*(z^2-1) + k24*z*(z^2-3) - g36*z*(2*z^2-5),
+/// with g6 = gamma/6, k24 = kappa/24, g36 = gamma^2/36 (kappa is EXCESS
+/// kurtosis, so gamma = kappa = 0 is the identity). This is the transform
+/// the Monte-Carlo samplers draw through and the quantile form the
+/// analytic SSTA engine reports through — shared here so sampler and
+/// analytic engine are moment-consistent by construction.
+struct CornishFisher {
+  double g6 = 0.0;
+  double k24 = 0.0;
+  double g36 = 0.0;
+
+  /// Coefficients for a target (gamma, kappa). The shape parameters are
+  /// clamped to gamma in [-3, 3], kappa in [-2, 6]: outside that range the
+  /// third-order expansion loses monotonicity long before it loses
+  /// accuracy, and calibrated stage moments never leave it.
+  static CornishFisher from_moments(double gamma, double kappa);
+
+  /// Shaped standard score. Kept to the exact expression (and evaluation
+  /// order) of the MC hot loops so shared goldens cannot drift.
+  double shape(double z) const {
+    const double z2 = z * z;
+    return z + g6 * (z2 - 1.0) + k24 * z * (z2 - 3.0) -
+           g36 * z * (2.0 * z2 - 5.0);
+  }
+};
+
+/// N-sigma quantile of a four-moment summary via the Cornish-Fisher
+/// expansion: mu + sigma * shape(n_sigma). Gaussian moments reduce it to
+/// mu + n*sigma exactly.
+double cornish_fisher_quantile(const Moments& m, double n_sigma);
+
+/// Probability density of the Cornish-Fisher four-moment family at its
+/// own quantile point q(n_sigma) — phi(n) / q'(n). Used to turn empirical
+/// MC quantiles into standard-error estimates (SE = sqrt(p(1-p)/n) / f).
+double cornish_fisher_density_at(const Moments& m, double n_sigma);
+
+/// Gauss-Hermite quadrature in probabilists' form: nodes x_i and weights
+/// w_i with sum(w_i) = 1 such that sum(w_i f(x_i)) = E[f(Z)], Z ~ N(0,1),
+/// exactly for polynomials of degree <= 2n-1. Nodes ascend; the rule is
+/// computed once per order and cached (deterministic bisection on the
+/// interlacing Hermite roots, no randomness).
+struct GaussHermite {
+  std::vector<double> nodes;
+  std::vector<double> weights;
+
+  static const GaussHermite& order(int n);
+};
 
 }  // namespace nsdc

@@ -24,6 +24,8 @@
 //   netmc.block       index = accumulation block, before its samples run
 //   netmc.sample      index = sample number (nan poisons that sample)
 //   pathmc.sample     index = sample number of the path MC reference
+//   ssta.level        index = levelized barrier of the analytic SSTA
+//                     engine, before that level's tasks dispatch
 //   checkpoint.write  index = block record being appended (truncate:N cuts
 //                     N bytes off the file after the record is flushed)
 //

@@ -16,6 +16,7 @@
 #include "netlist/designgen.hpp"
 #include "sta/annotate.hpp"
 #include "sta/netmc.hpp"
+#include "sta/ssta_analytic.hpp"
 #include "synthetic_charlib.hpp"
 #include "util/cancel.hpp"
 #include "util/errors.hpp"
@@ -236,6 +237,30 @@ TEST_F(FaultNetMcTest, NanPoisonQuarantinesWithoutBreakingMoments) {
 TEST_F(FaultNetMcTest, ThrowAtBlockSurfacesFaultInjectedError) {
   install_fault_plan(FaultPlan::parse("netmc.block@2=throw"));
   EXPECT_THROW(run_at(1, 64), FaultInjectedError);
+}
+
+// The analytic SSTA engine exposes the same robustness surface as the MC
+// engines: `ssta.level` fires once per levelized wave, so a plan can kill
+// or cancel the propagation mid-netlist and the error must surface — no
+// partial result, no hang.
+TEST_F(FaultNetMcTest, SstaLevelThrowSurfacesFaultInjectedError) {
+  const AnalyticSsta ssta(model, wire_model, tech);
+  install_fault_plan(FaultPlan::parse("ssta.level@1=throw"));
+  EXPECT_THROW(ssta.run(netlist, parasitics), FaultInjectedError);
+  clear_fault_plan();
+  // With the plan cleared the same engine instance completes normally.
+  const auto res = ssta.run(netlist, parasitics);
+  EXPECT_TRUE(std::isfinite(res.worst_po_moments.mu));
+}
+
+TEST_F(FaultNetMcTest, SstaLevelCancelThrowsCancelledError) {
+  CancellationToken token;
+  AnalyticSstaOptions opt;
+  opt.sta.exec.cancel = &token;
+  const AnalyticSsta ssta(model, wire_model, tech, opt);
+  install_fault_plan(FaultPlan::parse("ssta.level@2=cancel"));
+  EXPECT_THROW(ssta.run(netlist, parasitics), CancelledError);
+  EXPECT_TRUE(token.cancelled());
 }
 
 TEST_F(FaultNetMcTest, DeadlineExpiryThrowsCancelledError) {

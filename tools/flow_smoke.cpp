@@ -11,6 +11,9 @@
 //   --cells N     target cell count of the generated smoke design.
 //   --netmc N     after STA, run an N-sample whole-netlist Monte Carlo and
 //                 print the worst-PO moments and empirical quantiles.
+//   --ssta        run the analytic four-moment SSTA engine on the smoke
+//                 design and print the worst-PO moments and N-sigma
+//                 quantiles (with --netmc, side by side with the MC run).
 //   --lint        run the nsdc_lint rules on the smoke design before timing
 //                 and print the report.
 //   --lint-strict same, but exit with the lint status when errors are found
@@ -38,6 +41,7 @@
 #include "netlist/designgen.hpp"
 #include "sta/annotate.hpp"
 #include "sta/netmc.hpp"
+#include "sta/ssta_analytic.hpp"
 #include "sta/timer.hpp"
 #include "util/cancel.hpp"
 #include "util/errors.hpp"
@@ -79,6 +83,7 @@ void print_partial_netmc(const std::string& checkpoint_path,
 int tool_main(int argc, char** argv) {
   int target_cells = 120;
   int netmc_samples = 0;
+  bool ssta = false;
   bool lint = false, lint_strict = false;
   std::string checkpoint_path;
   bool resume = false;
@@ -91,6 +96,8 @@ int tool_main(int argc, char** argv) {
       target_cells = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--netmc") == 0 && i + 1 < argc) {
       netmc_samples = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--ssta") == 0) {
+      ssta = true;
     } else if (std::strcmp(argv[i], "--checkpoint") == 0 && i + 1 < argc) {
       checkpoint_path = argv[++i];
     } else if (std::strcmp(argv[i], "--resume") == 0) {
@@ -105,7 +112,7 @@ int tool_main(int argc, char** argv) {
       lint = lint_strict = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--threads N] [--cells N] [--netmc N] "
+                   "usage: %s [--threads N] [--cells N] [--netmc N] [--ssta] "
                    "[--lint | --lint-strict] [--checkpoint FILE] [--resume] "
                    "[--deadline S] [--sample-budget N]\n",
                    argv[0]);
@@ -228,6 +235,29 @@ int tool_main(int argc, char** argv) {
       for (double q : nr.worst_po_quantiles) std::printf(" %.1f", to_ps(q));
       std::printf("\ncircuit max quantiles (ps):");
       for (double q : nr.circuit_quantiles) std::printf(" %.1f", to_ps(q));
+      std::printf("\n");
+    }
+  }
+
+  if (ssta) {
+    AnalyticSstaOptions sopt;
+    if (use_token) sopt.sta.exec.cancel = &token;
+    const AnalyticSsta engine(timer.cell_model(), timer.wire_model(), tech,
+                              sopt);
+    const auto sr = engine.run(nl, spef);
+    std::printf("analytic SSTA: %zu POs, %zu levels, runtime %.4fs\n",
+                sr.po_nets.size(), sr.levels, sr.runtime_seconds);
+    if (sr.worst_po >= 0) {
+      std::printf("SSTA worst PO %s: mu %.1f ps sigma %.2f ps gamma %.2f "
+                  "kappa %.2f\n",
+                  nl.net(sr.worst_po).name.c_str(),
+                  to_ps(sr.worst_po_moments.mu),
+                  to_ps(sr.worst_po_moments.sigma), sr.worst_po_moments.gamma,
+                  sr.worst_po_moments.kappa);
+      std::printf("SSTA worst PO quantiles (ps):");
+      for (double q : sr.worst_po_quantiles) std::printf(" %.1f", to_ps(q));
+      std::printf("\nSSTA circuit max quantiles (ps):");
+      for (double q : sr.circuit_quantiles) std::printf(" %.1f", to_ps(q));
       std::printf("\n");
     }
   }
