@@ -8,7 +8,9 @@
 // per-edit cost of the incremental STA engine across fanout-cone sizes
 // (incremental_sta_perf.json, skip with --no_incremental_scaling), the
 // write/restore overhead of the netlist-MC checkpoint layer
-// (netmc_checkpoint_perf.json, skip with --no_checkpoint_perf), and the
+// (netmc_checkpoint_perf.json, skip with --no_checkpoint_perf), the
+// certified interval propagation versus the nominal STA it brackets
+// (analysis_perf.json, skip with --no_analysis_perf), and the
 // analytic-SSTA-vs-Monte-Carlo sweep across design sizes
 // (ssta_analytic_perf.json, skip with --no_ssta_sweep).
 #include <benchmark/benchmark.h>
@@ -21,6 +23,7 @@
 #include <iostream>
 #include <string>
 
+#include "analysis/analysis.hpp"
 #include "core/nsigma_cell.hpp"
 #include "netlist/designgen.hpp"
 #include "parasitics/wiregen.hpp"
@@ -670,6 +673,98 @@ int run_incremental_scaling(const std::string& json_path) {
   return 0;
 }
 
+// --------------------------------------------- interval propagation -----
+
+/// Cost of the certified interval propagation (nsdc_analyze's tentpole
+/// pass) versus the nominal mean STA it brackets, across design sizes,
+/// plus the 1-vs-4-lane byte-identity of the propagated bounds. The JSON
+/// record lands in analysis_perf.json.
+int run_analysis_perf(const std::string& json_path) {
+  using clock = std::chrono::steady_clock;
+  const TechParams tech = TechParams::nominal28();
+  const CellLibrary lib = CellLibrary::standard();
+  const NSigmaCellModel model =
+      NSigmaCellModel::fit(testfix::make_full_charlib());
+  const NSigmaWireModel wire_model =
+      NSigmaWireModel::fit(testfix::make_charlib(), lib);
+
+  std::ofstream json(json_path);
+  json << "{\n  \"sweep\": [";
+  bool first = true;
+  bool ok = true;
+  for (const int target : {100, 500, 2000}) {
+    RandomNetlistSpec spec;
+    spec.name = "analysis_sweep_" + std::to_string(target);
+    spec.target_cells = target;
+    spec.seed = 42;
+    const GateNetlist netlist = generate_random_mapped(spec, lib);
+    const ParasiticDb parasitics = generate_parasitics(netlist, tech);
+
+    StaConfig scfg;
+    scfg.exec.threads = 1;
+    const StaEngine sta(model, tech, scfg);
+    StaEngine::Result nominal;
+    double sta_s = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = clock::now();
+      nominal = sta.run(netlist, parasitics);
+      sta_s = std::min(
+          sta_s, std::chrono::duration<double>(clock::now() - t0).count());
+    }
+
+    AnalysisInput input;
+    input.netlist = &netlist;
+    input.parasitics = &parasitics;
+    input.cell_model = &model;
+    input.wire_model = &wire_model;
+    input.tech = &tech;
+    AnalysisOptions aopt;
+    aopt.exec.threads = 1;
+    IntervalResult iv;
+    double iv_s = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = clock::now();
+      iv = propagate_intervals(input, aopt, nominal);
+      iv_s = std::min(
+          iv_s, std::chrono::duration<double>(clock::now() - t0).count());
+    }
+
+    AnalysisOptions popt;
+    popt.exec.threads = 4;
+    const IntervalResult piv = propagate_intervals(input, popt, nominal);
+    bool identical = piv.nets.size() == iv.nets.size();
+    for (std::size_t n = 0; identical && n < iv.nets.size(); ++n) {
+      identical = std::memcmp(&piv.nets[n].arrival, &iv.nets[n].arrival,
+                              sizeof(iv.nets[n].arrival)) == 0 &&
+                  std::memcmp(&piv.nets[n].slew, &iv.nets[n].slew,
+                              sizeof(iv.nets[n].slew)) == 0;
+    }
+    ok = ok && identical;
+
+    json << (first ? "" : ",") << "\n    {\"design\": \"" << netlist.name()
+         << "\", \"cells\": " << netlist.num_cells()
+         << ", \"levels\": " << iv.levels
+         << ", \"sta_seconds\": " << sta_s
+         << ", \"interval_seconds\": " << iv_s
+         << ", \"cost_vs_sta\": " << iv_s / sta_s
+         << ", \"threads_byte_identical\": " << (identical ? "true" : "false")
+         << "}";
+    first = false;
+    std::cerr << "[analysis-perf] " << netlist.name() << ": "
+              << netlist.num_cells() << " cells  sta " << sta_s * 1e3
+              << " ms  intervals " << iv_s * 1e3 << " ms  ratio "
+              << iv_s / sta_s << (identical ? "" : "  MISMATCH") << "\n";
+  }
+  json << "\n  ]\n}\n";
+  std::cerr << "[analysis-perf] wrote " << json_path << "\n";
+  if (!ok) {
+    std::cerr << "[analysis-perf] ERROR: parallel interval propagation "
+                 "diverged from serial reference\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace nsdc
 
@@ -679,11 +774,13 @@ int main(int argc, char** argv) {
   bool incremental_scaling = true;
   bool checkpoint_perf = true;
   bool ssta_sweep = true;
+  bool analysis_perf = true;
   std::string json_path = "sta_parallel_perf.json";
   std::string netmc_json_path = "netmc_parallel_perf.json";
   std::string incremental_json_path = "incremental_sta_perf.json";
   std::string checkpoint_json_path = "netmc_checkpoint_perf.json";
   std::string ssta_json_path = "ssta_analytic_perf.json";
+  std::string analysis_json_path = "analysis_perf.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--no_sta_scaling") == 0) {
       sta_scaling = false;
@@ -699,6 +796,12 @@ int main(int argc, char** argv) {
       argv[i--] = argv[--argc];
     } else if (std::strcmp(argv[i], "--no_ssta_sweep") == 0) {
       ssta_sweep = false;
+      argv[i--] = argv[--argc];
+    } else if (std::strcmp(argv[i], "--no_analysis_perf") == 0) {
+      analysis_perf = false;
+      argv[i--] = argv[--argc];
+    } else if (std::strncmp(argv[i], "--analysis_json=", 16) == 0) {
+      analysis_json_path = argv[i] + 16;
       argv[i--] = argv[--argc];
     } else if (std::strncmp(argv[i], "--ssta_json=", 12) == 0) {
       ssta_json_path = argv[i] + 12;
@@ -728,5 +831,6 @@ int main(int argc, char** argv) {
   }
   if (checkpoint_perf) rc |= nsdc::run_checkpoint_perf(checkpoint_json_path);
   if (ssta_sweep) rc |= nsdc::run_ssta_sweep(ssta_json_path);
+  if (analysis_perf) rc |= nsdc::run_analysis_perf(analysis_json_path);
   return rc;
 }

@@ -13,6 +13,21 @@ done
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# Static-analysis sweep: certified interval bounds, charlib domain-coverage
+# audit, and the cross-engine consistency gate. flow_smoke --analyze runs the
+# same passes (verify included) against the end-to-end smoke design; exit
+# codes 0/1/2 are the max diagnostic severity (warnings expected on C432's
+# synthetic charlib), anything >=3 is a tool failure.
+{
+  echo "########## nsdc_analyze --iscas C432 --verify ##########"
+  build/tools/nsdc_analyze --iscas C432 --gen-spef --synthetic-charlib --verify
+  echo "nsdc_analyze exit: $?"
+  echo
+  echo "########## flow_smoke --analyze ##########"
+  build/tools/flow_smoke --analyze
+  echo "flow_smoke exit: $?"
+} 2>&1 | tee analyze_output.txt
+
 # bench_micro_perf regenerates sta_parallel_perf.json and
 # netmc_parallel_perf.json in the working directory as a side effect.
 {

@@ -1,0 +1,146 @@
+#include "liberty/synthlib.hpp"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace nsdc {
+
+namespace {
+
+/// Quantile levels from moments via a smooth sigma-level expansion — the
+/// same functional family the Table-I regression fits, with fixed
+/// plausible coefficients (columns: sigma*gamma, sigma*kappa,
+/// sigma*gamma*kappa per level -3..+3).
+std::array<double, 7> quantiles_from(const Moments& m) {
+  static constexpr double kCoef[7][3] = {
+      {0.0, -0.32, 0.05},  {-0.22, -0.10, 0.03}, {-0.28, 0.0, 0.02},
+      {-0.15, 0.0, 0.01},  {0.20, 0.0, -0.02},   {0.42, 0.16, -0.03},
+      {0.0, 0.50, -0.04},
+  };
+  std::array<double, 7> q{};
+  for (int lv = 0; lv < 7; ++lv) {
+    const auto l = static_cast<std::size_t>(lv);
+    q[l] = m.mu + (lv - 3) * m.sigma + kCoef[l][0] * m.sigma * m.gamma +
+           kCoef[l][1] * m.sigma * m.kappa +
+           kCoef[l][2] * m.sigma * m.gamma * m.kappa;
+  }
+  return q;
+}
+
+/// Smooth moment surfaces in the calibration model's scaled coordinates
+/// (s_scale = 100 ps, c_scale = 1 fF): bilinear mu/sigma, cubic
+/// gamma/kappa with a cross term — exactly the family the surfaces fit.
+Moments moments_at(double mu0, double sigma0, double gamma0, double kappa0,
+                   double slew, double load, double s_ref, double c_ref) {
+  const double ds = (slew - s_ref) / 100e-12;
+  const double dc = (load - c_ref) / 1e-15;
+  Moments m;
+  m.mu = mu0 + 7.5e-12 * ds + 2.8e-12 * dc + 0.4e-12 * ds * dc;
+  m.sigma = sigma0 + 1.8e-12 * ds + 0.7e-12 * dc + 0.08e-12 * ds * dc;
+  m.gamma = gamma0 + 0.04 * ds - 0.018 * dc + 0.009 * ds * ds -
+            0.003 * dc * dc + 0.0015 * ds * ds * ds +
+            0.0006 * dc * dc * dc + 0.0025 * ds * dc;
+  m.kappa = kappa0 - 0.05 * ds + 0.025 * dc - 0.007 * ds * ds +
+            0.0025 * dc * dc + 0.0009 * ds * ds * ds -
+            0.0005 * dc * dc * dc - 0.0018 * ds * dc;
+  return m;
+}
+
+ArcCharData make_arc(const std::string& cell, bool in_rising, double mu0,
+                     double sigma0, double gamma0, double kappa0) {
+  ArcCharData arc;
+  arc.cell = cell;
+  arc.pin = 0;
+  arc.in_rising = in_rising;
+  arc.slews = {10e-12, 60e-12, 150e-12, 300e-12, 500e-12};
+  arc.loads = {0.4e-15, 1.6e-15, 4e-15, 7.2e-15, 12e-15};
+  for (double s : arc.slews) {
+    for (double c : arc.loads) {
+      ConditionStats cs;
+      cs.moments = moments_at(mu0, sigma0, gamma0, kappa0, s, c,
+                              arc.slews.front(), arc.loads.front());
+      cs.quantiles = quantiles_from(cs.moments);
+      cs.mean_delay = cs.moments.mu;
+      cs.mean_out_slew = 0.8 * s + 20e-12 + 2e3 * c;
+      arc.grid.push_back(std::move(cs));
+    }
+  }
+  return arc;
+}
+
+/// Per-function Eq. 7 fanin/fanout wire sensitivities (smooth family
+/// spread so the per-family regression has a real signal to recover).
+double x_drive_of(const std::string& cell) {
+  if (cell.find("INV") == 0) return 0.85;
+  if (cell.find("BUF") == 0) return 0.75;
+  if (cell.find("NAND") == 0) return 0.68;
+  if (cell.find("NOR") == 0) return 0.62;
+  return 0.58;  // AOI21 / OAI21
+}
+
+double x_load_of(const std::string& cell) {
+  if (cell.find("INV") == 0) return 0.34;
+  if (cell.find("BUF") == 0) return 0.38;
+  if (cell.find("NAND") == 0) return 0.44;
+  if (cell.find("NOR") == 0) return 0.48;
+  return 0.52;  // AOI21 / OAI21
+}
+
+}  // namespace
+
+CharLib make_synthetic_charlib() {
+  CharLib lib;
+  lib.set_tech(TechParams::nominal28());
+
+  const std::vector<std::pair<std::string, double>> funcs = {
+      {"INV", 35e-12},  {"BUF", 45e-12},   {"NAND2", 55e-12},
+      {"NOR2", 60e-12}, {"AOI21", 70e-12}, {"OAI21", 72e-12},
+  };
+  for (const auto& [func, mu_base] : funcs) {
+    for (const int strength : {1, 2, 4, 8}) {
+      for (bool rising : {true, false}) {
+        const std::string cell = func + "x" + std::to_string(strength);
+        // Stronger drive: lower intrinsic delay, tighter Pelgrom spread.
+        const double mu0 =
+            mu_base * (0.5 + 1.0 / strength) * (rising ? 1.0 : 1.1);
+        const double sigma0 =
+            mu0 * 0.30 / std::sqrt(static_cast<double>(strength));
+        const double gamma0 = 0.8 + 0.1 * (rising ? 1.0 : -1.0);
+        lib.add_arc(make_arc(cell, rising, mu0, sigma0, gamma0, 1.2));
+      }
+    }
+  }
+
+  // Eq. 7 wire observations: X_w = XFI(d)*V(d) + XFO(l)*V(l) plus the
+  // intrinsic floor, over a family- and strength-diverse pair matrix. The
+  // INVx4 reference the wire model's fit anchors on is characterized above.
+  const std::vector<std::string> drivers = {
+      "INVx1", "INVx2", "INVx4", "INVx8",  "BUFx2",  "NAND2x2",
+      "NAND2x4", "NOR2x2", "NOR2x4", "AOI21x2", "OAI21x2"};
+  const std::vector<std::string> sinks = {"INVx1", "INVx4", "BUFx2",
+                                          "NAND2x2", "NOR2x2", "AOI21x2"};
+  constexpr double kIntrinsic = 0.04;
+  int tree_id = 0;
+  for (const auto& d : drivers) {
+    for (const auto& l : sinks) {
+      WireObservation obs;
+      obs.driver_cell = d;
+      obs.load_cell = l;
+      obs.tree_id = tree_id++ % 2;
+      obs.elmore = 15e-12;
+      const double xw = kIntrinsic + x_drive_of(d) * lib.cell_variability(d) +
+                        x_load_of(l) * lib.cell_variability(l);
+      obs.wire_moments.mu = obs.elmore;
+      obs.wire_moments.sigma = xw * obs.elmore;
+      for (int lv = 0; lv < 7; ++lv) {
+        obs.quantiles[static_cast<std::size_t>(lv)] =
+            (1.0 + (lv - 3) * xw) * obs.elmore;
+      }
+      lib.add_wire_observation(std::move(obs));
+    }
+  }
+  return lib;
+}
+
+}  // namespace nsdc

@@ -1,0 +1,24 @@
+#pragma once
+// Closed-form synthetic characterization library, generated in
+// milliseconds — the CLI/CI stand-in for a real SPICE characterization
+// run. Every standard cell (CellLibrary::standard(): 6 functions x
+// strengths 1/2/4/8) gets rise and fall arcs whose moment surfaces follow
+// the calibration functional family exactly (bilinear mu/sigma, cubic
+// gamma/kappa in the scaled slew/load coordinates), and the library
+// carries Eq. 7 wire observations over a family-diverse driver/load matrix
+// so NSigmaWireModel::fit has both the INVx4 reference and the per-family
+// regressors it requires.
+//
+// Intended for tools (nsdc_analyze --synthetic-charlib, smoke flows) where
+// characterizing a cache-missing library from scratch would dominate the
+// run; tests keep their own fixture (tests/synthetic_charlib.hpp) with
+// ground-truth coefficients the fitting tests recover.
+
+#include "liberty/charlib.hpp"
+
+namespace nsdc {
+
+/// Builds the synthetic library described above (tech preset nominal28).
+CharLib make_synthetic_charlib();
+
+}  // namespace nsdc

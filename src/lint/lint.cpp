@@ -56,18 +56,23 @@ std::string LintReport::to_text() const {
 }
 
 std::string LintReport::to_json() const {
-  std::string out = "{\n  \"tool\": \"nsdc_lint\",\n  \"version\": 1,\n";
+  // schema_version 2: renamed the "version" key and stable-sorted the
+  // diagnostics array by (rule, object, line) — diff-friendly for JSON
+  // consumers, independent of the severity-first text report order.
+  std::string out = "{\n  \"tool\": \"nsdc_lint\",\n  \"schema_version\": 2,\n";
   out += "  \"design\": " + json_quote(design_) + ",\n";
   out += "  \"summary\": {\"errors\": " + std::to_string(count(Severity::kError)) +
          ", \"warnings\": " + std::to_string(count(Severity::kWarn)) +
          ", \"infos\": " + std::to_string(count(Severity::kInfo)) +
          ", \"rules_run\": " + std::to_string(rules_run_) + "},\n";
+  std::vector<Diagnostic> sorted = diags_;
+  sort_diagnostics_for_json(sorted);
   out += "  \"diagnostics\": [";
-  for (std::size_t i = 0; i < diags_.size(); ++i) {
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
     out += i == 0 ? "\n    " : ",\n    ";
-    out += diagnostic_to_json(diags_[i]);
+    out += diagnostic_to_json(sorted[i]);
   }
-  out += diags_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  out += sorted.empty() ? "]\n}\n" : "\n  ]\n}\n";
   return out;
 }
 

@@ -30,6 +30,17 @@ void sort_diagnostics(std::vector<Diagnostic>& diags) {
   std::stable_sort(diags.begin(), diags.end(), diagnostic_before);
 }
 
+bool diagnostic_json_before(const Diagnostic& a, const Diagnostic& b) {
+  return std::make_tuple(std::cref(a.rule), std::cref(a.object), a.line,
+                         std::cref(a.message), static_cast<int>(a.severity)) <
+         std::make_tuple(std::cref(b.rule), std::cref(b.object), b.line,
+                         std::cref(b.message), static_cast<int>(b.severity));
+}
+
+void sort_diagnostics_for_json(std::vector<Diagnostic>& diags) {
+  std::stable_sort(diags.begin(), diags.end(), diagnostic_json_before);
+}
+
 Severity max_severity(const std::vector<Diagnostic>& diags) {
   Severity worst = Severity::kInfo;
   for (const auto& d : diags) worst = std::max(worst, d.severity);

@@ -38,6 +38,14 @@ bool diagnostic_before(const Diagnostic& a, const Diagnostic& b);
 /// order).
 void sort_diagnostics(std::vector<Diagnostic>& diags);
 
+/// Strict weak order for machine-readable (JSON) reports: rule id first,
+/// then object, line, message, severity — so consumers diffing two runs
+/// see findings grouped by rule regardless of severity churn.
+bool diagnostic_json_before(const Diagnostic& a, const Diagnostic& b);
+
+/// Stable-sorts with diagnostic_json_before.
+void sort_diagnostics_for_json(std::vector<Diagnostic>& diags);
+
 /// Highest severity present; kInfo for an empty list.
 Severity max_severity(const std::vector<Diagnostic>& diags);
 

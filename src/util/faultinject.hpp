@@ -28,6 +28,9 @@
 //                     engine, before that level's tasks dispatch
 //   checkpoint.write  index = block record being appended (truncate:N cuts
 //                     N bytes off the file after the record is flushed)
+//   analyze.interval  index = net id in the static interval propagation
+//                     (nan collapses that net's certified arrival bounds
+//                     to [0, 0], proving the verify-engines gate fires)
 //
 // The global plan is parsed lazily from NSDC_FAULTS on first query;
 // install_fault_plan / clear_fault_plan override it (tests). Queries are

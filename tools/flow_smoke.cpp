@@ -18,6 +18,10 @@
 //                 and print the report.
 //   --lint-strict same, but exit with the lint status when errors are found
 //                 (gate mode for CI).
+//   --analyze     run the static analysis passes (certified interval
+//                 bounds, domain audit, structure checks) plus the
+//                 cross-engine consistency gate on the smoke design; exit
+//                 with the analysis status when errors are found.
 //   --checkpoint FILE  stream completed netlist-MC blocks to FILE; a run
 //                 killed mid-flight keeps every finished block on disk.
 //   --resume      with --checkpoint: restore finished blocks from FILE and
@@ -34,6 +38,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "analysis/analysis.hpp"
 #include "baselines/corner_sta.hpp"
 #include "baselines/mc_reference.hpp"
 #include "liberty/charlib.hpp"
@@ -84,7 +89,7 @@ int tool_main(int argc, char** argv) {
   int target_cells = 120;
   int netmc_samples = 0;
   bool ssta = false;
-  bool lint = false, lint_strict = false;
+  bool lint = false, lint_strict = false, analyze = false;
   std::string checkpoint_path;
   bool resume = false;
   double deadline_s = 0.0;
@@ -110,11 +115,13 @@ int tool_main(int argc, char** argv) {
       lint = true;
     } else if (std::strcmp(argv[i], "--lint-strict") == 0) {
       lint = lint_strict = true;
+    } else if (std::strcmp(argv[i], "--analyze") == 0) {
+      analyze = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--threads N] [--cells N] [--netmc N] [--ssta] "
-                   "[--lint | --lint-strict] [--checkpoint FILE] [--resume] "
-                   "[--deadline S] [--sample-budget N]\n",
+                   "[--lint | --lint-strict] [--analyze] [--checkpoint FILE] "
+                   "[--resume] [--deadline S] [--sample-budget N]\n",
                    argv[0]);
       return 2;
     }
@@ -175,6 +182,27 @@ int tool_main(int argc, char** argv) {
       std::fprintf(stderr, "flow_smoke: lint gate failed (%d error(s))\n",
                    lrep.count(Severity::kError));
       return lrep.exit_code();
+    }
+  }
+
+  if (analyze) {
+    AnalysisInput ain;
+    ain.netlist = &nl;
+    ain.parasitics = &spef;
+    ain.charlib = &charlib;
+    ain.cell_model = &timer.cell_model();
+    ain.wire_model = &timer.wire_model();
+    ain.tech = &tech;
+    AnalysisOptions aopt;
+    aopt.verify_engines = true;
+    aopt.verify_samples = 500;  // gate depth: means stabilize fast
+    if (use_token) aopt.exec.cancel = &token;
+    const AnalysisReport arep = run_analysis(ain, aopt);
+    std::fputs(arep.to_text().c_str(), stdout);
+    if (arep.count(Severity::kError) > 0) {
+      std::fprintf(stderr, "flow_smoke: analysis gate failed (%d error(s))\n",
+                   arep.count(Severity::kError));
+      return arep.exit_code();
     }
   }
 

@@ -2,7 +2,9 @@
 # Builds the concurrency/numeric test subset under each requested sanitizer
 # and runs it. The parallel STA engine and the Monte-Carlo loops are the
 # intentionally-concurrent code (tsan); the parsers, lint rules, and numeric
-# kernels are what asan/ubsan sweep.
+# kernels are what asan/ubsan sweep. The static-analysis suite (interval
+# propagation, verify-engines gate) runs as a second pass via its ctest
+# label so new analysis tests are picked up without touching the regex.
 #
 # Usage: tools/run_sanitizers.sh [tsan|asan|ubsan ...] [-R regex]
 #   With no sanitizer arguments all three run in sequence.
@@ -23,22 +25,20 @@ done
 TARGETS=(test_util test_threading test_netlist test_sta test_netmc
          test_statprop test_golden_sta test_lint test_incremental
          test_spef test_benchio test_faultinject test_moments
-         test_ssta_analytic)
+         test_ssta_analytic test_analysis)
 
 for SAN in "${SANS[@]}"; do
   echo "=== ${SAN} ==="
   cmake --preset "${SAN}"
   cmake --build --preset "${SAN}" -j"$(nproc)" --target "${TARGETS[@]}"
   case "${SAN}" in
-    tsan)  env TSAN_OPTIONS="halt_on_error=1" \
-             ctest --test-dir "build-${SAN}" -R "$REGEX" \
-             --output-on-failure -j"$(nproc)" ;;
-    asan)  env ASAN_OPTIONS="halt_on_error=1" \
-             ctest --test-dir "build-${SAN}" -R "$REGEX" \
-             --output-on-failure -j"$(nproc)" ;;
-    ubsan) env UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
-             ctest --test-dir "build-${SAN}" -R "$REGEX" \
-             --output-on-failure -j"$(nproc)" ;;
+    tsan)  SAN_ENV=(TSAN_OPTIONS="halt_on_error=1") ;;
+    asan)  SAN_ENV=(ASAN_OPTIONS="halt_on_error=1") ;;
+    ubsan) SAN_ENV=(UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1") ;;
   esac
+  env "${SAN_ENV[@]}" ctest --test-dir "build-${SAN}" -R "$REGEX" \
+    --output-on-failure -j"$(nproc)"
+  env "${SAN_ENV[@]}" ctest --test-dir "build-${SAN}" -L analysis \
+    --output-on-failure -j"$(nproc)"
   echo "${SAN} run clean."
 done
