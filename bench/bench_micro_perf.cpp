@@ -10,9 +10,12 @@
 // write/restore overhead of the netlist-MC checkpoint layer
 // (netmc_checkpoint_perf.json, skip with --no_checkpoint_perf), the
 // certified interval propagation versus the nominal STA it brackets
-// (analysis_perf.json, skip with --no_analysis_perf), and the
+// (analysis_perf.json, skip with --no_analysis_perf), the
 // analytic-SSTA-vs-Monte-Carlo sweep across design sizes
-// (ssta_analytic_perf.json, skip with --no_ssta_sweep).
+// (ssta_analytic_perf.json, skip with --no_ssta_sweep), and the
+// flat-SoA-graph vs legacy-netlist STA throughput/memory gate at 100k-1M
+// cells (flatgraph_perf.json, skip with --no_flatgraph_sweep). Every JSON
+// record opens with the shared perfjson envelope (schema_version + host).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -23,7 +26,13 @@
 #include <iostream>
 #include <string>
 
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
 #include "analysis/analysis.hpp"
+#include "netlist/flatgraph.hpp"
+#include "perfjson.hpp"
 #include "core/nsigma_cell.hpp"
 #include "netlist/designgen.hpp"
 #include "parasitics/wiregen.hpp"
@@ -179,10 +188,10 @@ int run_sta_scaling(const std::string& json_path) {
   const double serial_s = time_run(1, &ref);
 
   std::ofstream json(json_path);
-  json << "{\n  \"design\": \"" << netlist.name() << "\",\n"
+  perfjson::open_envelope(json, "sta_scaling");
+  json << ",\n  \"design\": \"" << netlist.name() << "\",\n"
        << "  \"cells\": " << netlist.num_cells() << ",\n"
        << "  \"levels\": " << netlist.levelization().levels.size() << ",\n"
-       << "  \"hardware_threads\": " << default_threads() << ",\n"
        << "  \"serial_seconds\": " << serial_s << ",\n"
        << "  \"runs\": [";
   bool first = true;
@@ -290,11 +299,11 @@ int run_netmc_scaling(const std::string& json_path) {
   const double serial_s = timed(1, 0, &ref);
 
   std::ofstream json(json_path);
-  json << "{\n  \"design\": \"" << netlist.name() << "\",\n"
+  perfjson::open_envelope(json, "netmc_scaling");
+  json << ",\n  \"design\": \"" << netlist.name() << "\",\n"
        << "  \"cells\": " << netlist.num_cells() << ",\n"
        << "  \"samples\": " << kSamples << ",\n"
        << "  \"accum_blocks\": " << NetlistMonteCarlo::kAccumBlocks << ",\n"
-       << "  \"hardware_threads\": " << default_threads() << ",\n"
        << "  \"serial_seconds\": " << serial_s << ",\n"
        << "  \"runs\": [";
   bool first = true;
@@ -360,7 +369,8 @@ int run_ssta_sweep(const std::string& json_path) {
   constexpr int kMcSamples = 100000;
 
   std::ofstream json(json_path);
-  json << "{\n  \"mc_samples\": " << kMcSamples << ",\n"
+  perfjson::open_envelope(json, "ssta_sweep");
+  json << ",\n  \"mc_samples\": " << kMcSamples << ",\n"
        << "  \"sweep\": [";
   bool first = true;
   bool ok = true;
@@ -546,7 +556,8 @@ int run_checkpoint_perf(const std::string& json_path) {
   }
 
   std::ofstream json(json_path);
-  json << "{\n  \"design\": \"" << netlist.name() << "\",\n"
+  perfjson::open_envelope(json, "checkpoint_perf");
+  json << ",\n  \"design\": \"" << netlist.name() << "\",\n"
        << "  \"cells\": " << netlist.num_cells() << ",\n"
        << "  \"samples\": " << kSamples << ",\n"
        << "  \"blocks\": " << n_blocks << ",\n"
@@ -621,7 +632,8 @@ int run_incremental_scaling(const std::string& json_path) {
   };
 
   std::ofstream json(json_path);
-  json << "{\n  \"design\": \"" << netlist.name() << "\",\n"
+  perfjson::open_envelope(json, "incremental_scaling");
+  json << ",\n  \"design\": \"" << netlist.name() << "\",\n"
        << "  \"cells\": " << netlist.num_cells() << ",\n"
        << "  \"levels\": " << num_levels << ",\n"
        << "  \"full_run_seconds\": " << full_s << ",\n"
@@ -689,7 +701,8 @@ int run_analysis_perf(const std::string& json_path) {
       NSigmaWireModel::fit(testfix::make_charlib(), lib);
 
   std::ofstream json(json_path);
-  json << "{\n  \"sweep\": [";
+  perfjson::open_envelope(json, "analysis_perf");
+  json << ",\n  \"sweep\": [";
   bool first = true;
   bool ok = true;
   for (const int target : {100, 500, 2000}) {
@@ -765,6 +778,193 @@ int run_analysis_perf(const std::string& json_path) {
   return 0;
 }
 
+// --------------------------------------------- flat-graph throughput ----
+
+/// Heap bytes currently allocated, or 0 when the platform has no
+/// mallinfo2 (the JSON then records only the arena-accounted footprint).
+std::size_t heap_bytes_now() {
+#if defined(__GLIBC__)
+  return static_cast<std::size_t>(mallinfo2().uordblks);
+#else
+  return 0;
+#endif
+}
+
+/// Million-cell-scale throughput/memory gate for the compiled SoA timing
+/// graph: legacy GateNetlist-walking STA versus the FlatTimingGraph path
+/// on ~100k / ~300k / ~1M-cell generated designs. Records compile rate,
+/// nominal-STA cells/sec on both paths, bytes/cell (flat arena accounting
+/// plus mallinfo2 deltas for both representations), and verifies the flat
+/// results byte-identical to legacy at 1 and 4 lanes. Fails (exit 1) when
+/// the flat path is not >= 1.3x legacy throughput on the largest design.
+/// The JSON record lands in flatgraph_perf.json.
+int run_flatgraph_sweep(const std::string& json_path) {
+  using clock = std::chrono::steady_clock;
+  const TechParams tech = TechParams::nominal28();
+  const CellLibrary lib = CellLibrary::standard();
+  // The scale generators compose everything from NAND2x1/INVx1 (Builder
+  // helpers), so the fast synthetic characterization covers every arc.
+  const CharLib charlib = testfix::make_charlib();
+  const NSigmaCellModel model = NSigmaCellModel::fit(charlib);
+
+  // Size the parameterized generators to ~100k / ~300k / ~1M cells by
+  // measuring one tile/stage and scaling the repeat count.
+  auto sized = [&](const char* kind, std::size_t target) {
+    if (std::strcmp(kind, "xbar") == 0) {
+      return generate_wide_crossbar(144, 144, lib);  // ~103k cells
+    }
+    if (std::strcmp(kind, "divchain") == 0) {
+      const std::size_t per =
+          generate_divider_chain(16, 1, lib).num_cells();
+      const int stages = static_cast<int>((target + per - 1) / per);
+      return generate_divider_chain(16, std::max(stages, 1), lib);
+    }
+    const std::size_t per =
+        generate_tiled_multiplier_array(16, 1, lib).num_cells();
+    const int tiles = static_cast<int>((target + per - 1) / per);
+    return generate_tiled_multiplier_array(16, std::max(tiles, 1), lib);
+  };
+
+  std::ofstream json(json_path);
+  perfjson::open_envelope(json, "flatgraph_sweep");
+  json << ",\n  \"parasitics\": \"none (pin-cap loads)\",\n"
+       << "  \"sweep\": [";
+  bool first = true;
+  bool all_identical = true;
+  double largest_speedup = 0.0;
+  std::size_t largest_cells = 0;
+
+  const std::pair<const char*, std::size_t> specs[] = {
+      {"xbar", 100000}, {"divchain", 300000}, {"mul", 1000000}};
+  for (const auto& [kind, target] : specs) {
+    const GateNetlist netlist = sized(kind, target);
+    // Empty parasitics: at this scale the annotate phase degrades to
+    // pin-cap loads on both paths, keeping the measurement on the
+    // propagation kernels.
+    const ParasiticDb parasitics;
+    netlist.levelization();
+    const DesignStats st = design_stats(netlist);
+    std::cerr << "[flatgraph-sweep] " << design_stats_line(netlist) << "\n";
+
+    const std::size_t heap0 = heap_bytes_now();
+    const auto tc0 = clock::now();
+    const FlatTimingGraph graph = FlatTimingGraph::compile(netlist);
+    const double compile_s =
+        std::chrono::duration<double>(clock::now() - tc0).count();
+    const std::size_t flat_heap = heap_bytes_now() - heap0;
+
+    // Legacy representation footprint: heap delta of a deep copy of the
+    // (levelized) netlist.
+    std::size_t legacy_heap = 0;
+    {
+      const std::size_t before = heap_bytes_now();
+      const GateNetlist copy = netlist;
+      copy.levelization();
+      legacy_heap = heap_bytes_now() - before;
+    }
+
+    auto timed_run = [&](bool flat, unsigned threads,
+                         StaEngine::Result* out) {
+      StaConfig cfg;
+      cfg.exec.threads = threads;
+      cfg.min_parallel_cells = threads > 1 ? 1 : netlist.num_cells() + 1;
+      cfg.use_flatgraph = false;  // legacy path; flat runs use the overload
+      const StaEngine engine(model, tech, cfg);
+      double best = 1e300;
+      for (int rep = 0; rep < 2; ++rep) {
+        const auto t0 = clock::now();
+        auto res = flat ? engine.run(graph, netlist, parasitics)
+                        : engine.run(netlist, parasitics);
+        best = std::min(best, std::chrono::duration<double>(
+                                  clock::now() - t0).count());
+        if (out) *out = std::move(res);
+      }
+      return best;
+    };
+
+    auto identical = [](const StaEngine::Result& a,
+                        const StaEngine::Result& b) {
+      if (a.nets.size() != b.nets.size() || a.max_arrival != b.max_arrival ||
+          a.critical_net != b.critical_net) {
+        return false;
+      }
+      for (std::size_t n = 0; n < b.nets.size(); ++n) {
+        if (std::memcmp(&a.nets[n].arrival, &b.nets[n].arrival,
+                        sizeof(b.nets[n].arrival)) != 0 ||
+            std::memcmp(&a.nets[n].slew, &b.nets[n].slew,
+                        sizeof(b.nets[n].slew)) != 0) {
+          return false;
+        }
+      }
+      return true;
+    };
+
+    StaEngine::Result legacy1, flat1, legacy4, flat4;
+    const double legacy1_s = timed_run(false, 1, &legacy1);
+    const double flat1_s = timed_run(true, 1, &flat1);
+    const double legacy4_s = timed_run(false, 4, &legacy4);
+    const double flat4_s = timed_run(true, 4, &flat4);
+    const bool same =
+        identical(flat1, legacy1) && identical(flat4, legacy4) &&
+        identical(legacy4, legacy1);
+    all_identical = all_identical && same;
+
+    const double cells = static_cast<double>(netlist.num_cells());
+    const double speedup = legacy1_s / flat1_s;
+    if (netlist.num_cells() > largest_cells) {
+      largest_cells = netlist.num_cells();
+      largest_speedup = speedup;
+    }
+
+    json << (first ? "" : ",") << "\n    {\"design\": \"" << netlist.name()
+         << "\", \"cells\": " << st.cells << ", \"nets\": " << st.nets
+         << ", \"max_level\": " << st.max_level
+         << ", \"avg_fanout\": " << st.avg_fanout
+         << ",\n     \"compile_seconds\": " << compile_s
+         << ", \"compile_cells_per_sec\": " << cells / compile_s
+         << ",\n     \"legacy_seconds\": " << legacy1_s
+         << ", \"flat_seconds\": " << flat1_s
+         << ", \"speedup\": " << speedup
+         << ", \"legacy_cells_per_sec\": " << cells / legacy1_s
+         << ", \"flat_cells_per_sec\": " << cells / flat1_s
+         << ",\n     \"legacy_seconds_4t\": " << legacy4_s
+         << ", \"flat_seconds_4t\": " << flat4_s
+         << ", \"speedup_4t\": " << legacy4_s / flat4_s
+         << ",\n     \"flat_bytes_per_cell\": "
+         << static_cast<double>(graph.memory_bytes()) / cells
+         << ", \"flat_heap_bytes_per_cell\": "
+         << static_cast<double>(flat_heap) / cells
+         << ", \"legacy_heap_bytes_per_cell\": "
+         << static_cast<double>(legacy_heap) / cells
+         << ",\n     \"bit_identical\": " << (same ? "true" : "false")
+         << "}";
+    first = false;
+    std::cerr << "[flatgraph-sweep] " << netlist.name() << ": compile "
+              << compile_s * 1e3 << " ms (" << cells / compile_s / 1e6
+              << " Mcells/s)  legacy " << legacy1_s * 1e3 << " ms  flat "
+              << flat1_s * 1e3 << " ms  speedup " << speedup << " (4t "
+              << legacy4_s / flat4_s << ")  flat "
+              << static_cast<double>(graph.memory_bytes()) / cells
+              << " B/cell vs legacy "
+              << static_cast<double>(legacy_heap) / cells << " B/cell"
+              << (same ? "" : "  MISMATCH") << "\n";
+  }
+  json << "\n  ],\n  \"largest_design_speedup\": " << largest_speedup
+       << ",\n  \"speedup_gate\": 1.3\n}\n";
+  std::cerr << "[flatgraph-sweep] wrote " << json_path << "\n";
+  if (!all_identical) {
+    std::cerr << "[flatgraph-sweep] ERROR: flat result diverged from the "
+                 "legacy engine\n";
+    return 1;
+  }
+  if (largest_speedup < 1.3) {
+    std::cerr << "[flatgraph-sweep] ERROR: flat speedup " << largest_speedup
+              << " on the largest design is below the 1.3x gate\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace nsdc
 
@@ -775,12 +975,14 @@ int main(int argc, char** argv) {
   bool checkpoint_perf = true;
   bool ssta_sweep = true;
   bool analysis_perf = true;
+  bool flatgraph_sweep = true;
   std::string json_path = "sta_parallel_perf.json";
   std::string netmc_json_path = "netmc_parallel_perf.json";
   std::string incremental_json_path = "incremental_sta_perf.json";
   std::string checkpoint_json_path = "netmc_checkpoint_perf.json";
   std::string ssta_json_path = "ssta_analytic_perf.json";
   std::string analysis_json_path = "analysis_perf.json";
+  std::string flatgraph_json_path = "flatgraph_perf.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--no_sta_scaling") == 0) {
       sta_scaling = false;
@@ -799,6 +1001,12 @@ int main(int argc, char** argv) {
       argv[i--] = argv[--argc];
     } else if (std::strcmp(argv[i], "--no_analysis_perf") == 0) {
       analysis_perf = false;
+      argv[i--] = argv[--argc];
+    } else if (std::strcmp(argv[i], "--no_flatgraph_sweep") == 0) {
+      flatgraph_sweep = false;
+      argv[i--] = argv[--argc];
+    } else if (std::strncmp(argv[i], "--flatgraph_json=", 17) == 0) {
+      flatgraph_json_path = argv[i] + 17;
       argv[i--] = argv[--argc];
     } else if (std::strncmp(argv[i], "--analysis_json=", 16) == 0) {
       analysis_json_path = argv[i] + 16;
@@ -832,5 +1040,6 @@ int main(int argc, char** argv) {
   if (checkpoint_perf) rc |= nsdc::run_checkpoint_perf(checkpoint_json_path);
   if (ssta_sweep) rc |= nsdc::run_ssta_sweep(ssta_json_path);
   if (analysis_perf) rc |= nsdc::run_analysis_perf(analysis_json_path);
+  if (flatgraph_sweep) rc |= nsdc::run_flatgraph_sweep(flatgraph_json_path);
   return rc;
 }

@@ -15,10 +15,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <stdexcept>
 
 #include "analysis/analysis.hpp"
+#include "netlist/flatgraph.hpp"
 #include "sta/annotate.hpp"
+#include "sta/flatsta.hpp"
 #include "util/faultinject.hpp"
 
 namespace nsdc {
@@ -112,6 +115,74 @@ void propagate_one_cell(const GateNetlist& netlist,
   out.nets[outn] = nb;
 }
 
+/// propagate_one_cell on the flat graph: per-arc charlib handles, Elmore
+/// and raw X_w come from the bound records; the interval math is the
+/// exact sequence above, so the certified bounds are byte-identical.
+void flat_propagate_one_cell(const FlatTimingGraph& graph,
+                             const FlatArcRecords& rec,
+                             const AnalysisInput& input,
+                             const AnalysisOptions& options,
+                             const StaEngine::Result& annotated,
+                             FlatTimingGraph::Id pos, double scale,
+                             IntervalResult& out) {
+  using Id = FlatTimingGraph::Id;
+  const auto outn = static_cast<std::size_t>(graph.cell_out_net(pos));
+  NetBounds nb;  // reset slot, like propagate_cell
+
+  const double load = annotated.net_load[outn];
+  const bool inverting = graph.inverting(pos);
+  const Id a0 = graph.fanin_begin(pos);
+  const Id a1 = graph.fanin_end(pos);
+  for (int edge = 0; edge < 2; ++edge) {  // 0: output rises
+    const bool out_rising = edge == 0;
+    const bool in_rising = inverting ? !out_rising : out_rising;
+    const int in_edge = in_rising ? 0 : 1;
+    const auto& models = rec.arc_model[static_cast<std::size_t>(in_edge)];
+    bool any = false;
+    Interval best_arr, slew_hull;
+    for (Id arc_i = a0; arc_i < a1; ++arc_i) {
+      const Id fan_id = graph.fanin_net(arc_i);
+      if (fan_id == FlatTimingGraph::kNoId) continue;  // unconnected pin
+      const auto fan = static_cast<std::size_t>(fan_id);
+      const NetBounds& fb = out.nets[fan];
+      if (!fb.reachable) continue;
+
+      Interval wire = Interval::point(0.0);
+      if (rec.has_tree[arc_i]) {
+        const double xw = rec.xw[arc_i] * scale;
+        wire = analysis::wire_range(rec.elmore[arc_i], xw, options.z_max);
+      }
+
+      const CellArcModel* am = models[arc_i];
+      const CellArcModel& arc =
+          am ? *am
+             : input.cell_model->arc(graph.cell_type(pos)->name(),
+                                     static_cast<int>(arc_i - a0), in_rising);
+      const Interval slew_iv = fb.slew[static_cast<std::size_t>(in_edge)];
+      const Interval cand = analysis::iv_add(
+          fb.arrival[static_cast<std::size_t>(in_edge)],
+          analysis::iv_add(wire,
+                           arc_delay_range(arc, slew_iv, load, scale,
+                                           options)));
+      const Interval os =
+          analysis::grid_range_x(arc.mean_out_slew, slew_iv, load);
+      best_arr = any ? analysis::iv_max(best_arr, cand) : cand;
+      slew_hull = any ? analysis::iv_hull(slew_hull, os) : os;
+      any = true;
+    }
+    if (!any) continue;  // edge unreachable: slot keeps the defaults
+    nb.reachable = true;
+    nb.arrival[static_cast<std::size_t>(edge)] = best_arr;
+    nb.slew[static_cast<std::size_t>(edge)] = slew_hull;
+  }
+
+  if (fault_fire("analyze.interval", outn, options.exec.cancel) ==
+      FaultAction::kNan) {
+    nb.arrival = {Interval{0.0, 0.0}, Interval{0.0, 0.0}};
+  }
+  out.nets[outn] = nb;
+}
+
 }  // namespace
 
 IntervalResult propagate_intervals(const AnalysisInput& input,
@@ -139,12 +210,33 @@ IntervalResult propagate_intervals(const AnalysisInput& input,
   }
 
   const double scale = std::max(options.variation_scale, 0.0);
-  for (const auto& level : lev.levels) {
-    options.exec.check_cancel();
-    options.exec.parallel_for(level.size(), [&](std::size_t i) {
-      propagate_one_cell(nl, input, options, annotated, level[i], scale,
-                         out);
-    });
+  if (options.use_flatgraph) {
+    // Flat walk: same per-cell math over the compiled SoA graph with
+    // bound per-arc records (handles, Elmore, X_w).
+    using Id = FlatTimingGraph::Id;
+    const FlatTimingGraph graph =
+        FlatTimingGraph::compile(nl, options.exec.cancel);
+    FlatArcRecords rec;
+    flat_kernel::bind_arc_records(graph, *input.cell_model, annotated,
+                                  options.exec, rec);
+    flat_kernel::bind_wire_xw(graph, *input.wire_model, rec);
+    for (Id l = 0; l < graph.num_levels(); ++l) {
+      options.exec.check_cancel();
+      const Id begin = graph.level_begin(l);
+      options.exec.parallel_for(graph.level_end(l) - begin,
+                                [&](std::size_t i) {
+        flat_propagate_one_cell(graph, rec, input, options, annotated,
+                                begin + static_cast<Id>(i), scale, out);
+      });
+    }
+  } else {
+    for (const auto& level : lev.levels) {
+      options.exec.check_cancel();
+      options.exec.parallel_for(level.size(), [&](std::size_t i) {
+        propagate_one_cell(nl, input, options, annotated, level[i], scale,
+                           out);
+      });
+    }
   }
 
   // Reachable primary outputs, ascending net id; worst-edge bounds.

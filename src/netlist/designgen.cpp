@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <map>
 #include <stdexcept>
 
@@ -306,6 +307,191 @@ GateNetlist generate_array_divider(int bits, const CellLibrary& lib,
   for (int q : quotient) b.po(q);
   for (int r : rem) b.po(r);
   return nl;
+}
+
+GateNetlist generate_tiled_multiplier_array(int bits, int tiles,
+                                            const CellLibrary& lib,
+                                            const std::string& name) {
+  if (bits < 2 || tiles < 1) {
+    throw std::invalid_argument("generate_tiled_multiplier_array: bad size");
+  }
+  GateNetlist nl(name);
+  Builder b(nl, lib);
+  // One pair of operand buses shared by every tile (a MAC array reading
+  // the same operands into independent accumulating lanes).
+  std::vector<int> a, bb;
+  for (int i = 0; i < bits; ++i) a.push_back(b.pi("a" + std::to_string(i)));
+  for (int i = 0; i < bits; ++i) bb.push_back(b.pi("b" + std::to_string(i)));
+
+  for (int tile = 0; tile < tiles; ++tile) {
+    // Same row-by-row carry-propagate array as generate_array_multiplier.
+    auto pp = [&](int i, int j) {
+      return b.and2(a[static_cast<std::size_t>(j)],
+                    bb[static_cast<std::size_t>(i)]);
+    };
+    std::vector<int> acc;
+    for (int j = 0; j < bits; ++j) acc.push_back(pp(0, j));
+    b.po(acc[0]);
+    acc.erase(acc.begin());
+    for (int row = 1; row < bits; ++row) {
+      std::vector<int> next;
+      int carry = -1;
+      for (int j = 0; j < bits; ++j) {
+        const int p = pp(row, j);
+        const bool have_acc = j < static_cast<int>(acc.size());
+        if (!have_acc) {
+          if (carry < 0) {
+            next.push_back(p);
+          } else {
+            auto [s, c] = b.half_adder(p, carry);
+            next.push_back(s);
+            carry = c;
+          }
+          continue;
+        }
+        const int x = acc[static_cast<std::size_t>(j)];
+        if (carry < 0) {
+          auto [s, c] = b.half_adder(p, x);
+          next.push_back(s);
+          carry = c;
+        } else {
+          auto [s, c] = b.full_adder(p, x, carry);
+          next.push_back(s);
+          carry = c;
+        }
+      }
+      if (carry >= 0) next.push_back(carry);
+      b.po(next[0]);
+      next.erase(next.begin());
+      acc = std::move(next);
+    }
+    for (int x : acc) b.po(x);
+  }
+  return nl;
+}
+
+GateNetlist generate_wide_crossbar(int inputs, int outputs,
+                                   const CellLibrary& lib,
+                                   const std::string& name) {
+  if (inputs < 2 || outputs < 1) {
+    throw std::invalid_argument("generate_wide_crossbar: bad size");
+  }
+  GateNetlist nl(name);
+  Builder b(nl, lib);
+  std::vector<int> in, sel;
+  for (int i = 0; i < inputs; ++i) {
+    in.push_back(b.pi("in" + std::to_string(i)));
+  }
+  for (int i = 0; i < inputs; ++i) {
+    sel.push_back(b.pi("sel" + std::to_string(i)));
+  }
+  for (int j = 0; j < outputs; ++j) {
+    // out_j = OR_i (in_i & sel_(i+j mod inputs)): the rotated select
+    // pattern gives every column a distinct gating without extra PIs.
+    std::vector<int> terms;
+    terms.reserve(static_cast<std::size_t>(inputs));
+    for (int i = 0; i < inputs; ++i) {
+      terms.push_back(
+          b.and2(in[static_cast<std::size_t>(i)],
+                 sel[static_cast<std::size_t>((i + j) % inputs)]));
+    }
+    // Balanced OR tree from NAND2/INV (the charlib's two cells):
+    // x | y = nand(inv(x), inv(y)).
+    while (terms.size() > 1) {
+      std::vector<int> next;
+      next.reserve(terms.size() / 2 + 1);
+      for (std::size_t k = 0; k + 1 < terms.size(); k += 2) {
+        next.push_back(b.nand2(b.inv(terms[k]), b.inv(terms[k + 1])));
+      }
+      if (terms.size() % 2 != 0) next.push_back(terms.back());
+      terms = std::move(next);
+    }
+    b.po(terms[0]);
+  }
+  return nl;
+}
+
+GateNetlist generate_divider_chain(int bits, int stages,
+                                   const CellLibrary& lib,
+                                   const std::string& name) {
+  if (bits < 2 || stages < 1) {
+    throw std::invalid_argument("generate_divider_chain: bad size");
+  }
+  GateNetlist nl(name);
+  Builder b(nl, lib);
+  std::vector<int> num, den;
+  for (int i = 0; i < bits; ++i) num.push_back(b.pi("n" + std::to_string(i)));
+  for (int i = 0; i < bits; ++i) den.push_back(b.pi("d" + std::to_string(i)));
+  const int one = b.pi("one");
+
+  // Same non-restoring rows as generate_array_divider; each stage divides
+  // the previous stage's remainder by the shared divisor, so the carry
+  // chains concatenate into one very deep design.
+  auto cas = [&](int r, int d, int cin, int t) {
+    const int bx = b.xor2(d, t);
+    return b.full_adder(r, bx, cin);  // {sum, cout}
+  };
+
+  std::vector<int> dividend = num;
+  for (int stage = 0; stage < stages; ++stage) {
+    std::vector<int> rem(static_cast<std::size_t>(bits), -1);
+    int t = one;  // first operation is a subtract
+    std::vector<int> quotient;
+    for (int row = 0; row < bits; ++row) {
+      rem.insert(rem.begin(), dividend[static_cast<std::size_t>(bits - 1 - row)]);
+      // The bit shifted off the sign-extend region is a computed sum on
+      // every row after the first; expose it as a PO so no cell output
+      // dangles (keeps the generator lint-clean).
+      if (rem.back() >= 0) b.po(rem.back());
+      rem.pop_back();
+      int cin = t;
+      std::vector<int> new_rem;
+      for (int j = 0; j < bits; ++j) {
+        const int r = rem[static_cast<std::size_t>(j)];
+        const int rr = r < 0 ? one : r;  // sign-extend region
+        auto [s, c] = cas(rr, den[static_cast<std::size_t>(j)], cin, t);
+        new_rem.push_back(s);
+        cin = c;
+      }
+      rem = std::move(new_rem);
+      quotient.push_back(cin);
+      t = cin;
+    }
+    // Every stage's quotient is observable; the remainder feeds the next
+    // stage (the final one becomes POs below).
+    for (int q : quotient) b.po(q);
+    dividend = std::move(rem);
+  }
+  for (int r : dividend) b.po(r);
+  return nl;
+}
+
+DesignStats design_stats(const GateNetlist& netlist) {
+  DesignStats st;
+  st.cells = netlist.num_cells();
+  st.nets = netlist.num_nets();
+  st.max_level = -1;
+  if (netlist.num_cells() > 0) {
+    st.max_level =
+        static_cast<int>(netlist.levelization().levels.size()) - 1;
+  }
+  std::size_t sinks = 0;
+  for (const auto& net : netlist.nets()) sinks += net.sinks.size();
+  st.avg_fanout = netlist.num_nets() == 0
+                      ? 0.0
+                      : static_cast<double>(sinks) /
+                            static_cast<double>(netlist.num_nets());
+  return st;
+}
+
+std::string design_stats_line(const GateNetlist& netlist) {
+  const DesignStats st = design_stats(netlist);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", st.avg_fanout);
+  return "design_stats name=" + netlist.name() +
+         " cells=" + std::to_string(st.cells) +
+         " nets=" + std::to_string(st.nets) +
+         " max_level=" + std::to_string(st.max_level) + " avg_fanout=" + buf;
 }
 
 int size_cells(GateNetlist& netlist, const CellLibrary& lib,

@@ -61,6 +61,45 @@ GateNetlist generate_array_multiplier(int bits, const CellLibrary& lib,
 GateNetlist generate_array_divider(int bits, const CellLibrary& lib,
                                    const std::string& name = "DIV");
 
+// --- 100k-1M-cell scale generators (FlatTimingGraph workloads) ----------
+// Built from the same NAND2/INV-derived helpers as the arithmetic units
+// above, so the synthetic two-cell charlib covers every arc.
+
+/// `tiles` independent `bits`-bit array multipliers sharing one pair of
+/// operand buses — a tiled MAC array. ~2.3k cells per 16-bit tile; wide
+/// and moderately deep.
+GateNetlist generate_tiled_multiplier_array(int bits, int tiles,
+                                            const CellLibrary& lib,
+                                            const std::string& name = "TMUL");
+
+/// `inputs` x `outputs` AND-OR crossbar: every output ORs all inputs
+/// gated by a rotated select pattern. ~5 * inputs cells per output; very
+/// wide, shallow (depth ~ 2 log2 inputs).
+GateNetlist generate_wide_crossbar(int inputs, int outputs,
+                                   const CellLibrary& lib,
+                                   const std::string& name = "XBAR");
+
+/// `stages` chained non-restoring `bits`-bit array dividers, each stage
+/// dividing the previous stage's remainder — an extremely deep carry
+/// chain (~bits^2 levels per stage).
+GateNetlist generate_divider_chain(int bits, int stages,
+                                   const CellLibrary& lib,
+                                   const std::string& name = "DIVCHAIN");
+
+/// Summary statistics of a generated design (the `design_stats` line).
+struct DesignStats {
+  std::size_t cells = 0;
+  std::size_t nets = 0;
+  int max_level = 0;       ///< deepest topological level (-1 when no cells)
+  double avg_fanout = 0.0; ///< sinks per net
+};
+
+DesignStats design_stats(const GateNetlist& netlist);
+
+/// One-line machine-grepable form:
+/// "design_stats name=<n> cells=<c> nets=<n> max_level=<l> avg_fanout=<f>".
+std::string design_stats_line(const GateNetlist& netlist);
+
 /// Inserts BUF cells on nets whose fanout exceeds `max_fanout`, splitting
 /// the sink set — the post-synthesis buffering pass real flows run.
 /// Returns the number of buffers inserted.

@@ -89,12 +89,16 @@ void GateNetlist::mark_primary_output(int net) {
   record({NetlistEdit::Kind::kMarkPrimaryOutput, -1, -1, -1, net});
 }
 
-std::vector<int> GateNetlist::primary_outputs() const {
-  std::vector<int> out;
-  for (std::size_t i = 0; i < nets_.size(); ++i) {
-    if (nets_[i].is_primary_output) out.push_back(static_cast<int>(i));
+const std::vector<int>& GateNetlist::primary_outputs() const {
+  if (!po_cache_valid_ || po_cache_gen_ != generation_) {
+    po_cache_.clear();
+    for (std::size_t i = 0; i < nets_.size(); ++i) {
+      if (nets_[i].is_primary_output) po_cache_.push_back(static_cast<int>(i));
+    }
+    po_cache_gen_ = generation_;
+    po_cache_valid_ = true;
   }
-  return out;
+  return po_cache_;
 }
 
 int GateNetlist::find_net(const std::string& net_name) const {

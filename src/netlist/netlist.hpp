@@ -89,7 +89,14 @@ class GateNetlist {
   const std::vector<CellInst>& cells() const { return cells_; }
   const std::vector<Net>& nets() const { return nets_; }
   const std::vector<int>& primary_inputs() const { return pi_nets_; }
-  std::vector<int> primary_outputs() const;
+
+  /// Primary-output net indices, ascending. Cached lazily and stamped with
+  /// generation(): any edit (mark_primary_output included) invalidates it,
+  /// so the scan reruns at most once per netlist generation. Like
+  /// levelization(), the first call after an edit is not thread-safe
+  /// against concurrent calls; established callers (engines) compute it
+  /// once up front before fanning out.
+  const std::vector<int>& primary_outputs() const;
 
   /// Net index by name; -1 if absent. O(1) via a name map maintained on
   /// net creation. Duplicate names resolve to the first net created with
@@ -202,6 +209,9 @@ class GateNetlist {
   std::uint64_t journal_begin_ = 0;
   std::vector<NetlistEdit> journal_;
   mutable std::optional<Levelization> levelization_;  ///< lazy cache
+  mutable std::vector<int> po_cache_;                 ///< lazy PO list
+  mutable bool po_cache_valid_ = false;
+  mutable std::uint64_t po_cache_gen_ = 0;  ///< generation() at last scan
 };
 
 }  // namespace nsdc

@@ -36,11 +36,11 @@ void RcTree::mark_sink(int node, std::string pin_name) {
   sinks_.push_back({node, std::move(pin_name)});
 }
 
-int RcTree::sink_node(const std::string& pin) const {
+int RcTree::sink_node(std::string_view pin) const {
   for (const auto& s : sinks_) {
     if (s.pin == pin) return s.node;
   }
-  throw std::out_of_range("RcTree: unknown sink pin " + pin);
+  throw std::out_of_range("RcTree: unknown sink pin " + std::string(pin));
 }
 
 double RcTree::total_cap() const {

@@ -7,6 +7,7 @@
 // at nodes. Sinks (receiver input pins) are marked nodes.
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "spice/circuit.hpp"
@@ -39,7 +40,9 @@ class RcTree {
   };
   const std::vector<Sink>& sinks() const { return sinks_; }
   /// Sink node for a pin name; throws std::out_of_range if absent.
-  int sink_node(const std::string& pin) const;
+  /// Takes a string_view so interned names (FlatTimingGraph arena) look
+  /// up without allocating.
+  int sink_node(std::string_view pin) const;
 
   double total_cap() const;
   double total_res() const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "netlist/flatgraph.hpp"
 #include "sta/annotate.hpp"
 
 namespace nsdc {
@@ -108,6 +109,12 @@ void select_critical(const GateNetlist& netlist, StaEngine::Result& res) {
 
 StaEngine::Result StaEngine::run(const GateNetlist& netlist,
                                  const ParasiticDb& parasitics) const {
+  if (config_.use_flatgraph) {
+    // Compile-and-run on the SoA graph (flatsta.cpp); byte-identical.
+    const FlatTimingGraph graph =
+        FlatTimingGraph::compile(netlist, config_.exec.cancel);
+    return run(graph, netlist, parasitics);
+  }
   Result res;
   res.nets.resize(netlist.num_nets());
   res.annotated.resize(netlist.num_nets());

@@ -23,11 +23,19 @@
 
 namespace nsdc {
 
+class FlatTimingGraph;
+struct FlatArcRecords;
+
 /// Execution policy for StaEngine / StatisticalSta.
 struct StaConfig {
   ExecContext exec{};
   /// Below this many cells the engine runs serially on the calling thread.
   std::size_t min_parallel_cells = 2048;
+  /// Run the hot paths on the compiled FlatTimingGraph (SoA layout, see
+  /// flatsta.hpp). Byte-identical to the legacy GateNetlist kernels at
+  /// any thread count; false forces the legacy path (equivalence tests,
+  /// A/B benchmarking).
+  bool use_flatgraph = true;
 
   /// True when a netlist of `cells` cells should use the pool.
   bool parallel_for_size(std::size_t cells) const {
@@ -64,6 +72,15 @@ class StaEngine {
   };
 
   Result run(const GateNetlist& netlist, const ParasiticDb& parasitics) const;
+
+  /// Flat-graph run on a pre-compiled graph (implemented in flatsta.cpp).
+  /// Byte-identical to the legacy path. Throws std::invalid_argument when
+  /// the graph is stale (source_generation() != netlist.generation()).
+  /// When `keep_records` is non-null the bound per-arc records (charlib
+  /// handles, Elmore) are returned for reuse by downstream engines.
+  Result run(const FlatTimingGraph& graph, const GateNetlist& netlist,
+             const ParasiticDb& parasitics,
+             FlatArcRecords* keep_records = nullptr) const;
 
   /// Backtracks the worst PO arrival into a stage-by-stage path.
   PathDescription extract_critical_path(const GateNetlist& netlist,

@@ -31,6 +31,9 @@
 //   analyze.interval  index = net id in the static interval propagation
 //                     (nan collapses that net's certified arrival bounds
 //                     to [0, 0], proving the verify-engines gate fires)
+//   flatgraph.compile index = topological level being packed into the
+//                     FlatTimingGraph (throw/cancel abort the compile
+//                     before any engine consumes the graph)
 //
 // The global plan is parsed lazily from NSDC_FAULTS on first query;
 // install_fault_plan / clear_fault_plan override it (tests). Queries are

@@ -14,6 +14,7 @@
 
 #include "baselines/mc_reference.hpp"
 #include "netlist/designgen.hpp"
+#include "netlist/flatgraph.hpp"
 #include "sta/annotate.hpp"
 #include "sta/netmc.hpp"
 #include "sta/ssta_analytic.hpp"
@@ -261,6 +262,29 @@ TEST_F(FaultNetMcTest, SstaLevelCancelThrowsCancelledError) {
   install_fault_plan(FaultPlan::parse("ssta.level@2=cancel"));
   EXPECT_THROW(ssta.run(netlist, parasitics), CancelledError);
   EXPECT_TRUE(token.cancelled());
+}
+
+// `flatgraph.compile` fires once per topological level while the SoA graph
+// is packed — before any engine touches the result, so an injected fault
+// aborts the whole flat-path run cleanly.
+TEST_F(FaultNetMcTest, FlatgraphCompileThrowSurfacesFaultInjectedError) {
+  install_fault_plan(FaultPlan::parse("flatgraph.compile@1=throw"));
+  EXPECT_THROW(FlatTimingGraph::compile(netlist), FaultInjectedError);
+  // The engine's flat dispatch hits the same site (liveness end to end).
+  const StaEngine engine(model, tech);
+  EXPECT_THROW(engine.run(netlist, parasitics), FaultInjectedError);
+  clear_fault_plan();
+  const FlatTimingGraph graph = FlatTimingGraph::compile(netlist);
+  EXPECT_EQ(graph.num_cells(), netlist.num_cells());
+}
+
+TEST_F(FaultNetMcTest, FlatgraphCompileCancelThrowsCancelledError) {
+  install_fault_plan(FaultPlan::parse("flatgraph.compile@2=cancel"));
+  CancellationToken token;
+  EXPECT_THROW(FlatTimingGraph::compile(netlist, &token), CancelledError);
+  EXPECT_TRUE(token.cancelled());
+  // Null token: the cancel action still surfaces as CancelledError.
+  EXPECT_THROW(FlatTimingGraph::compile(netlist), CancelledError);
 }
 
 TEST_F(FaultNetMcTest, DeadlineExpiryThrowsCancelledError) {
