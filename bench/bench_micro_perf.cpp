@@ -14,10 +14,13 @@
 // analytic-SSTA-vs-Monte-Carlo sweep across design sizes
 // (ssta_analytic_perf.json, skip with --no_ssta_sweep), and the
 // flat-SoA-graph vs legacy-netlist STA throughput/memory gate at 100k-1M
-// cells (flatgraph_perf.json, skip with --no_flatgraph_sweep). Every JSON
+// cells (flatgraph_perf.json, skip with --no_flatgraph_sweep), and the
+// nsdc_serve daemon's request throughput over a unix socket
+// (serve_perf.json, skip with --no_serve_perf). Every JSON
 // record opens with the shared perfjson envelope (schema_version + host).
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -25,14 +28,19 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #if defined(__GLIBC__)
 #include <malloc.h>
 #endif
 
 #include "analysis/analysis.hpp"
+#include "net/client.hpp"
 #include "netlist/flatgraph.hpp"
 #include "perfjson.hpp"
+#include "serve/daemon.hpp"
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
 #include "core/nsigma_cell.hpp"
 #include "netlist/designgen.hpp"
 #include "parasitics/wiregen.hpp"
@@ -965,6 +973,147 @@ int run_flatgraph_sweep(const std::string& json_path) {
   return 0;
 }
 
+// --------------------------------------------- serve throughput ---------
+
+/// Requests/sec of the nsdc_serve daemon over a unix socket: baseline
+/// arrival queries from one and from four concurrent clients, and a
+/// stateful edit session streaming retype batches through IncrementalSta.
+/// Every response status is checked; a non-OK answer fails the record.
+/// The JSON record lands in serve_perf.json.
+int run_serve_perf(const std::string& json_path) {
+  using clock = std::chrono::steady_clock;
+  const TechParams tech = TechParams::nominal28();
+  const CellLibrary lib = CellLibrary::standard();
+  const CharLib charlib = testfix::make_full_charlib();
+  const NSigmaCellModel model = NSigmaCellModel::fit(charlib);
+  const NSigmaWireModel wire_model =
+      NSigmaWireModel::fit(testfix::make_charlib(), lib);
+
+  RandomNetlistSpec spec;
+  spec.name = "serve_perf";
+  spec.target_cells = 1500;
+  spec.seed = 42;
+  GateNetlist netlist = generate_random_mapped(spec, lib);
+  finalize_design(netlist, lib, tech);
+  const ParasiticDb parasitics = generate_parasitics(netlist, tech);
+
+  serve::ServiceRefs refs;
+  refs.netlist = &netlist;
+  refs.parasitics = &parasitics;
+  refs.cell_library = &lib;
+  refs.cell_model = &model;
+  refs.wire_model = &wire_model;
+  refs.tech = &tech;
+  refs.charlib = &charlib;
+  serve::Service service(refs);
+  const std::string sock =
+      (std::filesystem::temp_directory_path() / "nsdc_bench_serve.sock")
+          .string();
+  serve::Daemon daemon(net::Endpoint::unix_path(sock), service);
+  std::thread runner([&] { daemon.run(); });
+
+  const std::string po_name =
+      netlist.net(service.baseline().critical_net).name;
+  auto call_ok = [](net::Client& c, const std::string& req) {
+    const std::string resp = c.call(req);
+    net::WireReader r(resp);
+    return serve::read_response_head(r).status == serve::Status::kOk;
+  };
+  bool ok = true;
+
+  // Single client, baseline arrival queries (pure cache reads: the
+  // round-trip cost is framing + dispatch, the figure of merit of the
+  // transport layer).
+  const int kQueries = 4000;
+  double arrival_rps = 0.0;
+  {
+    net::Client client(daemon.endpoint());
+    const auto t0 = clock::now();
+    for (int i = 0; i < kQueries; ++i) {
+      ok = call_ok(client, serve::make_arrival(
+                               static_cast<std::uint32_t>(i), po_name)) &&
+           ok;
+    }
+    arrival_rps = kQueries /
+                  std::chrono::duration<double>(clock::now() - t0).count();
+  }
+
+  // Four concurrent clients, same total request count: measures the
+  // batching loop, not just one connection's turnaround.
+  double arrival_rps_4c = 0.0;
+  {
+    const int per_client = kQueries / 4;
+    std::vector<std::thread> clients;
+    std::array<bool, 4> oks{true, true, true, true};
+    const auto t0 = clock::now();
+    for (int k = 0; k < 4; ++k) {
+      clients.emplace_back([&, k] {
+        net::Client client(daemon.endpoint());
+        for (int i = 0; i < per_client; ++i) {
+          oks[static_cast<std::size_t>(k)] =
+              call_ok(client,
+                      serve::make_arrival(
+                          static_cast<std::uint32_t>(k * per_client + i),
+                          po_name)) &&
+              oks[static_cast<std::size_t>(k)];
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    arrival_rps_4c = 4.0 * per_client /
+                     std::chrono::duration<double>(clock::now() - t0).count();
+    for (const bool o : oks) ok = ok && o;
+  }
+
+  // Stateful edit session: each request retypes one cell (alternating
+  // strengths) and runs the incremental update — requests/sec of the
+  // journal -> IncrementalSta path including the timing answer.
+  const int kEdits = 200;
+  double edit_rps = 0.0;
+  {
+    net::Client client(daemon.endpoint());
+    const std::string open = client.call(serve::make_session_open(1));
+    net::WireReader orr(open);
+    ok = ok && serve::read_response_head(orr).status == serve::Status::kOk;
+    const std::uint32_t session = orr.u32();
+    const CellFunc func = netlist.cell(0).type->func();
+    const auto t0 = clock::now();
+    for (int i = 0; i < kEdits; ++i) {
+      serve::SessionEditRequest edit(static_cast<std::uint32_t>(100 + i),
+                                     session);
+      edit.set_cell_type(0, lib.by_func(func, (i % 2) != 0 ? 4 : 2).name());
+      ok = call_ok(client, edit.take()) && ok;
+    }
+    edit_rps =
+        kEdits / std::chrono::duration<double>(clock::now() - t0).count();
+    ok = call_ok(client, serve::make_session_close(2, session)) && ok;
+  }
+
+  daemon.request_stop();
+  runner.join();
+
+  std::ofstream json(json_path);
+  perfjson::open_envelope(json, "serve_perf");
+  json << ",\n  \"design\": \"" << netlist.name()
+       << "\", \"cells\": " << netlist.num_cells()
+       << ", \"nets\": " << netlist.num_nets()
+       << ",\n  \"transport\": \"unix socket, length-prefixed frames\""
+       << ",\n  \"arrival_requests_per_sec\": " << arrival_rps
+       << ",\n  \"arrival_requests_per_sec_4_clients\": " << arrival_rps_4c
+       << ",\n  \"edit_session_requests_per_sec\": " << edit_rps
+       << ",\n  \"requests_served\": " << daemon.requests_served()
+       << ",\n  \"all_responses_ok\": " << (ok ? "true" : "false") << "\n}\n";
+  std::cerr << "[serve-perf] " << netlist.num_cells() << " cells: arrival "
+            << arrival_rps << " req/s (4 clients " << arrival_rps_4c
+            << ")  edit-session " << edit_rps << " req/s\n"
+            << "[serve-perf] wrote " << json_path << "\n";
+  if (!ok) {
+    std::cerr << "[serve-perf] ERROR: a request returned a non-OK status\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace nsdc
 
@@ -976,6 +1125,7 @@ int main(int argc, char** argv) {
   bool ssta_sweep = true;
   bool analysis_perf = true;
   bool flatgraph_sweep = true;
+  bool serve_perf = true;
   std::string json_path = "sta_parallel_perf.json";
   std::string netmc_json_path = "netmc_parallel_perf.json";
   std::string incremental_json_path = "incremental_sta_perf.json";
@@ -983,6 +1133,7 @@ int main(int argc, char** argv) {
   std::string ssta_json_path = "ssta_analytic_perf.json";
   std::string analysis_json_path = "analysis_perf.json";
   std::string flatgraph_json_path = "flatgraph_perf.json";
+  std::string serve_json_path = "serve_perf.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--no_sta_scaling") == 0) {
       sta_scaling = false;
@@ -1004,6 +1155,12 @@ int main(int argc, char** argv) {
       argv[i--] = argv[--argc];
     } else if (std::strcmp(argv[i], "--no_flatgraph_sweep") == 0) {
       flatgraph_sweep = false;
+      argv[i--] = argv[--argc];
+    } else if (std::strcmp(argv[i], "--no_serve_perf") == 0) {
+      serve_perf = false;
+      argv[i--] = argv[--argc];
+    } else if (std::strncmp(argv[i], "--serve_json=", 13) == 0) {
+      serve_json_path = argv[i] + 13;
       argv[i--] = argv[--argc];
     } else if (std::strncmp(argv[i], "--flatgraph_json=", 17) == 0) {
       flatgraph_json_path = argv[i] + 17;
@@ -1041,5 +1198,6 @@ int main(int argc, char** argv) {
   if (ssta_sweep) rc |= nsdc::run_ssta_sweep(ssta_json_path);
   if (analysis_perf) rc |= nsdc::run_analysis_perf(analysis_json_path);
   if (flatgraph_sweep) rc |= nsdc::run_flatgraph_sweep(flatgraph_json_path);
+  if (serve_perf) rc |= nsdc::run_serve_perf(serve_json_path);
   return rc;
 }

@@ -66,6 +66,21 @@ void rule_unconnected_pin(const LintInput& in, const LintPrep&,
   }
 }
 
+void rule_duplicate_name(const LintInput& in, const LintPrep&,
+                         const LintOptions&, std::vector<Diagnostic>& out) {
+  const GateNetlist& nl = *in.netlist;
+  for (int n : nl.duplicate_nets()) {
+    const int first = nl.find_net(nl.net(n).name);
+    out.push_back({Severity::kError, "net.duplicate-name", net_obj(nl, n),
+                   "net name is already held by net " +
+                       std::to_string(first) +
+                       "; name-based lookups (find_net, served queries) "
+                       "resolve to the first net and silently shadow this "
+                       "one",
+                   "rename one of the nets so every name is unique", 0});
+  }
+}
+
 void rule_comb_loop(const LintInput& in, const LintPrep& prep,
                     const LintOptions&, std::vector<Diagnostic>& out) {
   const GateNetlist& nl = *in.netlist;
@@ -572,6 +587,9 @@ void register_builtin_rules(LintRegistry& registry) {
       "every cell pin must be bound to a net", rule_unconnected_pin);
   add("net.comb-loop", "structural",
       "the netlist must levelize (no combinational loops)", rule_comb_loop);
+  add("net.duplicate-name", "structural",
+      "net names must be unique (find_net is first-wins on duplicates)",
+      rule_duplicate_name);
   add("net.multi-driver", "structural", "every net has at most one driver",
       rule_multi_driver);
   add("net.undriven", "structural",

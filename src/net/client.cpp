@@ -1,0 +1,81 @@
+#include "net/client.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/wire.hpp"
+#include "util/errors.hpp"
+
+namespace nsdc::net {
+
+Client::Client(const Endpoint& endpoint) : fd_(connect_socket(endpoint)) {}
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::send_raw(const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t left = n;
+  while (left > 0) {
+    const ssize_t sent = ::send(fd_, p, left, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(std::string("client send: ") + std::strerror(errno));
+    }
+    p += sent;
+    left -= static_cast<std::size_t>(sent);
+  }
+}
+
+void Client::send_frame(std::string_view payload) {
+  const std::string framed = encode_frame(payload);
+  send_raw(framed.data(), framed.size());
+}
+
+std::string Client::recv_frame() {
+  auto read_exactly = [&](char* dst, std::size_t n) {
+    std::size_t got = 0;
+    while (got < n) {
+      const ssize_t r = ::recv(fd_, dst + got, n - got, 0);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        throw IoError(std::string("client recv: ") + std::strerror(errno));
+      }
+      if (r == 0) {
+        throw IoError("client recv: connection closed by server");
+      }
+      got += static_cast<std::size_t>(r);
+    }
+  };
+  char header[kFrameHeaderBytes];
+  read_exactly(header, sizeof(header));
+  WireReader r(std::string_view(header, sizeof(header)));
+  const std::uint32_t len = r.u32();
+  std::string payload(len, '\0');
+  if (len > 0) read_exactly(payload.data(), len);
+  return payload;
+}
+
+void Client::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Client::close() {
+  close_fd(fd_);
+  fd_ = -1;
+}
+
+}  // namespace nsdc::net

@@ -1,0 +1,53 @@
+#pragma once
+// Blocking client for the nsdc_serve frame protocol — the counterpart of
+// ServerLoop used by tests, the bench throughput record, and embedders
+// that want a synchronous call() interface. One Client is one connection;
+// it is not thread-safe (use one per thread, the daemon multiplexes).
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "net/socket.hpp"
+
+namespace nsdc::net {
+
+class Client {
+ public:
+  /// Connects (blocking). Throws IoError on failure.
+  explicit Client(const Endpoint& endpoint);
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one framed payload. Throws IoError on a broken connection.
+  void send_frame(std::string_view payload);
+
+  /// Receives one complete frame (blocking). Throws IoError on EOF or a
+  /// malformed length prefix.
+  std::string recv_frame();
+
+  /// Round trip: send_frame + recv_frame.
+  std::string call(std::string_view payload) {
+    send_frame(payload);
+    return recv_frame();
+  }
+
+  /// Sends raw unframed bytes — the hook the robustness tests use to feed
+  /// the daemon malformed and truncated streams.
+  void send_raw(const void* data, std::size_t n);
+
+  /// Half-closes the write side (the daemon sees EOF after the bytes in
+  /// flight), keeping the read side open.
+  void shutdown_write();
+
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace nsdc::net

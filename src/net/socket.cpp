@@ -1,0 +1,139 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/argparse.hpp"
+#include "util/errors.hpp"
+
+namespace nsdc::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw IoError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof(addr.sun_path)) {
+    throw IoError("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in tcp_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+Endpoint Endpoint::parse(std::string_view spec) {
+  if (spec.rfind("unix:", 0) == 0) {
+    std::string path(spec.substr(5));
+    if (path.empty()) {
+      throw UsageError("endpoint 'unix:' needs a socket path");
+    }
+    return unix_path(std::move(path));
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    return tcp(static_cast<std::uint16_t>(
+        require_integer("endpoint", spec.substr(4), 0, 65535)));
+  }
+  throw UsageError("endpoint '" + std::string(spec) +
+                   "' must be unix:PATH or tcp:PORT");
+}
+
+std::string Endpoint::describe() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:127.0.0.1:" + std::to_string(port);
+}
+
+int listen_socket(const Endpoint& endpoint, int backlog,
+                  std::uint16_t* bound_port) {
+  const bool is_unix = endpoint.kind == Endpoint::Kind::kUnix;
+  const int fd = ::socket(is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  try {
+    if (is_unix) {
+      ::unlink(endpoint.path.c_str());  // stale socket from a prior run
+      const sockaddr_un addr = unix_addr(endpoint.path);
+      if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                 sizeof(addr)) != 0) {
+        throw_errno("bind " + endpoint.describe());
+      }
+    } else {
+      const int one = 1;
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+      const sockaddr_in addr = tcp_addr(endpoint.port);
+      if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                 sizeof(addr)) != 0) {
+        throw_errno("bind " + endpoint.describe());
+      }
+      if (bound_port != nullptr) {
+        sockaddr_in got{};
+        socklen_t len = sizeof(got);
+        if (::getsockname(fd, reinterpret_cast<sockaddr*>(&got), &len) != 0) {
+          throw_errno("getsockname");
+        }
+        *bound_port = ntohs(got.sin_port);
+      }
+    }
+    if (::listen(fd, backlog) != 0) throw_errno("listen");
+    set_nonblocking(fd);
+  } catch (...) {
+    close_fd(fd);
+    throw;
+  }
+  if (is_unix && bound_port != nullptr) *bound_port = 0;
+  return fd;
+}
+
+int connect_socket(const Endpoint& endpoint) {
+  const bool is_unix = endpoint.kind == Endpoint::Kind::kUnix;
+  const int fd = ::socket(is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  int rc = 0;
+  if (is_unix) {
+    const sockaddr_un addr = unix_addr(endpoint.path);
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } else {
+    const sockaddr_in addr = tcp_addr(endpoint.port);
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  }
+  if (rc != 0) {
+    const int saved = errno;
+    close_fd(fd);
+    errno = saved;
+    throw_errno("connect " + endpoint.describe());
+  }
+  return fd;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl O_NONBLOCK");
+  }
+}
+
+void close_fd(int fd) noexcept {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace nsdc::net

@@ -1,0 +1,61 @@
+#pragma once
+// Thin POSIX socket helpers shared by the server loop and the client:
+// endpoint parsing (unix-domain path or loopback TCP port), listen/connect
+// setup, and nonblocking-mode control. All failures throw the typed
+// nsdc::IoError so daemon startup problems map to exit code 12 like every
+// other I/O failure.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace nsdc::net {
+
+/// Where a server listens / a client connects. TCP endpoints bind the
+/// loopback interface only — the daemon is a local service; fronting it to
+/// a network is a deployment concern, not a protocol one.
+struct Endpoint {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;         ///< unix-domain socket path (kUnix)
+  std::uint16_t port = 0;   ///< TCP port; 0 = ephemeral, bind picks (kTcp)
+
+  static Endpoint unix_path(std::string p) {
+    Endpoint e;
+    e.kind = Kind::kUnix;
+    e.path = std::move(p);
+    return e;
+  }
+
+  static Endpoint tcp(std::uint16_t port) {
+    Endpoint e;
+    e.kind = Kind::kTcp;
+    e.port = port;
+    return e;
+  }
+
+  /// Parses "unix:PATH" or "tcp:PORT" (port 0..65535, validated through
+  /// util/argparse). Throws nsdc::UsageError on any other spec.
+  static Endpoint parse(std::string_view spec);
+
+  /// Human-readable form ("unix:/tmp/x.sock", "tcp:127.0.0.1:5017").
+  std::string describe() const;
+};
+
+/// Creates, binds, and listens a nonblocking server socket. For unix
+/// endpoints a stale socket file is unlinked first. For TCP the bound port
+/// (useful with port 0) is written to `bound_port` when non-null. Throws
+/// IoError on failure.
+int listen_socket(const Endpoint& endpoint, int backlog,
+                  std::uint16_t* bound_port);
+
+/// Blocking client connect. Throws IoError on failure.
+int connect_socket(const Endpoint& endpoint);
+
+/// Sets O_NONBLOCK on `fd`. Throws IoError on failure.
+void set_nonblocking(int fd);
+
+/// close(2) wrapper that ignores EINTR; safe on -1.
+void close_fd(int fd) noexcept;
+
+}  // namespace nsdc::net

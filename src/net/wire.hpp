@@ -1,0 +1,176 @@
+#pragma once
+// Byte-level encoding primitives for the nsdc_serve wire protocol: an
+// append-only writer and a bounds-checked reader over little-endian
+// fixed-width integers, IEEE-754 doubles (by bit pattern, so binary
+// responses are byte-deterministic — no float-to-text rounding), and
+// u32-length-prefixed strings.
+//
+// The reader never throws on truncated input: any read past the end sets a
+// sticky failure flag and returns zeros, so a decoder can run its full
+// field list and check ok() once at the end — malformed frames become a
+// clean kBadRequest instead of UB or an exception from a hostile payload.
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace nsdc::net {
+
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  }
+
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  /// u32 byte count + raw bytes.
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.append(s.data(), s.size());
+  }
+
+  /// Overwrites 4 bytes at `pos` (reserved earlier with u32(0)) — for
+  /// counts that are only known once the fields are written.
+  void patch_u32(std::size_t pos, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_[pos + static_cast<std::size_t>(i)] =
+          static_cast<char>((v >> (8 * i)) & 0xFF);
+    }
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  const std::string& bytes() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(std::string_view buf) : buf_(buf) {}
+
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return static_cast<std::uint8_t>(buf_[pos_++]);
+  }
+
+  std::uint32_t u32() {
+    if (!need(4)) return 0;
+    std::uint32_t v = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<std::uint8_t>(buf_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    if (!need(8)) return 0;
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<std::uint8_t>(buf_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (!need(n)) return {};
+    std::string s(buf_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  /// False once any read ran past the end of the buffer.
+  bool ok() const { return ok_; }
+  /// True when every byte has been consumed (trailing junk detection).
+  bool at_end() const { return ok_ && pos_ == buf_.size(); }
+
+ private:
+  bool need(std::size_t n) {
+    if (!ok_ || buf_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view buf_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// --- Length-prefixed framing ------------------------------------------------
+// A frame on the wire is a u32 little-endian payload length followed by the
+// payload bytes. The decoder is incremental: feed it whatever the socket
+// delivered, pop complete frames as they materialize.
+
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+
+/// Wraps `payload` into one wire frame.
+inline std::string encode_frame(std::string_view payload) {
+  WireWriter w;
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  std::string out = w.take();
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_payload) : max_payload_(max_payload) {}
+
+  void feed(const char* data, std::size_t n) { buf_.append(data, n); }
+
+  /// Pops the next complete frame into `payload`. Returns false when no
+  /// complete frame is buffered. A frame whose declared length exceeds the
+  /// maximum poisons the stream (the length prefix cannot be trusted for
+  /// resynchronization): oversized() turns true and pop() never yields
+  /// again — the connection must be dropped.
+  bool pop(std::string* payload) {
+    if (oversized_ || buf_.size() < kFrameHeaderBytes) return false;
+    WireReader r(buf_);
+    const std::uint32_t len = r.u32();
+    if (len > max_payload_) {
+      oversized_ = true;
+      return false;
+    }
+    if (buf_.size() < kFrameHeaderBytes + len) return false;
+    *payload = buf_.substr(kFrameHeaderBytes, len);
+    buf_.erase(0, kFrameHeaderBytes + len);
+    return true;
+  }
+
+  bool oversized() const { return oversized_; }
+  /// Bytes buffered but not yet popped (a nonzero value at connection
+  /// close means the peer sent a truncated frame).
+  std::size_t pending_bytes() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+  std::size_t max_payload_;
+  bool oversized_ = false;
+};
+
+}  // namespace nsdc::net

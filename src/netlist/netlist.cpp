@@ -21,8 +21,20 @@ int GateNetlist::add_net_internal(const std::string& net_name) {
   n.name = net_name;
   nets_.push_back(std::move(n));
   const int idx = static_cast<int>(nets_.size()) - 1;
-  net_index_.emplace(net_name, idx);  // first creation wins on duplicates
+  // First creation wins on duplicates; the shadowed net is recorded so
+  // name-based consumers (lint's net.duplicate-name rule, served queries)
+  // can detect the ambiguity instead of resolving to the wrong net.
+  const auto [it, inserted] = net_index_.emplace(net_name, idx);
+  (void)it;
+  if (!inserted) duplicate_nets_.push_back(idx);
   return idx;
+}
+
+bool GateNetlist::net_name_ambiguous(const std::string& net_name) const {
+  for (int dup : duplicate_nets_) {
+    if (nets_[static_cast<std::size_t>(dup)].name == net_name) return true;
+  }
+  return false;
 }
 
 int GateNetlist::add_primary_input(const std::string& net_name) {

@@ -100,8 +100,21 @@ class GateNetlist {
 
   /// Net index by name; -1 if absent. O(1) via a name map maintained on
   /// net creation. Duplicate names resolve to the first net created with
-  /// the name (the historical linear-scan behavior).
+  /// the name (the historical linear-scan behavior); duplicate_nets()
+  /// lists the shadowed nets so name-based lookups can refuse to guess.
   int find_net(const std::string& net_name) const;
+
+  /// Nets created with a name an earlier net already held — exactly the
+  /// nets find_net can never resolve (first creation wins). Ascending net
+  /// index; empty on a well-formed design. Surfaced as the
+  /// `net.duplicate-name` lint rule, and the serve layer rejects
+  /// name-based queries for these names instead of silently answering
+  /// about the wrong net.
+  const std::vector<int>& duplicate_nets() const { return duplicate_nets_; }
+
+  /// True when `net_name` is held by more than one net (a name-based
+  /// lookup would silently shadow the later nets).
+  bool net_name_ambiguous(const std::string& net_name) const;
 
   /// Swaps a cell's library type (re-sizing). The new type must have the
   /// same input arity. Topology (and thus levelization) is unchanged.
@@ -205,6 +218,7 @@ class GateNetlist {
   std::vector<Net> nets_;
   std::vector<int> pi_nets_;
   std::unordered_map<std::string, int> net_index_;  ///< first-wins name map
+  std::vector<int> duplicate_nets_;  ///< nets shadowed by an earlier name
   std::uint64_t generation_ = 0;
   std::uint64_t journal_begin_ = 0;
   std::vector<NetlistEdit> journal_;

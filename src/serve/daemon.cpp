@@ -1,0 +1,82 @@
+#include "serve/daemon.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace nsdc::serve {
+
+Daemon::Daemon(const net::Endpoint& endpoint, Service& service,
+               Options options)
+    : loop_(endpoint, options.net), service_(service), options_(options) {}
+
+void Daemon::drop_connection(int conn) {
+  pending_.erase(conn);
+  loop_.close_conn(conn);
+  service_.drop_owner(conn);
+}
+
+void Daemon::drain() {
+  struct Item {
+    int conn;
+    std::string payload;
+  };
+  ThreadPool& pool =
+      options_.pool != nullptr ? *options_.pool : global_pool();
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::vector<Item> batch;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->second.empty()) {
+        it = pending_.erase(it);
+        continue;
+      }
+      batch.push_back({it->first, std::move(it->second.front())});
+      it->second.pop_front();
+      ++it;
+    }
+    if (batch.empty()) return;
+
+    const std::uint64_t base_seq = next_seq_;
+    next_seq_ += batch.size();
+    std::vector<Service::HandleResult> results(batch.size());
+    pool.run_blocks(batch.size(), 1, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        results[i] =
+            service_.handle(batch[i].conn, base_seq + i, batch[i].payload);
+      }
+    });
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      served_.fetch_add(1, std::memory_order_relaxed);
+      if (!loop_.send(batch[i].conn, results[i].response)) {
+        // The connection died under its response; its queued requests and
+        // sessions go with it.
+        drop_connection(batch[i].conn);
+      }
+      if (results[i].shutdown) stop_.store(true, std::memory_order_release);
+    }
+  }
+}
+
+void Daemon::run() {
+  net::PollResult pr;
+  while (!stop_.load(std::memory_order_acquire)) {
+    loop_.poll(options_.poll_timeout_ms, &pr);
+    for (auto& frame : pr.frames) {
+      pending_[frame.conn].push_back(std::move(frame.payload));
+    }
+    // Frames that arrived before the peer closed still execute (their
+    // responses are simply undeliverable); state is released afterwards.
+    drain();
+    for (const int conn : pr.closed) {
+      pending_.erase(conn);
+      service_.drop_owner(conn);
+    }
+  }
+  // Grace flush: give queued response bytes (the shutdown ack included) a
+  // bounded chance to reach their peers.
+  for (int pass = 0; pass < 100 && loop_.any_send_pending(); ++pass) {
+    loop_.poll(10, &pr);
+  }
+}
+
+}  // namespace nsdc::serve

@@ -1,0 +1,132 @@
+#include "util/argparse.hpp"
+
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace nsdc {
+
+bool parse_integer_text(std::string_view text, long long* out) {
+  if (text.empty()) return false;
+  // std::from_chars accepts a leading '-' but not '+'; accept '+' here so
+  // "--sample-budget +100" reads as a human would expect.
+  std::string_view body = text;
+  if (body.front() == '+') {
+    body.remove_prefix(1);
+    if (body.empty() || body.front() == '-') return false;
+  }
+  long long value = 0;
+  const char* begin = body.data();
+  const char* end = begin + body.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value, 10);
+  if (ec != std::errc() || ptr != end) return false;
+  *out = value;
+  return true;
+}
+
+bool parse_real_text(std::string_view text, double* out) {
+  if (text.empty()) return false;
+  std::string_view body = text;
+  if (body.front() == '+') {
+    body.remove_prefix(1);
+    if (body.empty()) return false;
+  }
+  double value = 0.0;
+  const char* begin = body.data();
+  const char* end = begin + body.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) return false;
+  // from_chars parses "nan"/"inf" forms; a numeric option never wants them.
+  if (!std::isfinite(value)) return false;
+  *out = value;
+  return true;
+}
+
+std::string check_integer_range(long long value, long long min,
+                                long long max) {
+  if (value >= min && value <= max) return {};
+  std::ostringstream os;
+  os << "value " << value << " out of range [" << min << ", " << max << "]";
+  return os.str();
+}
+
+std::string check_real_range(double value, double min, double max) {
+  if (std::isfinite(value) && value >= min && value <= max) return {};
+  std::ostringstream os;
+  os << "value " << value << " out of range [" << min << ", " << max << "]";
+  return os.str();
+}
+
+namespace {
+
+[[noreturn]] void throw_usage(std::string_view flag, std::string_view text,
+                              const std::string& why) {
+  std::ostringstream os;
+  os << "invalid argument for " << flag << ": '" << text << "' (" << why
+     << ")";
+  throw UsageError(os.str());
+}
+
+}  // namespace
+
+long long require_integer(std::string_view flag, std::string_view text,
+                          long long min, long long max) {
+  long long value = 0;
+  if (!parse_integer_text(text, &value)) {
+    std::ostringstream os;
+    os << "expected an integer in [" << min << ", " << max << "]";
+    throw_usage(flag, text, os.str());
+  }
+  if (const std::string err = check_integer_range(value, min, max);
+      !err.empty()) {
+    throw_usage(flag, text, err);
+  }
+  return value;
+}
+
+double require_real(std::string_view flag, std::string_view text, double min,
+                    double max) {
+  double value = 0.0;
+  if (!parse_real_text(text, &value)) {
+    std::ostringstream os;
+    os << "expected a number in [" << min << ", " << max << "]";
+    throw_usage(flag, text, os.str());
+  }
+  if (const std::string err = check_real_range(value, min, max);
+      !err.empty()) {
+    throw_usage(flag, text, err);
+  }
+  return value;
+}
+
+unsigned require_unsigned(std::string_view flag, std::string_view text,
+                          unsigned min, unsigned max) {
+  return static_cast<unsigned>(
+      require_integer(flag, text, static_cast<long long>(min),
+                      static_cast<long long>(max)));
+}
+
+long long env_integer_or(const char* name, long long fallback, long long min,
+                         long long max) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  long long value = 0;
+  if (!parse_integer_text(raw, &value)) {
+    log_warn() << name << "='" << raw << "' is not an integer; using default "
+               << fallback;
+    return fallback;
+  }
+  if (const std::string err = check_integer_range(value, min, max);
+      !err.empty()) {
+    log_warn() << name << "='" << raw << "': " << err << "; using default "
+               << fallback;
+    return fallback;
+  }
+  return value;
+}
+
+}  // namespace nsdc

@@ -1,0 +1,72 @@
+#pragma once
+// Validated numeric argument parsing, shared by the CLI tools, the
+// NSDC_THREADS / NSDC_GRAIN environment overrides, and the nsdc_serve
+// request decoder.
+//
+// The std::atoi family silently returns 0 on junk, stops at the first
+// non-numeric character, and has undefined behavior on overflow — so
+// `--threads foo` used to configure 0 lanes and `--netmc 10x` ran 10
+// samples without a word. Every numeric option now goes through the strict
+// parsers here: the whole token must be numeric, the value must be finite
+// and inside the caller's declared range, and a violation produces a clear
+// message naming the flag, the offending text, and the accepted range.
+//
+// Three consumption layers over the same core:
+//   - require_*:  CLI flags — throw UsageError (exit code 3 via
+//                 handle_tool_exception) on any violation.
+//   - env_*_or:   environment overrides — warn (util/log) and keep the
+//                 fallback, because a bad env var should not kill a run
+//                 that never asked for it.
+//   - check_*_range: binary protocol fields — the daemon decodes numbers
+//                 from the wire, so there is no text to parse, but the
+//                 range discipline is the same functions the text layer
+//                 applies; a violation message becomes a kBadRequest
+//                 response instead of a process exit.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/errors.hpp"
+
+namespace nsdc {
+
+/// Strict text-to-integer parse: optional sign, then decimal digits, and
+/// nothing else (no whitespace, no trailing junk, no hex/float forms).
+/// Returns false on empty input, junk, or overflow of long long.
+bool parse_integer_text(std::string_view text, long long* out);
+
+/// Strict text-to-double parse: the full token must be a finite decimal
+/// (fixed or scientific) number. Rejects nan/inf, empty, and trailing
+/// junk.
+bool parse_real_text(std::string_view text, double* out);
+
+/// Range validation shared by the text and binary layers. Returns an empty
+/// string when `value` lies in [min, max], else a human-readable message
+/// ("value 0 out of range [1, 64]").
+std::string check_integer_range(long long value, long long min,
+                                long long max);
+std::string check_real_range(double value, double min, double max);
+
+/// CLI-layer parse of `text` supplied for `flag`: strict parse + range
+/// check, throwing UsageError with a message naming the flag on any
+/// violation. `flag` is only used for the message.
+long long require_integer(std::string_view flag, std::string_view text,
+                          long long min, long long max);
+double require_real(std::string_view flag, std::string_view text, double min,
+                    double max);
+
+/// require_integer narrowed to unsigned (min >= 0 enforced by the caller's
+/// bounds).
+unsigned require_unsigned(std::string_view flag, std::string_view text,
+                          unsigned min, unsigned max);
+
+/// Environment-layer parse: reads `name` from the environment; absent or
+/// empty returns `fallback` silently. Present-but-invalid (junk text or
+/// out of [min, max]) logs one warning naming the variable and returns
+/// `fallback` — a garbage env var degrades to the default instead of
+/// silently configuring 0.
+long long env_integer_or(const char* name, long long fallback, long long min,
+                         long long max);
+
+}  // namespace nsdc

@@ -8,6 +8,9 @@ namespace nsdc {
 int handle_tool_exception(const char* tool) noexcept {
   try {
     throw;
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "%s: invalid argument: %s\n", tool, e.what());
+    return kExitUsage;
   } catch (const CancelledError& e) {
     std::fprintf(stderr, "%s: cancelled: %s\n", tool, e.what());
     return kExitCancelled;

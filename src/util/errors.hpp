@@ -47,8 +47,19 @@ class FaultInjectedError : public Error {
   explicit FaultInjectedError(const std::string& what) : Error(what) {}
 };
 
+/// A command-line argument (or a validated option routed through
+/// util/argparse) failed validation: non-numeric text, trailing junk, or a
+/// value outside the option's declared range. Maps to exit code 3 so a
+/// misconfigured invocation is distinguishable from a clean run (0-2) and
+/// from the runtime failures (10-13).
+class UsageError : public Error {
+ public:
+  explicit UsageError(const std::string& what) : Error(what) {}
+};
+
 // Process exit codes shared by the flow tools (flow_smoke, nsdc_lint).
-// Tool-specific codes (usage errors, lint severity gates) stay below 10.
+// Tool-specific codes (lint severity gates) stay below 3.
+inline constexpr int kExitUsage = 3;       ///< UsageError (bad argument)
 inline constexpr int kExitCancelled = 10;  ///< CancelledError
 inline constexpr int kExitParse = 11;      ///< ParseError
 inline constexpr int kExitIo = 12;         ///< IoError

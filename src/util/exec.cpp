@@ -1,7 +1,8 @@
 #include "util/exec.hpp"
 
 #include <algorithm>
-#include <cstdlib>
+
+#include "util/argparse.hpp"
 
 namespace nsdc {
 
@@ -11,9 +12,12 @@ unsigned ExecContext::resolved_threads() const {
 
 std::size_t ExecContext::resolved_grain(std::size_t call_grain) const {
   if (grain != 0) return grain;
-  if (const char* v = std::getenv("NSDC_GRAIN")) {
-    const long n = std::atol(v);
-    if (n > 0) return static_cast<std::size_t>(n);
+  // Validated parse: a garbage NSDC_GRAIN warns and defers to the per-call
+  // grain instead of silently scheduling with grain 0.
+  if (const long long n =
+          env_integer_or("NSDC_GRAIN", 0, 1, 1LL << 40);
+      n > 0) {
+    return static_cast<std::size_t>(n);
   }
   return call_grain;
 }

@@ -34,6 +34,11 @@
 //   flatgraph.compile index = topological level being packed into the
 //                     FlatTimingGraph (throw/cancel abort the compile
 //                     before any engine consumes the graph)
+//   serve.request     index = the daemon's deterministic request sequence
+//                     number, fired before the request dispatches (throw
+//                     -> internal-error response, cancel -> cancelled
+//                     response; the daemon survives either and keeps
+//                     serving)
 //
 // The global plan is parsed lazily from NSDC_FAULTS on first query;
 // install_fault_plan / clear_fault_plan override it (tests). Queries are

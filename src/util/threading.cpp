@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdlib>
 #include <exception>
+
+#include "util/argparse.hpp"
 
 namespace nsdc {
 
@@ -123,11 +124,9 @@ namespace {
 std::atomic<unsigned> g_default_threads{0};
 
 unsigned env_threads() {
-  if (const char* v = std::getenv("NSDC_THREADS")) {
-    const long n = std::atol(v);
-    if (n > 0) return static_cast<unsigned>(n);
-  }
-  return 0;
+  // Validated parse: garbage ("foo", "4x", "-2", 0) warns once per query
+  // and falls back to 0 = "unset" instead of silently configuring 0 lanes.
+  return static_cast<unsigned>(env_integer_or("NSDC_THREADS", 0, 1, 4096));
 }
 
 }  // namespace

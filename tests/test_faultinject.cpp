@@ -10,9 +10,14 @@
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baselines/mc_reference.hpp"
+#include "net/client.hpp"
+#include "serve/daemon.hpp"
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
 #include "netlist/designgen.hpp"
 #include "netlist/flatgraph.hpp"
 #include "sta/annotate.hpp"
@@ -440,6 +445,84 @@ TEST_F(FaultNetMcTest, PathMcQuarantinesPoisonedSamples) {
   EXPECT_EQ(clean.quarantined, 0u);
   EXPECT_EQ(faulted.samples.size() + 1, clean.samples.size());
   EXPECT_TRUE(std::isfinite(faulted.moments.mu));
+}
+
+// ---------------------------------------------------------------------------
+// serve.request: the daemon's per-request fault site. The index is the
+// deterministic request sequence number; an injected throw must surface as
+// an internal-error response and an injected cancel as a cancelled
+// response — the daemon itself survives either and keeps serving.
+
+class FaultServeTest : public FaultNetMcTest {
+ protected:
+  serve::ServiceRefs service_refs() const {
+    serve::ServiceRefs refs;
+    refs.netlist = &netlist;
+    refs.parasitics = &parasitics;
+    refs.cell_library = &cells;
+    refs.cell_model = &model;
+    refs.wire_model = &wire_model;
+    refs.tech = &tech;
+    refs.charlib = &charlib;
+    return refs;
+  }
+
+  static std::string socket_path() {
+    static int counter = 0;
+    return ::testing::TempDir() + "nsdc_fault_serve_" +
+           std::to_string(counter++) + ".sock";
+  }
+
+  static serve::ResponseHead head_of(const std::string& response) {
+    net::WireReader r(response);
+    return serve::read_response_head(r);
+  }
+};
+
+TEST_F(FaultServeTest, ServeRequestThrowBecomesInternalErrorResponse) {
+  serve::Service service(service_refs());
+  serve::Daemon daemon(net::Endpoint::unix_path(socket_path()), service);
+  std::thread runner([&] { daemon.run(); });
+
+  install_fault_plan(FaultPlan::parse("serve.request@1=throw"));
+  net::Client client(daemon.endpoint());
+  const auto first = head_of(client.call(serve::make_ping(1)));  // seq 0
+  EXPECT_EQ(first.status, serve::Status::kOk) << first.error;
+
+  const auto faulted = head_of(client.call(serve::make_ping(2)));  // seq 1
+  EXPECT_EQ(faulted.status, serve::Status::kInternal);
+  EXPECT_NE(faulted.error.find("injected fault"), std::string::npos)
+      << faulted.error;
+
+  clear_fault_plan();
+  const auto after = head_of(client.call(serve::make_ping(3)));
+  EXPECT_EQ(after.status, serve::Status::kOk) << after.error;
+
+  daemon.request_stop();
+  runner.join();
+  EXPECT_EQ(daemon.requests_served(), 3u);
+}
+
+TEST_F(FaultServeTest, ServeRequestCancelBecomesCancelledResponse) {
+  serve::Service service(service_refs());
+  serve::Daemon daemon(net::Endpoint::unix_path(socket_path()), service);
+  std::thread runner([&] { daemon.run(); });
+
+  install_fault_plan(FaultPlan::parse("serve.request@1=cancel"));
+  net::Client client(daemon.endpoint());
+  const auto first = head_of(client.call(serve::make_ping(1)));  // seq 0
+  EXPECT_EQ(first.status, serve::Status::kOk) << first.error;
+
+  const auto cancelled = head_of(client.call(serve::make_ping(2)));  // seq 1
+  EXPECT_EQ(cancelled.status, serve::Status::kCancelled);
+
+  clear_fault_plan();
+  // The pool absorbed the cancellation: real engine work still completes.
+  const auto mc = head_of(client.call(serve::make_netmc(3, 32, 7)));
+  EXPECT_EQ(mc.status, serve::Status::kOk) << mc.error;
+
+  daemon.request_stop();
+  runner.join();
 }
 
 TEST_F(FaultNetMcTest, PathMcHonorsSampleBudget) {

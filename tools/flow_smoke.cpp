@@ -32,10 +32,10 @@
 //                 statistics are recovered and printed first).
 //   --sample-budget N  cancel after N Monte-Carlo samples have been drawn.
 //
-// Exit codes: 0 success, 2 usage, 10 cancelled (deadline/budget), 11 parse
-// error, 12 I/O error, 13 internal error; 1/3 reserved for the lint gate.
+// Exit codes: 0 success, 2 usage (unknown flag), 3 invalid argument value,
+// 10 cancelled (deadline/budget), 11 parse error, 12 I/O error, 13 internal
+// error; 1 reserved for the lint gate.
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 
 #include "analysis/analysis.hpp"
@@ -48,6 +48,7 @@
 #include "sta/netmc.hpp"
 #include "sta/ssta_analytic.hpp"
 #include "sta/timer.hpp"
+#include "util/argparse.hpp"
 #include "util/cancel.hpp"
 #include "util/errors.hpp"
 #include "util/log.hpp"
@@ -96,11 +97,13 @@ int tool_main(int argc, char** argv) {
   long long sample_budget = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      set_default_threads(static_cast<unsigned>(std::atoi(argv[++i])));
+      set_default_threads(require_unsigned("--threads", argv[++i], 1, 1024));
     } else if (std::strcmp(argv[i], "--cells") == 0 && i + 1 < argc) {
-      target_cells = std::atoi(argv[++i]);
+      target_cells = static_cast<int>(
+          require_integer("--cells", argv[++i], 1, 10'000'000));
     } else if (std::strcmp(argv[i], "--netmc") == 0 && i + 1 < argc) {
-      netmc_samples = std::atoi(argv[++i]);
+      netmc_samples = static_cast<int>(
+          require_integer("--netmc", argv[++i], 1, 100'000'000));
     } else if (std::strcmp(argv[i], "--ssta") == 0) {
       ssta = true;
     } else if (std::strcmp(argv[i], "--checkpoint") == 0 && i + 1 < argc) {
@@ -108,9 +111,10 @@ int tool_main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--resume") == 0) {
       resume = true;
     } else if (std::strcmp(argv[i], "--deadline") == 0 && i + 1 < argc) {
-      deadline_s = std::atof(argv[++i]);
+      deadline_s = require_real("--deadline", argv[++i], 1e-9, 1e9);
     } else if (std::strcmp(argv[i], "--sample-budget") == 0 && i + 1 < argc) {
-      sample_budget = std::atoll(argv[++i]);
+      sample_budget = require_integer("--sample-budget", argv[++i], 1,
+                                      1'000'000'000'000LL);
     } else if (std::strcmp(argv[i], "--lint") == 0) {
       lint = true;
     } else if (std::strcmp(argv[i], "--lint-strict") == 0) {

@@ -23,18 +23,19 @@
 //   --zmax Z            certificate level: bounds hold for |z| <= Z (def 6)
 //   --epsilon E         near-boundary band of the domain audit (def 0.05)
 //   --verify            run the cross-engine consistency gate (3 engines)
-//   --mc-samples N      Monte-Carlo depth of the gate (default 2000)
+//   --mc-samples N      Monte-Carlo depth of the gate (default 2000;
+//                       --verify-samples is an accepted alias)
 //   --seed S            Monte-Carlo seed of the gate (default 777)
 //   --disable P         skip pass id P (repeatable)
 //   --list-passes       print the registered passes and exit
 //
-// Exit status: 0 clean/info, 1 warnings, 2 errors, 3 usage or load
-// failure; typed failures map to the shared robustness codes
-// (util/errors.hpp): 10 cancelled, 11 unrecoverable parse error, 12 I/O
-// error, 13 internal error.
+// Exit status: 0 clean/info, 1 warnings, 2 errors, 3 usage, invalid
+// argument value, or load failure; typed failures map to the shared
+// robustness codes (util/errors.hpp): 10 cancelled, 11 unrecoverable parse
+// error, 12 I/O error, 13 internal error.
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <optional>
 #include <string>
 #include <vector>
@@ -45,6 +46,7 @@
 #include "netlist/designgen.hpp"
 #include "netlist/verilogio.hpp"
 #include "sta/annotate.hpp"
+#include "util/argparse.hpp"
 #include "util/errors.hpp"
 #include "util/log.hpp"
 #include "util/threading.hpp"
@@ -100,22 +102,27 @@ int tool_main(int argc, char** argv) {
     } else if (std::strcmp(a, "--iscas") == 0 && (v = arg_value())) {
       iscas_name = v;
     } else if (std::strcmp(a, "--random") == 0 && (v = arg_value())) {
-      random_cells = std::atoi(v);
+      random_cells =
+          static_cast<int>(require_integer("--random", v, 1, 10'000'000));
     } else if (std::strcmp(a, "--spef") == 0 && (v = arg_value())) {
       spef_path = v;
     } else if (std::strcmp(a, "--charlib") == 0 && (v = arg_value())) {
       charlib_path = v;
     } else if (std::strcmp(a, "--threads") == 0 && (v = arg_value())) {
-      options.exec.threads = static_cast<unsigned>(std::atoi(v));
+      options.exec.threads = require_unsigned("--threads", v, 1, 1024);
       set_default_threads(options.exec.threads);
     } else if (std::strcmp(a, "--zmax") == 0 && (v = arg_value())) {
-      options.z_max = std::atof(v);
+      options.z_max = require_real("--zmax", v, 1e-6, 100.0);
     } else if (std::strcmp(a, "--epsilon") == 0 && (v = arg_value())) {
-      options.domain_epsilon = std::atof(v);
-    } else if (std::strcmp(a, "--mc-samples") == 0 && (v = arg_value())) {
-      options.verify_samples = std::atoi(v);
+      options.domain_epsilon = require_real("--epsilon", v, 0.0, 10.0);
+    } else if ((std::strcmp(a, "--mc-samples") == 0 ||
+                std::strcmp(a, "--verify-samples") == 0) &&
+               (v = arg_value())) {
+      options.verify_samples =
+          static_cast<int>(require_integer(a, v, 1, 100'000'000));
     } else if (std::strcmp(a, "--seed") == 0 && (v = arg_value())) {
-      options.verify_seed = static_cast<std::uint64_t>(std::atoll(v));
+      options.verify_seed = static_cast<std::uint64_t>(require_integer(
+          "--seed", v, 0, std::numeric_limits<long long>::max()));
     } else if (std::strcmp(a, "--disable") == 0 && (v = arg_value())) {
       options.disabled_passes.push_back(v);
     } else {

@@ -20,11 +20,10 @@
 // Parser problems (malformed lines, undefined signals, negative RC, ...)
 // are reported as parse.* diagnostics with source line numbers and merged
 // into the same report. Exit status: 0 clean/info, 1 warnings, 2 errors,
-// 3 usage or load failure; typed failures map to the shared robustness
-// codes (util/errors.hpp): 10 cancelled, 11 unrecoverable parse error,
-// 12 I/O error, 13 internal error.
+// 3 usage, invalid argument value, or load failure; typed failures map to
+// the shared robustness codes (util/errors.hpp): 10 cancelled,
+// 11 unrecoverable parse error, 12 I/O error, 13 internal error.
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
@@ -35,6 +34,7 @@
 #include "netlist/designgen.hpp"
 #include "netlist/verilogio.hpp"
 #include "sta/annotate.hpp"
+#include "util/argparse.hpp"
 #include "util/errors.hpp"
 #include "util/log.hpp"
 #include "util/threading.hpp"
@@ -85,13 +85,14 @@ int tool_main(int argc, char** argv) {
     } else if (std::strcmp(a, "--iscas") == 0 && (v = arg_value())) {
       iscas_name = v;
     } else if (std::strcmp(a, "--random") == 0 && (v = arg_value())) {
-      random_cells = std::atoi(v);
+      random_cells =
+          static_cast<int>(require_integer("--random", v, 1, 10'000'000));
     } else if (std::strcmp(a, "--spef") == 0 && (v = arg_value())) {
       spef_path = v;
     } else if (std::strcmp(a, "--charlib") == 0 && (v = arg_value())) {
       charlib_path = v;
     } else if (std::strcmp(a, "--threads") == 0 && (v = arg_value())) {
-      options.exec.threads = static_cast<unsigned>(std::atoi(v));
+      options.exec.threads = require_unsigned("--threads", v, 1, 1024);
       set_default_threads(options.exec.threads);
     } else if (std::strcmp(a, "--disable") == 0 && (v = arg_value())) {
       options.disabled_rules.push_back(v);
