@@ -14,15 +14,19 @@
 // analytic-SSTA-vs-Monte-Carlo sweep across design sizes
 // (ssta_analytic_perf.json, skip with --no_ssta_sweep), and the
 // flat-SoA-graph vs legacy-netlist STA throughput/memory gate at 100k-1M
-// cells (flatgraph_perf.json, skip with --no_flatgraph_sweep), and the
+// cells (flatgraph_perf.json, skip with --no_flatgraph_sweep), the
 // nsdc_serve daemon's request throughput over a unix socket
-// (serve_perf.json, skip with --no_serve_perf). Every JSON
+// (serve_perf.json, skip with --no_serve_perf), and the multi-process
+// shard-coordinator worker sweep with its kill/recovery byte-identity
+// gate (dist_perf.json, skip with --no_dist_sweep). Every JSON
 // record opens with the shared perfjson envelope (schema_version + host).
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
 #include <array>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -35,6 +39,8 @@
 #endif
 
 #include "analysis/analysis.hpp"
+#include "dist/bundle.hpp"
+#include "dist/coordinator.hpp"
 #include "net/client.hpp"
 #include "netlist/flatgraph.hpp"
 #include "perfjson.hpp"
@@ -1114,6 +1120,140 @@ int run_serve_perf(const std::string& json_path) {
   return 0;
 }
 
+// --------------------------------------------- dist shard sweep ---------
+
+/// Multi-process shard-coordinator sweep (src/dist): wall-clock of the
+/// same netlist-MC run at 1/2/4 fork/exec'd workers versus the in-process
+/// single-run reference, plus a recovery run with a SIGKILL injected
+/// mid-shard (NSDC_FAULTS, inherited by the worker fleet) measuring the
+/// retry/resume overhead. Every distributed run — the killed one included
+/// — must merge byte-identical to the in-process reference; a mismatch
+/// fails the record (exit 1). The JSON record lands in dist_perf.json.
+int run_dist_sweep(const std::string& json_path) {
+  using clock = std::chrono::steady_clock;
+  dist::BundleSpec spec;  // mul/5: the shard tests' deterministic bundle
+  spec.design = "mul";
+  spec.size = 8;
+  constexpr int kSamples = 256;
+  constexpr std::uint64_t kSeed = 4242;
+
+  const dist::DesignBundle bundle = dist::make_bundle(spec);
+  const NetlistMonteCarlo mc(bundle.cell_model, bundle.wire_model,
+                             bundle.tech);
+  McConfig cfg;
+  cfg.samples = kSamples;
+  cfg.seed = kSeed;
+  cfg.threads = 1;
+  const auto t0 = clock::now();
+  const auto ref = mc.run(bundle.netlist, bundle.parasitics, cfg);
+  const double local_s =
+      std::chrono::duration<double>(clock::now() - t0).count();
+  std::cerr << "[dist-sweep] design MUL" << spec.size << ": "
+            << bundle.netlist.num_cells() << " cells, " << kSamples
+            << " samples, in-process " << local_s * 1e3 << " ms\n";
+
+  auto identical = [&](const NetlistMonteCarlo::Result& got) {
+    if (got.circuit_samples.size() != ref.circuit_samples.size() ||
+        got.nets.size() != ref.nets.size() || got.worst_po != ref.worst_po) {
+      return false;
+    }
+    if (std::memcmp(got.circuit_samples.data(), ref.circuit_samples.data(),
+                    ref.circuit_samples.size() * sizeof(double)) != 0) {
+      return false;
+    }
+    for (std::size_t n = 0; n < ref.nets.size(); ++n) {
+      for (std::size_t e = 0; e < 2; ++e) {
+        if (std::memcmp(&got.nets[n][e].moments, &ref.nets[n][e].moments,
+                        sizeof(Moments)) != 0) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  auto options_for = [&](unsigned workers, const char* tag) {
+    dist::DistOptions opt;
+    opt.mode = "mc";
+    opt.workers = workers;
+    opt.shards = 8;
+    opt.samples = kSamples;
+    opt.seed = kSeed;
+    opt.bundle = spec;
+    opt.workdir = (std::filesystem::temp_directory_path() /
+                   ("nsdc_bench_dist_" + std::to_string(::getpid()) + "_" +
+                    tag))
+                      .string();
+    opt.worker_binary = std::string(NSDC_TOOL_DIR) + "/nsdc_dist";
+    opt.worker_threads = 1;
+    opt.retry.base_delay_s = 0.01;
+    opt.retry.max_delay_s = 0.05;
+    opt.heartbeat_ms = 20;
+    return opt;
+  };
+
+  std::ofstream json(json_path);
+  perfjson::open_envelope(json, "dist_sweep");
+  json << ",\n  \"design\": \"" << bundle.netlist.name() << "\",\n"
+       << "  \"cells\": " << bundle.netlist.num_cells() << ",\n"
+       << "  \"samples\": " << kSamples << ",\n"
+       << "  \"in_process_seconds\": " << local_s << ",\n"
+       << "  \"runs\": [";
+  bool first = true;
+  bool all_identical = true;
+  double one_worker_s = 0.0;
+  for (const unsigned workers : {1u, 2u, 4u}) {
+    const auto opt =
+        options_for(workers, ("w" + std::to_string(workers)).c_str());
+    const auto w0 = clock::now();
+    const dist::DistResult res = dist::run_coordinator(opt);
+    const double secs =
+        std::chrono::duration<double>(clock::now() - w0).count();
+    if (workers == 1) one_worker_s = secs;
+    const bool same = res.complete && identical(res.mc);
+    all_identical = all_identical && same;
+    json << (first ? "" : ",") << "\n    {\"workers\": " << workers
+         << ", \"seconds\": " << secs
+         << ", \"speedup_vs_1\": " << one_worker_s / secs
+         << ", \"byte_identical\": " << (same ? "true" : "false") << "}";
+    first = false;
+    std::cerr << "[dist-sweep] workers=" << workers << "  " << secs * 1e3
+              << " ms  speedup=" << one_worker_s / secs
+              << (same ? "" : "  MISMATCH") << "\n";
+  }
+
+  // Recovery overhead: SIGKILL one worker after accumulation block 2 of
+  // attempt 0 (the NSDC_FAULTS plan travels to the fleet through the
+  // inherited environment); the retried shard resumes from its checkpoint
+  // and the merge must STILL be byte-identical.
+  ::setenv("NSDC_FAULTS", "dist.worker.kill@2=throw", 1);
+  const auto kopt = options_for(2, "kill");
+  const auto k0 = clock::now();
+  const dist::DistResult killed = dist::run_coordinator(kopt);
+  const double killed_s =
+      std::chrono::duration<double>(clock::now() - k0).count();
+  ::unsetenv("NSDC_FAULTS");
+  const bool killed_same = killed.complete && identical(killed.mc);
+  all_identical = all_identical && killed_same;
+  json << "\n  ],\n  \"recovery\": {\"workers\": 2"
+       << ", \"seconds\": " << killed_s
+       << ", \"workers_lost\": " << killed.workers_lost
+       << ", \"shard_retries\": " << killed.shard_retries
+       << ", \"byte_identical\": " << (killed_same ? "true" : "false")
+       << "}\n}\n";
+  std::cerr << "[dist-sweep] recovery (1 SIGKILL): " << killed_s * 1e3
+            << " ms, lost=" << killed.workers_lost
+            << " retries=" << killed.shard_retries
+            << (killed_same ? "" : "  MISMATCH") << "\n"
+            << "[dist-sweep] wrote " << json_path << "\n";
+  if (!all_identical) {
+    std::cerr << "[dist-sweep] ERROR: a distributed merge diverged from "
+                 "the in-process reference\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace nsdc
 
@@ -1126,6 +1266,7 @@ int main(int argc, char** argv) {
   bool analysis_perf = true;
   bool flatgraph_sweep = true;
   bool serve_perf = true;
+  bool dist_sweep = true;
   std::string json_path = "sta_parallel_perf.json";
   std::string netmc_json_path = "netmc_parallel_perf.json";
   std::string incremental_json_path = "incremental_sta_perf.json";
@@ -1134,6 +1275,7 @@ int main(int argc, char** argv) {
   std::string analysis_json_path = "analysis_perf.json";
   std::string flatgraph_json_path = "flatgraph_perf.json";
   std::string serve_json_path = "serve_perf.json";
+  std::string dist_json_path = "dist_perf.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--no_sta_scaling") == 0) {
       sta_scaling = false;
@@ -1158,6 +1300,12 @@ int main(int argc, char** argv) {
       argv[i--] = argv[--argc];
     } else if (std::strcmp(argv[i], "--no_serve_perf") == 0) {
       serve_perf = false;
+      argv[i--] = argv[--argc];
+    } else if (std::strcmp(argv[i], "--no_dist_sweep") == 0) {
+      dist_sweep = false;
+      argv[i--] = argv[--argc];
+    } else if (std::strncmp(argv[i], "--dist_json=", 12) == 0) {
+      dist_json_path = argv[i] + 12;
       argv[i--] = argv[--argc];
     } else if (std::strncmp(argv[i], "--serve_json=", 13) == 0) {
       serve_json_path = argv[i] + 13;
@@ -1199,5 +1347,6 @@ int main(int argc, char** argv) {
   if (analysis_perf) rc |= nsdc::run_analysis_perf(analysis_json_path);
   if (flatgraph_sweep) rc |= nsdc::run_flatgraph_sweep(flatgraph_json_path);
   if (serve_perf) rc |= nsdc::run_serve_perf(serve_json_path);
+  if (dist_sweep) rc |= nsdc::run_dist_sweep(dist_json_path);
   return rc;
 }

@@ -1,0 +1,50 @@
+#include "dist/bundle.hpp"
+
+#include "liberty/synthlib.hpp"
+#include "netlist/designgen.hpp"
+#include "sta/annotate.hpp"
+#include "util/errors.hpp"
+
+namespace nsdc::dist {
+
+void validate_spec(const BundleSpec& spec) {
+  if (spec.size < 1 || spec.size > 1'000'000) {
+    throw UsageError("dist bundle: size out of range: " +
+                     std::to_string(spec.size));
+  }
+  if (spec.design != "mul" && spec.design != "adder" &&
+      spec.design != "random") {
+    throw UsageError("dist bundle: unknown design kind: " + spec.design);
+  }
+}
+
+DesignBundle make_bundle(const BundleSpec& spec) {
+  validate_spec(spec);
+  DesignBundle b;
+  b.charlib = make_synthetic_charlib();
+  b.cells = CellLibrary::standard();
+  b.cell_model = NSigmaCellModel::fit(b.charlib);
+  b.wire_model = NSigmaWireModel::fit(b.charlib, b.cells);
+  b.tech = TechParams::nominal28();
+  if (spec.design == "mul") {
+    b.netlist = generate_array_multiplier(spec.size, b.cells);
+  } else if (spec.design == "adder") {
+    b.netlist = generate_ripple_adder(spec.size, b.cells);
+  } else if (spec.design == "random") {
+    RandomNetlistSpec rs;
+    rs.name = "dist_random";
+    rs.target_cells = spec.size;
+    rs.seed = spec.seed;
+    b.netlist = generate_random_mapped(rs, b.cells);
+  } else {
+    throw UsageError("dist bundle: unknown design kind: " + spec.design);
+  }
+  b.parasitics = generate_parasitics(b.netlist, b.tech);
+  // Pre-warm the lazy caches (levelization, PO list) before any engine
+  // fans the netlist out over worker threads.
+  b.netlist.levelization();
+  b.netlist.primary_outputs();
+  return b;
+}
+
+}  // namespace nsdc::dist

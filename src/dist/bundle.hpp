@@ -1,0 +1,66 @@
+#pragma once
+// Deterministic design+model bundle for the multi-process shard runner.
+//
+// The coordinator and every worker are separate processes, so they cannot
+// share in-memory models — instead each side rebuilds the exact same
+// bundle from a tiny spec that fits on a command line: the synthetic
+// closed-form charlib (liberty/synthlib — no files, no RNG), the N-sigma
+// cell/wire fits over it, a structural benchmark netlist, and generated
+// parasitics. Every step is a pure function of the spec, so the
+// McCheckpointHeader a worker writes (nets, POs, options fingerprint)
+// matches the header the coordinator validates against, and a shard
+// computed by any process is byte-identical to the same shard computed by
+// any other.
+
+#include <cstdint>
+#include <string>
+
+#include "core/nsigma_cell.hpp"
+#include "core/nsigma_wire.hpp"
+#include "liberty/charlib.hpp"
+#include "netlist/netlist.hpp"
+#include "parasitics/spef.hpp"
+#include "pdk/cells.hpp"
+#include "pdk/tech.hpp"
+
+namespace nsdc::dist {
+
+/// Command-line-sized description of a bundle. `design` picks the
+/// generator: "mul" (array multiplier, `size` bits), "adder" (ripple
+/// adder, `size` bits), or "random" (seeded random mapped netlist,
+/// `size` target cells, `seed`).
+struct BundleSpec {
+  std::string design = "mul";
+  int size = 5;
+  std::uint64_t seed = 1;
+};
+
+/// Everything a shard run needs, rebuilt identically in every process.
+/// Move-only in spirit: the netlist holds CellType pointers into `cells`,
+/// which stay valid under vector moves but not under copies of the bundle.
+struct DesignBundle {
+  CharLib charlib;
+  CellLibrary cells;
+  NSigmaCellModel cell_model;
+  NSigmaWireModel wire_model;
+  TechParams tech;
+  GateNetlist netlist{"unbuilt"};
+  ParasiticDb parasitics;
+
+  DesignBundle() = default;
+  DesignBundle(const DesignBundle&) = delete;
+  DesignBundle& operator=(const DesignBundle&) = delete;
+  DesignBundle(DesignBundle&&) = default;
+  DesignBundle& operator=(DesignBundle&&) = default;
+};
+
+/// Throws UsageError on an unknown design kind or an out-of-range size.
+/// The coordinator calls this before spawning any worker, so a bad spec
+/// fails fast instead of burning the whole spawn budget on workers that
+/// can never build their bundle.
+void validate_spec(const BundleSpec& spec);
+
+/// Builds the bundle for `spec` (validate_spec included).
+DesignBundle make_bundle(const BundleSpec& spec);
+
+}  // namespace nsdc::dist

@@ -1,0 +1,127 @@
+#include "dist/protocol.hpp"
+
+#include "net/wire.hpp"
+
+namespace nsdc::dist {
+
+namespace {
+
+bool finish(const net::WireReader& r) { return r.at_end(); }
+
+}  // namespace
+
+MsgType peek_type(const std::string& payload) {
+  if (payload.empty()) return static_cast<MsgType>(0);
+  return static_cast<MsgType>(static_cast<std::uint8_t>(payload[0]));
+}
+
+std::string encode_hello(const HelloMsg& m) {
+  net::WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kHello));
+  w.u64(m.worker_id);
+  return w.take();
+}
+
+std::string encode_heartbeat(const HeartbeatMsg& m) {
+  net::WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kHeartbeat));
+  w.u64(m.worker_id);
+  w.u64(m.shard);
+  w.u64(m.attempt);
+  w.u64(m.units_done);
+  return w.take();
+}
+
+std::string encode_shard_done(const ShardDoneMsg& m) {
+  net::WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kShardDone));
+  w.u64(m.worker_id);
+  w.u64(m.shard);
+  w.u64(m.attempt);
+  w.u8(m.ok ? 1 : 0);
+  w.str(m.detail);
+  w.u32(static_cast<std::uint32_t>(m.po_times.size()));
+  for (const PoTime& p : m.po_times) {
+    w.u32(static_cast<std::uint32_t>(p.net));
+    w.u8(p.reachable);
+    w.f64(p.arrival[0]);
+    w.f64(p.arrival[1]);
+    w.f64(p.slew[0]);
+    w.f64(p.slew[1]);
+  }
+  return w.take();
+}
+
+std::string encode_assign(const AssignMsg& m) {
+  net::WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kAssign));
+  w.u64(m.shard);
+  w.u64(m.attempt);
+  w.u64(m.lo);
+  w.u64(m.hi);
+  w.str(m.checkpoint_path);
+  return w.take();
+}
+
+std::string encode_stop() {
+  net::WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kStop));
+  return w.take();
+}
+
+bool decode_hello(const std::string& payload, HelloMsg* out) {
+  net::WireReader r(payload);
+  if (static_cast<MsgType>(r.u8()) != MsgType::kHello) return false;
+  out->worker_id = r.u64();
+  return finish(r);
+}
+
+bool decode_heartbeat(const std::string& payload, HeartbeatMsg* out) {
+  net::WireReader r(payload);
+  if (static_cast<MsgType>(r.u8()) != MsgType::kHeartbeat) return false;
+  out->worker_id = r.u64();
+  out->shard = r.u64();
+  out->attempt = r.u64();
+  out->units_done = r.u64();
+  return finish(r);
+}
+
+bool decode_shard_done(const std::string& payload, ShardDoneMsg* out) {
+  net::WireReader r(payload);
+  if (static_cast<MsgType>(r.u8()) != MsgType::kShardDone) return false;
+  out->worker_id = r.u64();
+  out->shard = r.u64();
+  out->attempt = r.u64();
+  out->ok = r.u8() != 0;
+  out->detail = r.str();
+  const std::uint32_t n = r.u32();
+  // Bound the reserve by the payload size so a hostile count cannot
+  // balloon memory before the sticky reader fails.
+  if (static_cast<std::size_t>(n) * 37 > payload.size()) return false;
+  out->po_times.clear();
+  out->po_times.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    PoTime p;
+    p.net = static_cast<std::int32_t>(r.u32());
+    p.reachable = r.u8();
+    p.arrival[0] = r.f64();
+    p.arrival[1] = r.f64();
+    p.slew[0] = r.f64();
+    p.slew[1] = r.f64();
+    out->po_times.push_back(p);
+  }
+  return finish(r);
+}
+
+bool decode_assign(const std::string& payload, AssignMsg* out) {
+  net::WireReader r(payload);
+  if (static_cast<MsgType>(r.u8()) != MsgType::kAssign) return false;
+  out->shard = r.u64();
+  out->attempt = r.u64();
+  out->lo = r.u64();
+  out->hi = r.u64();
+  out->checkpoint_path = r.str();
+  return finish(r);
+}
+
+}  // namespace nsdc::dist

@@ -1,0 +1,91 @@
+#pragma once
+// Coordinator <-> shard-worker control protocol, carried over the same
+// u32-length-prefixed frames as the nsdc_serve wire (net/wire.hpp). Every
+// payload starts with a one-byte message type; integers are little-endian
+// and doubles travel by bit pattern, so a ShardDone's STA arrivals are
+// byte-deterministic across processes.
+//
+// Flow: a worker connects, sends Hello, and then executes Assign messages
+// one at a time, streaming Heartbeat frames while a shard runs and
+// finishing each with a ShardDone (ok or failed-with-detail; STA mode
+// carries the per-PO arrival/slew results inline, MC mode leaves them on
+// disk in the shard's NSDCMC01 checkpoint). Stop asks the worker to exit;
+// a worker also exits cleanly when the coordinator's socket goes away.
+//
+// Decoders follow the serve-layer convention: run the full field list over
+// the sticky-failure WireReader, then check ok()/at_end() once — a
+// malformed frame decodes to `false`, never UB or an exception.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nsdc::dist {
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,
+  kHeartbeat = 2,
+  kShardDone = 3,
+  kAssign = 4,
+  kStop = 5,
+};
+
+/// First frame a worker sends: which spawn it is.
+struct HelloMsg {
+  std::uint64_t worker_id = 0;
+};
+
+/// Liveness beacon while a shard runs.
+struct HeartbeatMsg {
+  std::uint64_t worker_id = 0;
+  std::uint64_t shard = 0;
+  std::uint64_t attempt = 0;
+  std::uint64_t units_done = 0;  ///< blocks (MC) / levels (STA) finished
+};
+
+/// One primary output's propagated timing (STA mode results).
+struct PoTime {
+  std::int32_t net = -1;
+  std::uint8_t reachable = 0;
+  std::array<double, 2> arrival{0.0, 0.0};
+  std::array<double, 2> slew{10e-12, 10e-12};
+};
+
+struct ShardDoneMsg {
+  std::uint64_t worker_id = 0;
+  std::uint64_t shard = 0;
+  std::uint64_t attempt = 0;
+  bool ok = false;
+  std::string detail;           ///< failure reason when !ok
+  std::vector<PoTime> po_times; ///< STA mode only; empty for MC
+};
+
+/// Work order: compute units [lo, hi) of one shard — accumulation blocks
+/// for MC (results go to `checkpoint_path`), sorted-PO-list indices for
+/// STA (results return inline in ShardDone).
+struct AssignMsg {
+  std::uint64_t shard = 0;
+  std::uint64_t attempt = 0;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  std::string checkpoint_path;
+};
+
+/// Message type of a payload (first byte); 0 for an empty payload.
+MsgType peek_type(const std::string& payload);
+
+std::string encode_hello(const HelloMsg& m);
+std::string encode_heartbeat(const HeartbeatMsg& m);
+std::string encode_shard_done(const ShardDoneMsg& m);
+std::string encode_assign(const AssignMsg& m);
+std::string encode_stop();
+
+/// Each decoder returns false on a wrong type byte, a truncated payload,
+/// or trailing junk.
+bool decode_hello(const std::string& payload, HelloMsg* out);
+bool decode_heartbeat(const std::string& payload, HeartbeatMsg* out);
+bool decode_shard_done(const std::string& payload, ShardDoneMsg* out);
+bool decode_assign(const std::string& payload, AssignMsg* out);
+
+}  // namespace nsdc::dist

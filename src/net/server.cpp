@@ -166,4 +166,14 @@ bool ServerLoop::any_send_pending() const {
 
 void ServerLoop::close_conn(int conn_id) { destroy_conn(conn_id); }
 
+void ServerLoop::stop_accepting() {
+  // poll() skips negative fds (POSIX: events ignored, revents zeroed), so
+  // the listen slot in the pollfd array goes inert without reindexing.
+  close_fd(listen_fd_);
+  listen_fd_ = -1;
+  if (endpoint_.kind == Endpoint::Kind::kUnix) {
+    ::unlink(endpoint_.path.c_str());
+  }
+}
+
 }  // namespace nsdc::net

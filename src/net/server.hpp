@@ -90,6 +90,12 @@ class ServerLoop {
   /// Drops one connection (queued bytes are discarded).
   void close_conn(int conn);
 
+  /// Graceful-shutdown step: closes the listening socket so new connects
+  /// are refused, while established connections keep reading/flushing
+  /// through poll(). Idempotent; accepting() turns false.
+  void stop_accepting();
+  bool accepting() const { return listen_fd_ >= 0; }
+
   std::size_t open_connections() const { return conns_.size(); }
   const Stats& stats() const { return stats_; }
   /// Resolved TCP port (0 for unix endpoints).

@@ -60,6 +60,20 @@ void Daemon::drain() {
 void Daemon::run() {
   net::PollResult pr;
   while (!stop_.load(std::memory_order_acquire)) {
+    if (graceful_requested()) {
+      // Graceful drain: refuse new connections, scoop whatever request
+      // bytes the kernel already buffered, then execute everything
+      // received. drain() runs to completion (stop_ is not set), so no
+      // in-flight batch is cut; the flush below delivers the responses
+      // before the loop destructor closes the sockets.
+      loop_.stop_accepting();
+      loop_.poll(0, &pr);
+      for (auto& frame : pr.frames) {
+        pending_[frame.conn].push_back(std::move(frame.payload));
+      }
+      drain();
+      break;
+    }
     loop_.poll(options_.poll_timeout_ms, &pr);
     for (auto& frame : pr.frames) {
       pending_[frame.conn].push_back(std::move(frame.payload));

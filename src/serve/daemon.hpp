@@ -38,6 +38,11 @@ class Daemon {
     int poll_timeout_ms = 50;
     /// Pool the request batches run on; nullptr = global_pool().
     ThreadPool* pool = nullptr;
+    /// External graceful-stop flag, polled once per pass. The tool's
+    /// SIGTERM/SIGINT handler just stores true into this atomic (the only
+    /// async-signal-safe thing it can do); the daemon then drains exactly
+    /// like request_graceful_stop(). Non-owning; may be null.
+    const std::atomic<bool>* drain_stop = nullptr;
   };
 
   /// Binds and listens. Throws IoError on failure. (Overloads instead of
@@ -51,7 +56,16 @@ class Daemon {
   void run();
 
   /// Stops run() from another thread (latency <= poll_timeout_ms).
+  /// Abrupt: requests still queued when the flag is seen are dropped.
   void request_stop() { stop_.store(true, std::memory_order_release); }
+
+  /// Graceful stop: run() refuses new connections, executes every request
+  /// already received, flushes the responses, then returns. In-flight
+  /// batches are never cut mid-execution; partially received frames are
+  /// abandoned with their connections.
+  void request_graceful_stop() {
+    graceful_.store(true, std::memory_order_release);
+  }
 
   /// Resolved TCP port (0 for unix endpoints).
   std::uint16_t port() const { return loop_.port(); }
@@ -76,6 +90,13 @@ class Daemon {
   std::uint64_t next_seq_ = 0;
   std::atomic<std::uint64_t> served_{0};
   std::atomic<bool> stop_{false};
+  std::atomic<bool> graceful_{false};
+
+  bool graceful_requested() const {
+    return graceful_.load(std::memory_order_acquire) ||
+           (options_.drain_stop != nullptr &&
+            options_.drain_stop->load(std::memory_order_acquire));
+  }
 };
 
 }  // namespace nsdc::serve

@@ -145,7 +145,9 @@ StaEngine::Result StaEngine::run(const GateNetlist& netlist,
   // Each cell reads only fanin slots (strictly lower levels) and writes
   // only its own output-net slot, so cells within a level run in parallel.
   for (const auto& level : lev.levels) {
-    exec.parallel_for(level.size(), [&](std::size_t i) {
+    // Autotuned grain: one queue transaction per block of cells instead of
+    // per cell — wide levels stop serializing on the pool's global queue.
+    exec.parallel_for_autotuned(level.size(), [&](std::size_t i) {
       sta_kernel::propagate_cell(netlist, model_, level[i], res);
     });
   }

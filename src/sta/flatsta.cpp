@@ -250,7 +250,9 @@ StaEngine::Result StaEngine::run(const FlatTimingGraph& graph,
   for (FlatTimingGraph::Id l = 0; l < graph.num_levels(); ++l) {
     const FlatTimingGraph::Id begin = graph.level_begin(l);
     const FlatTimingGraph::Id end = graph.level_end(l);
-    exec.parallel_for(end - begin, [&](std::size_t i) {
+    // Autotuned grain (see ExecContext::autotuned_grain): level-width
+    // blocks amortize the global-queue transaction per level.
+    exec.parallel_for_autotuned(end - begin, [&](std::size_t i) {
       flat_kernel::flat_propagate_cell(
           graph, rec, model_, begin + static_cast<FlatTimingGraph::Id>(i),
           res);

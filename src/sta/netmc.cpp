@@ -278,6 +278,12 @@ NetlistMonteCarlo::Result NetlistMonteCarlo::run(
   // streaming memory at O(nets).
   const std::size_t n_blocks = std::min(kAccumBlocks, n_samples);
   const std::size_t per_block = (n_samples + n_blocks - 1) / n_blocks;
+  // Block subset (shard workers): everything outside [b_lo, b_hi) is
+  // neither restored, computed, nor checkpointed by this run.
+  const std::size_t b_lo = std::min(options_.block_begin, n_blocks);
+  const std::size_t b_hi =
+      std::max(b_lo, std::min(options_.block_end, n_blocks));
+  const bool full_range = b_lo == 0 && b_hi == n_blocks;
   std::vector<std::array<MomentAccumulator, 2>> block_acc(n_blocks * n_nets);
   std::vector<std::array<std::uint64_t, 2>> block_quar(n_blocks * n_nets,
                                                        {0, 0});
@@ -311,6 +317,9 @@ NetlistMonteCarlo::Result NetlistMonteCarlo::run(
     if (restored) {
       for (const McBlockState& blk : restored->blocks) {
         const auto b = static_cast<std::size_t>(blk.block);
+        // A full-run checkpoint may hold blocks outside a subset run's
+        // range; they belong to other shards and are skipped whole.
+        if (b < b_lo || b >= b_hi) continue;
         for (std::size_t n = 0; n < n_nets; ++n) {
           for (std::size_t e = 0; e < 2; ++e) {
             block_acc[b * n_nets + n][e] =
@@ -334,6 +343,7 @@ NetlistMonteCarlo::Result NetlistMonteCarlo::run(
         writer->append(blk);
         block_done[b] = 1;
         ++out.blocks_resumed;
+        if (options_.on_block_done) options_.on_block_done(b);
       }
     }
   }
@@ -347,14 +357,15 @@ NetlistMonteCarlo::Result NetlistMonteCarlo::run(
   constexpr double kQuietNan = std::numeric_limits<double>::quiet_NaN();
 
   out.shards = exec.parallel_for_chunked(
-      n_blocks, options_.grain, [&](std::size_t b_begin, std::size_t b_end) {
+      b_hi - b_lo, options_.grain,
+      [&](std::size_t i_begin, std::size_t i_end) {
         // Chunk-local scratch, reused across the chunk's blocks/samples.
         // PI slots stay 0 (their arrival) for the whole chunk; every other
         // slot that is ever read is written by an earlier task first.
         std::vector<double> arr(2 * n_nets, 0.0);
         std::vector<double> z_cell(n_cells, 0.0);
         std::vector<double> z_wire(n_nets, 0.0);
-        for (std::size_t b = b_begin; b < b_end; ++b) {
+        for (std::size_t b = b_lo + i_begin; b < b_lo + i_end; ++b) {
           if (block_done[b]) continue;
           fault_fire("netmc.block", b, token);
           auto* acc = &block_acc[b * n_nets];
@@ -469,6 +480,9 @@ NetlistMonteCarlo::Result NetlistMonteCarlo::run(
                     static_cast<std::ptrdiff_t>(s_end));
             writer->append(blk);
           }
+          // Fired after the block is durable, so a kill landing in the
+          // hook (dist.worker.kill) never loses the block it reports.
+          if (options_.on_block_done) options_.on_block_done(b);
         }
       });
 
@@ -509,10 +523,24 @@ NetlistMonteCarlo::Result NetlistMonteCarlo::run(
     }
   }
   sort_diagnostics(out.diagnostics);
-  out.samples_done = n_samples;
-
-  // Endpoint distributions from the retained sample vectors.
-  finalize_endpoints(&out);
+  if (full_range) {
+    out.samples_done = n_samples;
+    // Endpoint distributions from the retained sample vectors.
+    finalize_endpoints(&out);
+  } else {
+    // Subset run: samples_done counts only the covered block ranges, and
+    // the endpoint distributions stay empty — the uncovered stretches of
+    // the retained vectors are zero filler, so order statistics over them
+    // would be meaningless. Merged endpoints come from partial_result
+    // over the union of shard checkpoints.
+    std::uint64_t covered = 0;
+    for (std::size_t b = b_lo; b < b_hi; ++b) {
+      const std::size_t s_begin = std::min(n_samples, b * per_block);
+      const std::size_t s_end = std::min(n_samples, s_begin + per_block);
+      covered += s_end - s_begin;
+    }
+    out.samples_done = covered;
+  }
 
   out.runtime_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

@@ -28,6 +28,7 @@
 
 #include <array>
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "core/mcconfig.hpp"
@@ -71,6 +72,26 @@ struct NetMcOptions {
   /// checkpoint degrades to a fresh run with a Result diagnostic, never an
   /// error; the resumed result is byte-identical to an uninterrupted run.
   bool resume = false;
+  /// Restrict the run to accumulation blocks [block_begin, block_end) —
+  /// the shard-worker hook (src/dist): a worker computes only its block
+  /// range, the coordinator merges the per-shard checkpoints. Block
+  /// boundaries depend only on the sample count, so every block's values
+  /// are identical no matter which process computes it. A partitioning
+  /// knob like threads/grain: excluded from the checkpoint fingerprint,
+  /// so shard checkpoints resume/merge interchangeably with full-run
+  /// ones. The default covers every block. A subset run's Result carries
+  /// valid streamed moments and retained samples for its own blocks only
+  /// (endpoint moments/quantiles are left empty; samples_done counts the
+  /// covered samples) — the merged statistics come from partial_result
+  /// over the union of shard checkpoints.
+  std::size_t block_begin = 0;
+  std::size_t block_end = static_cast<std::size_t>(-1);
+  /// Invoked after a block completes — its samples accumulated and, when
+  /// checkpointing, its record flushed to disk — with the block index.
+  /// Also fired for blocks restored by a resume. Called from worker
+  /// threads: must be thread-safe and cheap. Shard workers hang their
+  /// progress heartbeats and fault-injection hooks here.
+  std::function<void(std::size_t)> on_block_done;
 };
 
 class NetlistMonteCarlo {

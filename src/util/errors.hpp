@@ -64,6 +64,12 @@ inline constexpr int kExitCancelled = 10;  ///< CancelledError
 inline constexpr int kExitParse = 11;      ///< ParseError
 inline constexpr int kExitIo = 12;         ///< IoError
 inline constexpr int kExitInternal = 13;   ///< any other std::exception
+/// A distributed run finished degraded: some shards exhausted their
+/// retries (or the fleet its spawn budget), so the merged result is
+/// partial. The tool still prints the merged statistics and the per-shard
+/// diagnostics — this code tells automation "usable but incomplete",
+/// distinct from both success and the hard failures above.
+inline constexpr int kExitPartial = 14;
 
 /// Top-level tool handler: call from inside a `catch (...)` block. Prints
 /// a one-line `tool: kind: message` diagnostic to stderr and returns the

@@ -22,6 +22,13 @@ std::size_t ExecContext::resolved_grain(std::size_t call_grain) const {
   return call_grain;
 }
 
+std::size_t ExecContext::autotuned_grain(std::size_t count, unsigned lanes) {
+  const std::size_t l = lanes == 0 ? 1 : lanes;
+  // 8 blocks per lane: measured sweet spot between dynamic load balance
+  // (straggler cells in a level) and queue-transaction overhead.
+  return std::max<std::size_t>(1, count / (l * 8));
+}
+
 ExecContext ExecContext::with_threads(unsigned override_threads) const {
   ExecContext out = *this;
   if (override_threads != 0) out.threads = override_threads;
@@ -55,6 +62,16 @@ unsigned ExecContext::parallel_for(
                           [&run](std::size_t begin, std::size_t end) {
                             for (std::size_t i = begin; i < end; ++i) run(i);
                           });
+}
+
+unsigned ExecContext::parallel_for_autotuned(
+    std::size_t count, const std::function<void(std::size_t)>& fn) const {
+  if (count == 0) return 0;
+  return parallel_for_chunked(
+      count, autotuned_grain(count, resolved_threads()),
+      [&fn](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      });
 }
 
 unsigned ExecContext::parallel_for_chunked(

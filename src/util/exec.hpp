@@ -42,6 +42,13 @@ struct ExecContext {
   /// per call so tests and sweeps can vary it), then `call_grain`.
   std::size_t resolved_grain(std::size_t call_grain) const;
 
+  /// Autotuned per-call grain for a batch of `count` uniform items over
+  /// `lanes` lanes: enough blocks per lane (8) that dynamic claiming
+  /// load-balances, but never single-index blocks on wide batches — the
+  /// fix for per-level STA dispatch paying one global-queue transaction
+  /// per cell. Pure arithmetic; affects scheduling only, never results.
+  static std::size_t autotuned_grain(std::size_t count, unsigned lanes);
+
   /// This context with its lane count replaced when `override_threads` is
   /// nonzero — the idiom for configs that keep a legacy `threads` field.
   ExecContext with_threads(unsigned override_threads) const;
@@ -55,6 +62,12 @@ struct ExecContext {
   unsigned parallel_for_chunked(
       std::size_t count, std::size_t grain,
       const std::function<void(std::size_t, std::size_t)>& fn) const;
+
+  /// parallel_for with an autotuned_grain(count, lanes) per-call default —
+  /// the dispatch for per-level batches (STA propagation) whose per-index
+  /// work is small. Explicit `grain` / NSDC_GRAIN still override.
+  unsigned parallel_for_autotuned(
+      std::size_t count, const std::function<void(std::size_t)>& fn) const;
 
   /// Throws CancelledError when the attached token (if any) has fired.
   /// Inner loops with long per-index work call this between samples.

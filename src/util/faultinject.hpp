@@ -39,6 +39,24 @@
 //                     -> internal-error response, cancel -> cancelled
 //                     response; the daemon survives either and keeps
 //                     serving)
+//   dist.worker.spawn index = worker spawn sequence in the shard
+//                     coordinator (throw -> that spawn fails, consuming
+//                     spawn budget; the run degrades, never aborts)
+//   dist.worker.kill  index = attempt*10000 + work unit, fired in the
+//                     worker process after the unit is durable (throw ->
+//                     raise(SIGKILL): crash mid-shard; cancel -> hang with
+//                     heartbeats beating, so only the shard deadline
+//                     reclaims it)
+//   dist.heartbeat    index = worker_id*1000 + beat sequence (any action
+//                     -> the worker goes permanently silent without dying;
+//                     the missed-heartbeat watchdog must reap it)
+//   dist.shard.checkpoint
+//                     index = shard*100 + validation attempt, fired when
+//                     the coordinator validates a completed MC shard
+//                     (truncate:N tears N bytes off the shard checkpoint
+//                     before loading; throw -> validation failure; either
+//                     way the shard retries and the merged statistics must
+//                     stay byte-identical)
 //
 // The global plan is parsed lazily from NSDC_FAULTS on first query;
 // install_fault_plan / clear_fault_plan override it (tests). Queries are

@@ -1,0 +1,35 @@
+#include "util/retry.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace nsdc {
+
+double RetryPolicy::delay_s(int retry) const {
+  if (retry <= 0) return 0.0;
+  double d = base_delay_s;
+  for (int i = 1; i < retry; ++i) {
+    d *= multiplier;
+    if (d >= max_delay_s) break;
+  }
+  if (d > max_delay_s) d = max_delay_s;
+  return d < 0.0 ? 0.0 : d;
+}
+
+void retry_sleep(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+bool retry_call(const RetryPolicy& policy,
+                const std::function<bool()>& attempt,
+                const RetrySleepFn& sleep) {
+  const int attempts = policy.max_attempts();
+  for (int a = 0; a < attempts; ++a) {
+    if (a > 0 && sleep) sleep(policy.delay_s(a));
+    if (attempt()) return true;
+  }
+  return false;
+}
+
+}  // namespace nsdc

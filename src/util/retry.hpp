@@ -1,0 +1,54 @@
+#pragma once
+// Deterministic exponential-backoff retry policy, shared by the shard
+// coordinator (src/dist) and the net client's connect loop.
+//
+// The schedule is a pure function of the attempt number — no wall-clock
+// randomness, no jitter — so a retried run's *results* never depend on
+// when its retries fired, and a test can assert the exact delay sequence.
+// Wall time only gates *when* work is re-dispatched; everything merged
+// into results is keyed on deterministic indices (accumulation blocks,
+// sample numbers), which is what keeps faulted-and-retried runs
+// byte-identical to uninterrupted ones.
+
+#include <cstddef>
+#include <functional>
+
+namespace nsdc {
+
+struct RetryPolicy {
+  /// Retries allowed after the first attempt; attempt numbers run
+  /// 0..max_retries, so a work unit is tried at most max_retries + 1
+  /// times before it is declared exhausted.
+  int max_retries = 3;
+  /// Delay before retry 1 (seconds).
+  double base_delay_s = 0.05;
+  /// Geometric growth factor per retry.
+  double multiplier = 2.0;
+  /// Ceiling on any single delay (seconds).
+  double max_delay_s = 2.0;
+
+  /// Delay before retry `retry` (1-based): base * multiplier^(retry-1),
+  /// capped at max_delay_s. retry <= 0 returns 0 (the first attempt is
+  /// immediate).
+  double delay_s(int retry) const;
+
+  /// Total attempts the policy allows (max_retries + 1, never < 1).
+  int max_attempts() const { return (max_retries < 0 ? 0 : max_retries) + 1; }
+};
+
+/// Sleep hook: receives a delay in seconds. Injectable so tests retry
+/// without real waiting; the default sleeps on the calling thread.
+using RetrySleepFn = std::function<void(double)>;
+
+/// std::this_thread::sleep_for adapter (the default sleeper).
+void retry_sleep(double seconds);
+
+/// Runs `attempt` until it returns true or the policy is exhausted,
+/// sleeping the policy's delay between tries. Returns true on success.
+/// `attempt` must not throw for retryable failures (return false); a
+/// throw escapes immediately.
+bool retry_call(const RetryPolicy& policy,
+                const std::function<bool()>& attempt,
+                const RetrySleepFn& sleep = retry_sleep);
+
+}  // namespace nsdc

@@ -12,6 +12,8 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <csignal>
 #include <cstdlib>
 #include <map>
 #include <string>
@@ -697,6 +699,86 @@ TEST(CliValidation, InvalidArgumentValuesExitThree) {
   EXPECT_EQ(run_tool(dir + "/nsdc_analyze --random 10 --zmax abc"), 3);
   // Unknown flags keep the distinct usage exit 2 in flow_smoke.
   EXPECT_EQ(run_tool(dir + "/flow_smoke --no-such-flag"), 2);
+}
+
+// --- Graceful shutdown ------------------------------------------------------
+
+TEST_F(ServeTest, DrainStopFlagFinishesQueuedRequestsThenExits) {
+  // The SIGTERM path minus the signal: the handler's only action is a
+  // store into Options::drain_stop, so flipping the flag here exercises
+  // the identical drain — queued requests all answered, then the daemon's
+  // run() returns on its own.
+  std::atomic<bool> drain{false};
+  serve::Daemon::Options dopt;
+  dopt.drain_stop = &drain;
+  Harness h(refs(), net::Endpoint::unix_path(unique_socket_path("drain")),
+            {}, dopt);
+  net::Client client(h.client_endpoint());
+  // One synchronous round trip first: the connection is accepted and
+  // serving before the drain flag can stop the accept loop.
+  EXPECT_EQ(head_of(client.call(serve::make_ping(0))).status,
+            serve::Status::kOk);
+  constexpr int kQueued = 16;
+  for (int i = 1; i <= kQueued; ++i) {
+    client.send_frame(serve::make_critical(static_cast<std::uint64_t>(i)));
+  }
+  drain.store(true, std::memory_order_release);
+  // Every request received before the drain is answered. (The daemon's
+  // sockets outlive run() — they close with the Daemon object — so read
+  // the exact count rather than until EOF.)
+  std::string resp;
+  for (int i = 0; i < kQueued; ++i) {
+    ASSERT_TRUE(client.try_recv_frame(&resp)) << "response " << i;
+    const auto head = head_of(resp);
+    EXPECT_EQ(head.status, serve::Status::kOk) << head.error;
+  }
+  h.thread.join();  // run() returned without request_stop()
+  h.thread = std::thread([] {});
+  EXPECT_EQ(h.daemon.requests_served(),
+            static_cast<std::uint64_t>(kQueued) + 1u);
+}
+
+TEST_F(ServeTest, SigtermUnderLoadDrainsAndExitsZero) {
+  const std::string sock = unique_socket_path("sigterm");
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    const std::string tool = std::string(NSDC_TOOL_DIR) + "/nsdc_serve";
+    if (std::freopen("/dev/null", "w", stdout) == nullptr) ::_exit(126);
+    ::execl(tool.c_str(), tool.c_str(), "--synthetic", "--cells", "40",
+            "--endpoint", ("unix:" + sock).c_str(),
+            static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  // The daemon characterizes its models before binding; bounded
+  // connect-retry instead of a sleep.
+  RetryPolicy rp;
+  rp.max_retries = 200;
+  rp.base_delay_s = 0.05;
+  rp.multiplier = 1.0;
+  rp.max_delay_s = 0.05;
+  net::Client client(net::Endpoint::unix_path(sock), rp);
+  EXPECT_EQ(head_of(client.call(serve::make_ping(0))).status,
+            serve::Status::kOk);
+  constexpr int kQueued = 8;
+  for (int i = 1; i <= kQueued; ++i) {
+    client.send_frame(serve::make_critical(static_cast<std::uint64_t>(i)));
+  }
+  // send_frame is a blocking sendall: all 8 requests sit in the daemon's
+  // socket buffer before the signal lands.
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  int answered = 0;
+  std::string resp;
+  while (client.try_recv_frame(&resp)) {
+    const auto head = head_of(resp);
+    EXPECT_EQ(head.status, serve::Status::kOk) << head.error;
+    ++answered;
+  }
+  EXPECT_EQ(answered, kQueued);  // drained, not dropped
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
 }
 
 }  // namespace

@@ -1,0 +1,196 @@
+// nsdc_dist: fault-tolerant multi-process shard runner (DESIGN.md §14).
+// The coordinator mode (default) fork/execs this same binary in --worker
+// mode N times, partitions the run into shard work units — accumulation
+// blocks for Monte Carlo, sorted-PO slices for levelized STA — and
+// supervises the fleet: heartbeat and deadline watchdogs, waitpid crash
+// detection, deterministic exponential-backoff retries, bounded worker
+// respawn, and checkpoint-validated merge. The merged statistics are
+// byte-identical to a single-process run at any worker count, kill
+// schedule, or retry history.
+//
+// Usage (coordinator):
+//   nsdc_dist [--mode mc|sta] [--workers N] [--shards N] [--samples N]
+//             [--seed S] [--design mul|adder|random] [--size N]
+//             [--design-seed S] [--workdir PATH] [--worker-threads N]
+//             [--retries N] [--deadline-s X] [--heartbeat-ms N]
+//             [--heartbeat-timeout-s X] [--verbose]
+//
+// --worker flips this process into the shard-worker body (internal; the
+// coordinator passes --endpoint/--worker-id and the bundle spec).
+//
+// Exit codes: 0 complete; 14 (kExitPartial) when retries/spawn budget ran
+// out and the result is a diagnosed partial — never an abort; 3/10-13 as
+// every other tool.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "dist/coordinator.hpp"
+#include "dist/worker.hpp"
+#include "util/argparse.hpp"
+#include "util/errors.hpp"
+#include "util/faultinject.hpp"
+
+using namespace nsdc;
+
+namespace {
+
+std::string self_exe_path(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return std::string(buf);
+  }
+  return std::string(argv0);
+}
+
+std::string default_workdir() {
+  char tmpl[] = "/tmp/nsdc_dist_XXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) {
+    throw IoError("nsdc_dist: cannot create a temporary workdir");
+  }
+  return std::string(tmpl);
+}
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--mode mc|sta] [--workers N] [--shards N] [--samples N]\n"
+      "          [--seed S] [--design mul|adder|random] [--size N]\n"
+      "          [--design-seed S] [--workdir PATH] [--worker-threads N]\n"
+      "          [--retries N] [--deadline-s X] [--heartbeat-ms N]\n"
+      "          [--heartbeat-timeout-s X] [--verbose]\n",
+      argv0);
+  return 2;
+}
+
+int tool_main(int argc, char** argv) {
+  bool worker_mode = false;
+  dist::DistOptions opt;
+  dist::WorkerConfig wcfg;
+  std::string endpoint_spec;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    const bool has_val = i + 1 < argc;
+    if (std::strcmp(a, "--worker") == 0) {
+      worker_mode = true;
+    } else if (std::strcmp(a, "--endpoint") == 0 && has_val) {
+      endpoint_spec = argv[++i];
+    } else if (std::strcmp(a, "--worker-id") == 0 && has_val) {
+      wcfg.worker_id = static_cast<std::uint64_t>(
+          require_integer("--worker-id", argv[++i], 0, 1'000'000));
+    } else if (std::strcmp(a, "--mode") == 0 && has_val) {
+      opt.mode = wcfg.mode = argv[++i];
+    } else if (std::strcmp(a, "--workers") == 0 && has_val) {
+      opt.workers = require_unsigned("--workers", argv[++i], 1, 256);
+    } else if (std::strcmp(a, "--shards") == 0 && has_val) {
+      opt.shards = static_cast<std::size_t>(
+          require_integer("--shards", argv[++i], 1, 1'000'000));
+    } else if (std::strcmp(a, "--samples") == 0 && has_val) {
+      opt.samples = wcfg.samples = static_cast<int>(
+          require_integer("--samples", argv[++i], 1, 100'000'000));
+    } else if (std::strcmp(a, "--seed") == 0 && has_val) {
+      opt.seed = wcfg.seed = static_cast<std::uint64_t>(
+          require_integer("--seed", argv[++i], 0, 1'000'000'000));
+    } else if (std::strcmp(a, "--design") == 0 && has_val) {
+      opt.bundle.design = wcfg.bundle.design = argv[++i];
+    } else if (std::strcmp(a, "--size") == 0 && has_val) {
+      opt.bundle.size = wcfg.bundle.size = static_cast<int>(
+          require_integer("--size", argv[++i], 1, 1'000'000));
+    } else if (std::strcmp(a, "--design-seed") == 0 && has_val) {
+      opt.bundle.seed = wcfg.bundle.seed = static_cast<std::uint64_t>(
+          require_integer("--design-seed", argv[++i], 0, 1'000'000'000));
+    } else if (std::strcmp(a, "--workdir") == 0 && has_val) {
+      opt.workdir = argv[++i];
+    } else if (std::strcmp(a, "--worker-threads") == 0 ||
+               std::strcmp(a, "--threads") == 0) {
+      if (!has_val) return usage(argv[0]);
+      opt.worker_threads = wcfg.threads =
+          require_unsigned(a, argv[++i], 1, 1024);
+    } else if (std::strcmp(a, "--retries") == 0 && has_val) {
+      opt.retry.max_retries = static_cast<int>(
+          require_integer("--retries", argv[++i], 0, 100));
+    } else if (std::strcmp(a, "--deadline-s") == 0 && has_val) {
+      opt.shard_deadline_s =
+          require_real("--deadline-s", argv[++i], 0.01, 86400.0);
+    } else if (std::strcmp(a, "--heartbeat-ms") == 0 && has_val) {
+      opt.heartbeat_ms = wcfg.heartbeat_ms = static_cast<int>(
+          require_integer("--heartbeat-ms", argv[++i], 1, 60'000));
+    } else if (std::strcmp(a, "--heartbeat-timeout-s") == 0 && has_val) {
+      opt.heartbeat_timeout_s =
+          require_real("--heartbeat-timeout-s", argv[++i], 0.01, 86400.0);
+    } else if (std::strcmp(a, "--verbose") == 0) {
+      opt.verbose = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (worker_mode) {
+    if (endpoint_spec.empty()) {
+      throw UsageError("nsdc_dist --worker: --endpoint required");
+    }
+    wcfg.endpoint = net::Endpoint::parse(endpoint_spec);
+    return dist::run_worker(wcfg);
+  }
+
+  if (opt.workdir.empty()) opt.workdir = default_workdir();
+  opt.worker_binary = self_exe_path(argv[0]);
+  std::printf("nsdc_dist: mode=%s workers=%u shards=%zu samples=%d "
+              "design=%s/%d workdir=%s\n",
+              opt.mode.c_str(), opt.workers, opt.shards, opt.samples,
+              opt.bundle.design.c_str(), opt.bundle.size,
+              opt.workdir.c_str());
+  std::fflush(stdout);
+
+  const dist::DistResult res = dist::run_coordinator(opt);
+
+  for (const auto& st : res.shards) {
+    std::printf("nsdc_dist: shard %llu [%llu,%llu) %s attempts=%d%s%s\n",
+                static_cast<unsigned long long>(st.id),
+                static_cast<unsigned long long>(st.lo),
+                static_cast<unsigned long long>(st.hi),
+                dist::shard_state_name(st.state), st.attempts,
+                st.detail.empty() ? "" : " detail=",
+                st.detail.c_str());
+  }
+  std::printf("nsdc_dist: spawned=%llu lost=%llu spawn_failures=%llu "
+              "retries=%llu runtime=%.3fs\n",
+              static_cast<unsigned long long>(res.workers_spawned),
+              static_cast<unsigned long long>(res.workers_lost),
+              static_cast<unsigned long long>(res.spawn_failures),
+              static_cast<unsigned long long>(res.shard_retries),
+              res.runtime_seconds);
+  if (opt.mode == "mc") {
+    std::printf("nsdc_dist: circuit mu=%.6e sigma=%.6e gamma=%.6e "
+                "kappa=%.6e samples_done=%llu\n",
+                res.mc.circuit_moments.mu, res.mc.circuit_moments.sigma,
+                res.mc.circuit_moments.gamma, res.mc.circuit_moments.kappa,
+                static_cast<unsigned long long>(res.mc.samples_done));
+  } else {
+    std::printf("nsdc_dist: max_arrival=%.6e critical_net=%d edge=%d "
+                "pos=%zu\n",
+                res.max_arrival, res.critical_net, res.critical_edge,
+                res.po_nets.size());
+  }
+  if (!res.complete) {
+    std::printf("nsdc_dist: PARTIAL result (see per-shard detail above); "
+                "exit %d\n", kExitPartial);
+    return kExitPartial;
+  }
+  std::printf("nsdc_dist: complete\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return tool_main(argc, argv);
+  } catch (...) {
+    return handle_tool_exception("nsdc_dist");
+  }
+}

@@ -17,15 +17,21 @@
 //   --max-mc-samples N  per-request Monte-Carlo sample budget cap.
 //   --max-sessions N    concurrent edit-session cap.
 //
-// The daemon runs until a client sends a kShutdown request. Exit codes
-// match the other tools: 0 success, 2 usage, 3 invalid argument value,
-// 11 parse error, 12 I/O error (e.g. the endpoint cannot be bound),
-// 13 internal error.
+// The daemon runs until a client sends a kShutdown request or the process
+// receives SIGTERM/SIGINT — either way shutdown is graceful: new
+// connections are refused, every request already received is executed,
+// responses are flushed, and the process exits 0. Exit codes match the
+// other tools: 0 success, 2 usage, 3 invalid argument value, 11 parse
+// error, 12 I/O error (e.g. the endpoint cannot be bound), 13 internal
+// error.
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "liberty/charlib.hpp"
+#include "liberty/synthlib.hpp"
 #include "net/socket.hpp"
 #include "netlist/designgen.hpp"
 #include "serve/daemon.hpp"
@@ -41,13 +47,25 @@ using namespace nsdc;
 
 namespace {
 
+/// Set (only) by the SIGTERM/SIGINT handler; the daemon polls it once per
+/// pass and drains gracefully. An atomic store is the whole handler — the
+/// async-signal-safe minimum.
+std::atomic<bool> g_graceful{false};
+
+extern "C" void on_terminate_signal(int) {
+  g_graceful.store(true, std::memory_order_release);
+}
+
 int tool_main(int argc, char** argv) {
   std::string endpoint_spec = "tcp:0";
   int target_cells = 120;
+  bool synthetic = false;
   serve::ServiceOptions sopt;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--endpoint") == 0 && i + 1 < argc) {
       endpoint_spec = argv[++i];
+    } else if (std::strcmp(argv[i], "--synthetic") == 0) {
+      synthetic = true;
     } else if (std::strcmp(argv[i], "--cells") == 0 && i + 1 < argc) {
       target_cells = static_cast<int>(
           require_integer("--cells", argv[++i], 1, 10'000'000));
@@ -62,7 +80,8 @@ int tool_main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--endpoint unix:PATH|tcp:PORT] [--cells N] "
-                   "[--threads N] [--max-mc-samples N] [--max-sessions N]\n",
+                   "[--threads N] [--max-mc-samples N] [--max-sessions N] "
+                   "[--synthetic]\n",
                    argv[0]);
       return 2;
     }
@@ -79,8 +98,12 @@ int tool_main(int argc, char** argv) {
   cfg.slew_grid = {10e-12, 100e-12, 250e-12, 500e-12};
   cfg.load_grid_rel = {1.0, 6.0, 15.0, 30.0};
   std::printf("nsdc_serve: loading charlib...\n");
+  // --synthetic: the closed-form library (milliseconds, no cache file) —
+  // for tests and deployments that cannot pay a cold characterization.
   CharLib charlib =
-      CharLib::build_or_load("flow_smoke_charlib.txt", tech, cells, cfg);
+      synthetic
+          ? make_synthetic_charlib()
+          : CharLib::build_or_load("flow_smoke_charlib.txt", tech, cells, cfg);
   NSigmaTimer timer(charlib, cells, tech);
 
   RandomNetlistSpec spec;
@@ -104,7 +127,11 @@ int tool_main(int argc, char** argv) {
   refs.charlib = &charlib;
   serve::Service service(refs, sopt);
 
-  serve::Daemon daemon(endpoint, service);
+  serve::Daemon::Options dopt;
+  dopt.drain_stop = &g_graceful;
+  serve::Daemon daemon(endpoint, service, dopt);
+  std::signal(SIGTERM, on_terminate_signal);
+  std::signal(SIGINT, on_terminate_signal);
   if (daemon.endpoint().kind == net::Endpoint::Kind::kTcp) {
     std::printf("nsdc_serve: listening on tcp:%u (%u lanes)\n",
                 static_cast<unsigned>(daemon.port()), default_threads());
@@ -115,7 +142,9 @@ int tool_main(int argc, char** argv) {
   std::fflush(stdout);
 
   daemon.run();
-  std::printf("nsdc_serve: shut down after %llu request(s)\n",
+  std::printf("nsdc_serve: shut down%s after %llu request(s)\n",
+              g_graceful.load(std::memory_order_acquire) ? " (signal drain)"
+                                                         : "",
               static_cast<unsigned long long>(daemon.requests_served()));
   return 0;
 }

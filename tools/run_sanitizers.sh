@@ -11,7 +11,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-REGEX="Threading|ThreadPool|Sta|NetMc|Netlist|GoldenSta|Statistical|Lint|Spef|Bench|Incremental|Mutator|TimingSizer|Fault|CancellationToken|Moments|Ssta|FlatGraph|Serve|Wire|Argparse|CliValidation"
+REGEX="Threading|ThreadPool|Sta|NetMc|Netlist|GoldenSta|Statistical|Lint|Spef|Bench|Incremental|Mutator|TimingSizer|Fault|CancellationToken|Moments|Ssta|FlatGraph|Serve|Wire|Argparse|CliValidation|Dist|RetryPolicy"
 SANS=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -25,7 +25,8 @@ done
 TARGETS=(test_util test_threading test_netlist test_sta test_netmc
          test_statprop test_golden_sta test_lint test_incremental
          test_spef test_benchio test_faultinject test_moments
-         test_ssta_analytic test_analysis test_flatgraph test_serve)
+         test_ssta_analytic test_analysis test_flatgraph test_serve
+         test_dist)
 
 for SAN in "${SANS[@]}"; do
   echo "=== ${SAN} ==="
